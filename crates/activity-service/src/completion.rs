@@ -1,0 +1,103 @@
+//! Completion status and its transition rules (§3.2.1 of the paper).
+
+use std::fmt;
+
+/// The state an activity would complete in if it completed now.
+///
+/// Per §3.2.1: `Success` and `Fail` may flip back and forth during the
+/// activity's lifetime; `FailOnly` is absorbing — once entered, "the only
+/// possible outcome for the Activity is for it to fail".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompletionStatus {
+    /// The activity has successfully performed its work.
+    #[default]
+    Success,
+    /// An application-specific error occurred; completion should be driven
+    /// accordingly, but the status may still change.
+    Fail,
+    /// Like `Fail`, but irrevocable.
+    FailOnly,
+}
+
+impl CompletionStatus {
+    /// Whether changing from `self` to `to` is legal.
+    pub fn can_transition_to(self, to: CompletionStatus) -> bool {
+        match self {
+            CompletionStatus::Success | CompletionStatus::Fail => true,
+            CompletionStatus::FailOnly => to == CompletionStatus::FailOnly,
+        }
+    }
+
+    /// Whether the status denotes failure.
+    pub fn is_failure(self) -> bool {
+        matches!(self, CompletionStatus::Fail | CompletionStatus::FailOnly)
+    }
+
+    /// Stable string form (used in logs and signal payloads).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompletionStatus::Success => "success",
+            CompletionStatus::Fail => "fail",
+            CompletionStatus::FailOnly => "fail-only",
+        }
+    }
+
+    /// Parse the string form produced by [`CompletionStatus::as_str`].
+    pub fn parse(s: &str) -> Option<CompletionStatus> {
+        match s {
+            "success" => Some(CompletionStatus::Success),
+            "fail" => Some(CompletionStatus::Fail),
+            "fail-only" => Some(CompletionStatus::FailOnly),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CompletionStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CompletionStatus::*;
+
+    #[test]
+    fn success_and_fail_flip_freely() {
+        assert!(Success.can_transition_to(Fail));
+        assert!(Fail.can_transition_to(Success));
+        assert!(Success.can_transition_to(FailOnly));
+        assert!(Fail.can_transition_to(FailOnly));
+        assert!(Success.can_transition_to(Success));
+    }
+
+    #[test]
+    fn fail_only_is_absorbing() {
+        assert!(!FailOnly.can_transition_to(Success));
+        assert!(!FailOnly.can_transition_to(Fail));
+        assert!(FailOnly.can_transition_to(FailOnly));
+    }
+
+    #[test]
+    fn failure_classification() {
+        assert!(!Success.is_failure());
+        assert!(Fail.is_failure());
+        assert!(FailOnly.is_failure());
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        for cs in [Success, Fail, FailOnly] {
+            assert_eq!(CompletionStatus::parse(cs.as_str()), Some(cs));
+            assert_eq!(cs.to_string(), cs.as_str());
+        }
+        assert_eq!(CompletionStatus::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_is_success() {
+        assert_eq!(CompletionStatus::default(), Success);
+    }
+}

@@ -1,0 +1,218 @@
+//! Activity contexts: what travels with remote invocations.
+//!
+//! The framework "relies on the Activity Service to manage the context
+//! distribution and relationships between Activities"; this module defines
+//! the wire form. A context carries the activity chain (root → current) and
+//! the property groups whose propagation mode says they travel by value or
+//! by reference (§3.3).
+
+use orb::{Value, ValueMap};
+
+use crate::activity::{Activity, ActivityId};
+use crate::error::ActivityError;
+
+/// One link in the propagated activity chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextEntry {
+    /// The activity's id.
+    pub id: ActivityId,
+    /// The activity's name.
+    pub name: String,
+}
+
+/// The propagated form of an activity: identity chain plus travelling
+/// property groups.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ActivityContext {
+    /// Activities from the root down to the current one.
+    pub chain: Vec<ContextEntry>,
+    /// Property groups propagated by value: `(group name, snapshot)`.
+    pub properties: Vec<(String, ValueMap)>,
+    /// Names of property groups propagated by reference (the receiver
+    /// resolves them locally).
+    pub by_reference: Vec<String>,
+}
+
+impl ActivityContext {
+    /// Capture the context of `activity` (including its ancestors).
+    pub fn capture(activity: &Activity) -> Self {
+        let mut chain = Vec::new();
+        let mut cursor = Some(activity.clone());
+        while let Some(a) = cursor {
+            chain.push(ContextEntry { id: a.id(), name: a.name().to_owned() });
+            cursor = a.parent();
+        }
+        chain.reverse();
+        ActivityContext {
+            chain,
+            properties: activity.properties().propagated_by_value(),
+            by_reference: activity.properties().propagated_by_reference(),
+        }
+    }
+
+    /// The current (innermost) activity's entry.
+    pub fn current(&self) -> Option<&ContextEntry> {
+        self.chain.last()
+    }
+
+    /// Nesting depth of the propagated chain.
+    pub fn depth(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Serialise for the ORB service-context slot.
+    pub fn to_value(&self) -> Value {
+        let chain: Vec<Value> = self
+            .chain
+            .iter()
+            .map(|e| {
+                let mut m = ValueMap::new();
+                m.insert("id".into(), Value::U64(e.id.raw()));
+                m.insert("name".into(), Value::Str(e.name.clone()));
+                Value::Map(m)
+            })
+            .collect();
+        let properties: Vec<Value> = self
+            .properties
+            .iter()
+            .map(|(name, snapshot)| {
+                let mut m = ValueMap::new();
+                m.insert("group".into(), Value::Str(name.clone()));
+                m.insert("values".into(), Value::Map(snapshot.clone()));
+                Value::Map(m)
+            })
+            .collect();
+        let by_reference: Vec<Value> =
+            self.by_reference.iter().map(|n| Value::Str(n.clone())).collect();
+        let mut m = ValueMap::new();
+        m.insert("chain".into(), Value::List(chain));
+        m.insert("properties".into(), Value::List(properties));
+        m.insert("by_ref".into(), Value::List(by_reference));
+        Value::Map(m)
+    }
+
+    /// Inverse of [`ActivityContext::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`ActivityError::Context`] on malformed input.
+    pub fn from_value(value: &Value) -> Result<Self, ActivityError> {
+        let m = value
+            .as_map()
+            .ok_or_else(|| ActivityError::Context("activity context must be a map".into()))?;
+        let mut chain = Vec::new();
+        if let Some(Value::List(items)) = m.get("chain") {
+            for item in items {
+                let em = item
+                    .as_map()
+                    .ok_or_else(|| ActivityError::Context("chain entry must be a map".into()))?;
+                let id = em
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| ActivityError::Context("chain entry missing id".into()))?;
+                let name = em
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ActivityError::Context("chain entry missing name".into()))?;
+                chain.push(ContextEntry { id: ActivityId::new(id), name: name.to_owned() });
+            }
+        }
+        let mut properties = Vec::new();
+        if let Some(Value::List(items)) = m.get("properties") {
+            for item in items {
+                let pm = item
+                    .as_map()
+                    .ok_or_else(|| ActivityError::Context("property entry must be a map".into()))?;
+                let group = pm
+                    .get("group")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ActivityError::Context("property entry missing group".into()))?;
+                let values = pm
+                    .get("values")
+                    .and_then(Value::as_map)
+                    .cloned()
+                    .unwrap_or_default();
+                properties.push((group.to_owned(), values));
+            }
+        }
+        let mut by_reference = Vec::new();
+        if let Some(Value::List(items)) = m.get("by_ref") {
+            for item in items {
+                if let Some(name) = item.as_str() {
+                    by_reference.push(name.to_owned());
+                }
+            }
+        }
+        Ok(ActivityContext { chain, properties, by_reference })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::{BasicPropertyGroup, Propagation, PropertyGroup, PropertyGroupSpec};
+    use orb::SimClock;
+
+    #[test]
+    fn capture_walks_the_chain() {
+        let root = Activity::new_root("root", SimClock::new());
+        let mid = root.begin_child("mid").unwrap();
+        let leaf = mid.begin_child("leaf").unwrap();
+        let ctx = ActivityContext::capture(&leaf);
+        assert_eq!(ctx.depth(), 3);
+        let names: Vec<&str> = ctx.chain.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["root", "mid", "leaf"]);
+        assert_eq!(ctx.current().unwrap().id, leaf.id());
+    }
+
+    #[test]
+    fn capture_honours_propagation_modes() {
+        let root = Activity::new_root("root", SimClock::new());
+        let by_value = BasicPropertyGroup::new(
+            PropertyGroupSpec::new("env").propagation(Propagation::ByValue),
+        );
+        by_value.set("locale", Value::from("en"));
+        root.properties().register(by_value);
+        root.properties().register(BasicPropertyGroup::new(
+            PropertyGroupSpec::new("local-only").propagation(Propagation::Local),
+        ));
+        root.properties().register(BasicPropertyGroup::new(
+            PropertyGroupSpec::new("shared-cfg").propagation(Propagation::ByReference),
+        ));
+        let ctx = ActivityContext::capture(&root);
+        assert_eq!(ctx.properties.len(), 1);
+        assert_eq!(ctx.properties[0].0, "env");
+        assert_eq!(ctx.by_reference, vec!["shared-cfg"]);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let root = Activity::new_root("root", SimClock::new());
+        let child = root.begin_child("child").unwrap();
+        let group = BasicPropertyGroup::new(PropertyGroupSpec::new("g"));
+        group.set("k", Value::from(9i64));
+        child.properties().register(group);
+        let ctx = ActivityContext::capture(&child);
+        let v = ctx.to_value();
+        let back = ActivityContext::from_value(&v).unwrap();
+        assert_eq!(back, ctx);
+        // Binary codec too.
+        let back2 = ActivityContext::from_value(&Value::decode(&v.encode()).unwrap()).unwrap();
+        assert_eq!(back2, ctx);
+    }
+
+    #[test]
+    fn from_value_rejects_junk() {
+        assert!(ActivityContext::from_value(&Value::I64(1)).is_err());
+        let mut m = ValueMap::new();
+        m.insert("chain".into(), Value::List(vec![Value::I64(1)]));
+        assert!(ActivityContext::from_value(&Value::Map(m)).is_err());
+    }
+
+    #[test]
+    fn empty_context_roundtrip() {
+        let ctx = ActivityContext::default();
+        assert_eq!(ActivityContext::from_value(&ctx.to_value()).unwrap(), ctx);
+        assert!(ctx.current().is_none());
+    }
+}

@@ -1,0 +1,571 @@
+//! The activity coordinator: drives SignalSets against registered Actions
+//! (fig. 5 of the paper).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::action::Action;
+use crate::activity::ActivityId;
+use crate::completion::CompletionStatus;
+use crate::error::ActivityError;
+use crate::outcome::Outcome;
+use crate::signal_set::{AfterResponse, NextSignal, SignalSet, SignalSetState};
+use crate::trace::{TraceEvent, TraceLog};
+
+struct SetEntry {
+    set: Box<dyn SignalSet>,
+    state: SignalSetState,
+}
+
+struct CoordinatorInner {
+    /// set name → actions registered for it. Actions may register for sets
+    /// that have not been associated yet ("Actions register interest in
+    /// SignalSets, rather than specific Signals").
+    registrations: HashMap<String, Vec<Arc<dyn Action>>>,
+    /// set name → the set itself. `None` while a processing run has the set
+    /// checked out.
+    sets: HashMap<String, Option<SetEntry>>,
+}
+
+/// Coordinates one activity's protocol runs.
+///
+/// The coordinator owns the fig. 5 loop: ask the SignalSet for a signal,
+/// transmit it to every registered Action, feed each Outcome back into the
+/// set, fetch the next signal when the set asks for one, and finally collate
+/// the overall outcome — all while enforcing the fig. 7 state machine.
+pub struct ActivityCoordinator {
+    activity: ActivityId,
+    inner: Mutex<CoordinatorInner>,
+    trace: Mutex<Option<TraceLog>>,
+}
+
+impl std::fmt::Debug for ActivityCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ActivityCoordinator")
+            .field("activity", &self.activity)
+            .field("signal_sets", &inner.sets.len())
+            .field("registrations", &inner.registrations.len())
+            .finish()
+    }
+}
+
+impl ActivityCoordinator {
+    /// A coordinator for the given activity.
+    pub fn new(activity: ActivityId) -> Self {
+        ActivityCoordinator {
+            activity,
+            inner: Mutex::new(CoordinatorInner {
+                registrations: HashMap::new(),
+                sets: HashMap::new(),
+            }),
+            trace: Mutex::new(None),
+        }
+    }
+
+    /// The owning activity's id.
+    pub fn activity(&self) -> ActivityId {
+        self.activity
+    }
+
+    /// Attach a trace log; every subsequent protocol step is recorded.
+    pub fn set_trace(&self, trace: TraceLog) {
+        *self.trace.lock() = Some(trace);
+    }
+
+    /// Associate a signal set with this activity, keyed by its
+    /// `signal_set_name`. "A SignalSet is dynamically associated with an
+    /// activity, and each activity can have a different SignalSet
+    /// controlling it."
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::SignalSetActive`] when a set with that name
+    /// is already associated (ended sets may be replaced).
+    pub fn add_signal_set(&self, set: Box<dyn SignalSet>) -> Result<(), ActivityError> {
+        let name = set.signal_set_name().to_owned();
+        let mut inner = self.inner.lock();
+        match inner.sets.get(&name) {
+            Some(Some(entry)) if entry.state != SignalSetState::End => {
+                return Err(ActivityError::SignalSetActive(name));
+            }
+            Some(None) => return Err(ActivityError::SignalSetActive(name)),
+            _ => {}
+        }
+        inner
+            .sets
+            .insert(name, Some(SetEntry { set, state: SignalSetState::Waiting }));
+        Ok(())
+    }
+
+    /// Register an action's interest in the named signal set. An Action
+    /// "may register interest in more than one SignalSet", and registration
+    /// may precede the set's association.
+    pub fn register_action(&self, set_name: impl Into<String>, action: Arc<dyn Action>) {
+        self.inner
+            .lock()
+            .registrations
+            .entry(set_name.into())
+            .or_default()
+            .push(action);
+    }
+
+    /// Remove every registration of the action named `action_name` from the
+    /// named set. Returns how many registrations were removed.
+    pub fn unregister_action(&self, set_name: &str, action_name: &str) -> usize {
+        let mut inner = self.inner.lock();
+        match inner.registrations.get_mut(set_name) {
+            Some(actions) => {
+                let before = actions.len();
+                actions.retain(|a| a.name() != action_name);
+                before - actions.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Number of actions currently registered for the named set.
+    pub fn action_count(&self, set_name: &str) -> usize {
+        self.inner.lock().registrations.get(set_name).map_or(0, Vec::len)
+    }
+
+    /// The fig. 7 state of the named set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::UnknownSignalSet`] when not associated.
+    pub fn signal_set_state(&self, set_name: &str) -> Result<SignalSetState, ActivityError> {
+        let inner = self.inner.lock();
+        match inner.sets.get(set_name) {
+            Some(Some(entry)) => Ok(entry.state),
+            Some(None) => Ok(SignalSetState::GetSignal),
+            None => Err(ActivityError::UnknownSignalSet(set_name.to_owned())),
+        }
+    }
+
+    /// Names of associated signal sets.
+    pub fn signal_set_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.lock().sets.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Forward a completion status to the named set before processing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivityError::UnknownSignalSet`] or
+    /// [`ActivityError::SignalSetActive`] when the set is checked out.
+    pub fn set_completion_status(
+        &self,
+        set_name: &str,
+        status: CompletionStatus,
+    ) -> Result<(), ActivityError> {
+        let mut inner = self.inner.lock();
+        match inner.sets.get_mut(set_name) {
+            Some(Some(entry)) => {
+                entry.set.set_completion_status(status);
+                Ok(())
+            }
+            Some(None) => Err(ActivityError::SignalSetActive(set_name.to_owned())),
+            None => Err(ActivityError::UnknownSignalSet(set_name.to_owned())),
+        }
+    }
+
+    /// Run the named set's full protocol (fig. 5): repeatedly obtain a
+    /// signal, transmit it to every action registered for the set (the
+    /// registration list is re-read for each signal, so actions enlisted
+    /// mid-protocol see later signals), feed responses back, and collate.
+    ///
+    /// Action failures are converted into `"error"` outcomes and fed to the
+    /// set like any other response — it is the *set's* protocol knowledge
+    /// that decides what failure means.
+    ///
+    /// # Errors
+    ///
+    /// [`ActivityError::UnknownSignalSet`] when no such set is associated;
+    /// [`ActivityError::SignalSetInactive`] when it already ended;
+    /// [`ActivityError::SignalSetActive`] when another run has it checked
+    /// out.
+    pub fn process_signal_set(&self, set_name: &str) -> Result<Outcome, ActivityError> {
+        let mut entry = {
+            let mut inner = self.inner.lock();
+            match inner.sets.get_mut(set_name) {
+                None => return Err(ActivityError::UnknownSignalSet(set_name.to_owned())),
+                Some(slot @ Some(_)) => {
+                    let entry = slot.take().expect("just matched Some");
+                    if entry.state == SignalSetState::End {
+                        *slot = Some(entry);
+                        return Err(ActivityError::SignalSetInactive(set_name.to_owned()));
+                    }
+                    entry
+                }
+                Some(None) => return Err(ActivityError::SignalSetActive(set_name.to_owned())),
+            }
+        };
+
+        let result = self.drive(set_name, &mut entry);
+        entry.state = SignalSetState::End;
+        // Return the (ended) set so late outcome queries and inactive-reuse
+        // errors behave per the IDL.
+        self.inner.lock().sets.insert(set_name.to_owned(), Some(entry));
+        result
+    }
+
+    fn drive(&self, set_name: &str, entry: &mut SetEntry) -> Result<Outcome, ActivityError> {
+        let mut signal_seq = 0u64;
+        loop {
+            self.record(|| TraceEvent::GetSignal { set: set_name.to_owned() });
+            let next = entry.set.get_signal();
+            entry.state = entry
+                .state
+                .on_get_signal(set_name, matches!(next, NextSignal::End))?;
+            let (signal, last) = match next {
+                NextSignal::Signal(s) => (s, false),
+                NextSignal::LastSignal(s) => (s, true),
+                NextSignal::End => break,
+            };
+            // Stamp a delivery id unique to (activity, set, signal number):
+            // redelivery of the same logical signal — including transport
+            // retries inside a remote Action proxy — shares the id, so
+            // exactly-once consumers can deduplicate (§3.4).
+            signal_seq += 1;
+            let signal = if signal.delivery_id().is_some() {
+                signal
+            } else {
+                let id = format!("{}:{}:{}", self.activity, set_name, signal_seq);
+                signal.with_delivery_id(id)
+            };
+            // Fresh snapshot per signal: actions registered while the
+            // protocol runs receive subsequent signals.
+            let actions: Vec<Arc<dyn Action>> = self
+                .inner
+                .lock()
+                .registrations
+                .get(set_name)
+                .cloned()
+                .unwrap_or_default();
+            let mut request_next = false;
+            for action in &actions {
+                self.record(|| TraceEvent::Transmit {
+                    signal: signal.name().to_owned(),
+                    action: action.name().to_owned(),
+                });
+                let outcome = match action.process_signal(&signal) {
+                    Ok(outcome) => outcome,
+                    Err(e) => Outcome::from_error(e.message()),
+                };
+                self.record(|| TraceEvent::SetResponse {
+                    set: set_name.to_owned(),
+                    outcome: outcome.name().to_owned(),
+                });
+                if entry.set.set_response(&outcome) == AfterResponse::RequestNext {
+                    request_next = true;
+                    break;
+                }
+            }
+            if last && !request_next {
+                entry.state = entry.state.on_last_signal_delivered();
+                break;
+            }
+        }
+        entry.state.check_outcome_readable(set_name)?;
+        let outcome = entry.set.get_outcome();
+        self.record(|| TraceEvent::GetOutcome {
+            set: set_name.to_owned(),
+            outcome: outcome.name().to_owned(),
+        });
+        Ok(outcome)
+    }
+
+    fn record(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(trace) = self.trace.lock().as_ref() {
+            trace.record(event());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::FnAction;
+    use crate::signal::Signal;
+    use crate::signal_set::BroadcastSignalSet;
+    use orb::Value;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn coordinator() -> ActivityCoordinator {
+        ActivityCoordinator::new(ActivityId::new(1))
+    }
+
+    fn counting_action(name: &str, counter: Arc<AtomicU32>) -> Arc<dyn Action> {
+        Arc::new(FnAction::new(name, move |_s: &Signal| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Ok(Outcome::done())
+        }))
+    }
+
+    #[test]
+    fn broadcast_reaches_every_action() {
+        let c = coordinator();
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("Notify", "wake", Value::Null)))
+            .unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        for i in 0..5 {
+            c.register_action("Notify", counting_action(&format!("a{i}"), Arc::clone(&hits)));
+        }
+        assert_eq!(c.action_count("Notify"), 5);
+        let outcome = c.process_signal_set("Notify").unwrap();
+        assert!(outcome.is_done());
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+        assert_eq!(c.signal_set_state("Notify").unwrap(), SignalSetState::End);
+    }
+
+    #[test]
+    fn processing_without_actions_still_completes() {
+        let c = coordinator();
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("Lonely", "x", Value::Null)))
+            .unwrap();
+        let outcome = c.process_signal_set("Lonely").unwrap();
+        assert!(outcome.is_done());
+        assert_eq!(outcome.data().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn ended_sets_cannot_be_reprocessed() {
+        let c = coordinator();
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("Once", "x", Value::Null)))
+            .unwrap();
+        c.process_signal_set("Once").unwrap();
+        assert!(matches!(
+            c.process_signal_set("Once"),
+            Err(ActivityError::SignalSetInactive(_))
+        ));
+        // But an ended set may be *replaced* (a new instance of the protocol).
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("Once", "x", Value::Null)))
+            .unwrap();
+        c.process_signal_set("Once").unwrap();
+    }
+
+    #[test]
+    fn unknown_set_errors() {
+        let c = coordinator();
+        assert!(matches!(
+            c.process_signal_set("ghost"),
+            Err(ActivityError::UnknownSignalSet(_))
+        ));
+        assert!(matches!(
+            c.signal_set_state("ghost"),
+            Err(ActivityError::UnknownSignalSet(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_active_set_rejected() {
+        let c = coordinator();
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("S", "x", Value::Null)))
+            .unwrap();
+        assert!(matches!(
+            c.add_signal_set(Box::new(BroadcastSignalSet::new("S", "y", Value::Null))),
+            Err(ActivityError::SignalSetActive(_))
+        ));
+    }
+
+    #[test]
+    fn action_errors_become_error_outcomes() {
+        let c = coordinator();
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("S", "x", Value::Null)))
+            .unwrap();
+        c.register_action(
+            "S",
+            Arc::new(FnAction::new("bad", |_s: &Signal| {
+                Err(crate::error::ActionError::new("cannot"))
+            })),
+        );
+        let outcome = c.process_signal_set("S").unwrap();
+        assert!(outcome.is_negative());
+    }
+
+    #[test]
+    fn unregister_by_name() {
+        let c = coordinator();
+        let hits = Arc::new(AtomicU32::new(0));
+        c.register_action("S", counting_action("keep", Arc::clone(&hits)));
+        c.register_action("S", counting_action("drop", Arc::clone(&hits)));
+        c.register_action("S", counting_action("drop", Arc::clone(&hits)));
+        assert_eq!(c.unregister_action("S", "drop"), 2);
+        assert_eq!(c.unregister_action("S", "ghost"), 0);
+        assert_eq!(c.unregister_action("ghost-set", "x"), 0);
+        assert_eq!(c.action_count("S"), 1);
+    }
+
+    #[test]
+    fn trace_records_fig5_loop() {
+        let c = coordinator();
+        let trace = TraceLog::new();
+        c.set_trace(trace.clone());
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("S", "go", Value::Null)))
+            .unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        c.register_action("S", counting_action("a1", Arc::clone(&hits)));
+        c.register_action("S", counting_action("a2", Arc::clone(&hits)));
+        c.process_signal_set("S").unwrap();
+        let events = trace.events();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::GetSignal { set: "S".into() },
+                TraceEvent::Transmit { signal: "go".into(), action: "a1".into() },
+                TraceEvent::SetResponse { set: "S".into(), outcome: "done".into() },
+                TraceEvent::Transmit { signal: "go".into(), action: "a2".into() },
+                TraceEvent::SetResponse { set: "S".into(), outcome: "done".into() },
+                TraceEvent::GetOutcome { set: "S".into(), outcome: "done".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_signal_set_requests_new_snapshot_per_signal() {
+        // A set that emits two signals; an action registered between them
+        // must only see the second.
+        struct TwoSignals {
+            sent: u32,
+        }
+        impl SignalSet for TwoSignals {
+            fn signal_set_name(&self) -> &str {
+                "Two"
+            }
+            fn get_signal(&mut self) -> NextSignal {
+                self.sent += 1;
+                match self.sent {
+                    1 => NextSignal::Signal(Signal::new("first", "Two")),
+                    2 => NextSignal::LastSignal(Signal::new("second", "Two")),
+                    _ => NextSignal::End,
+                }
+            }
+            fn set_response(&mut self, _r: &Outcome) -> AfterResponse {
+                AfterResponse::Continue
+            }
+            fn get_outcome(&mut self) -> Outcome {
+                Outcome::done()
+            }
+            fn set_completion_status(&mut self, _s: CompletionStatus) {}
+            fn completion_status(&self) -> CompletionStatus {
+                CompletionStatus::Success
+            }
+        }
+
+        let c = Arc::new(coordinator());
+        c.add_signal_set(Box::new(TwoSignals { sent: 0 })).unwrap();
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+
+        let seen_early = Arc::clone(&seen);
+        let c2 = Arc::clone(&c);
+        let seen_late_outer = Arc::clone(&seen);
+        c.register_action(
+            "Two",
+            Arc::new(FnAction::new("early", move |s: &Signal| {
+                seen_early.lock().push(format!("early:{}", s.name()));
+                if s.name() == "first" {
+                    // Register a late action mid-protocol.
+                    let seen_late = Arc::clone(&seen_late_outer);
+                    c2.register_action(
+                        "Two",
+                        Arc::new(FnAction::new("late", move |s: &Signal| {
+                            seen_late.lock().push(format!("late:{}", s.name()));
+                            Ok(Outcome::done())
+                        })),
+                    );
+                }
+                Ok(Outcome::done())
+            })),
+        );
+        c.process_signal_set("Two").unwrap();
+        assert_eq!(
+            *seen.lock(),
+            vec!["early:first", "early:second", "late:second"]
+        );
+    }
+
+    #[test]
+    fn request_next_switches_signal_mid_delivery() {
+        // A set whose first signal aborts as soon as any action rejects:
+        // remaining actions must not see the first signal again, and the
+        // set switches to a "cancel" signal.
+        struct AbortSwitch {
+            phase: u32,
+            saw_abort: bool,
+        }
+        impl SignalSet for AbortSwitch {
+            fn signal_set_name(&self) -> &str {
+                "Switch"
+            }
+            fn get_signal(&mut self) -> NextSignal {
+                self.phase += 1;
+                match (self.phase, self.saw_abort) {
+                    (1, _) => NextSignal::Signal(Signal::new("try", "Switch")),
+                    (2, true) => NextSignal::LastSignal(Signal::new("cancel", "Switch")),
+                    _ => NextSignal::End,
+                }
+            }
+            fn set_response(&mut self, r: &Outcome) -> AfterResponse {
+                if r.is_negative() {
+                    self.saw_abort = true;
+                    AfterResponse::RequestNext
+                } else {
+                    AfterResponse::Continue
+                }
+            }
+            fn get_outcome(&mut self) -> Outcome {
+                if self.saw_abort {
+                    Outcome::abort()
+                } else {
+                    Outcome::done()
+                }
+            }
+            fn set_completion_status(&mut self, _s: CompletionStatus) {}
+            fn completion_status(&self) -> CompletionStatus {
+                CompletionStatus::Success
+            }
+        }
+
+        let c = coordinator();
+        let trace = TraceLog::new();
+        c.set_trace(trace.clone());
+        c.add_signal_set(Box::new(AbortSwitch { phase: 0, saw_abort: false })).unwrap();
+        c.register_action(
+            "Switch",
+            Arc::new(FnAction::new("refuser", |s: &Signal| {
+                // Refuses the attempt, acknowledges the cancellation.
+                if s.name() == "try" {
+                    Ok(Outcome::abort())
+                } else {
+                    Ok(Outcome::done())
+                }
+            })),
+        );
+        c.register_action(
+            "Switch",
+            Arc::new(FnAction::new("bystander", |s: &Signal| {
+                assert_ne!(s.name(), "try", "bystander must not see the abandoned signal");
+                Ok(Outcome::done())
+            })),
+        );
+        let outcome = c.process_signal_set("Switch").unwrap();
+        assert!(outcome.is_negative());
+        let transmits: Vec<String> = trace
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Transmit { signal, action } => Some(format!("{signal}->{action}")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            transmits,
+            vec!["try->refuser", "cancel->refuser", "cancel->bystander"]
+        );
+    }
+}

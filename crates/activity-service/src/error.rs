@@ -1,0 +1,170 @@
+//! Error types for the Activity Service.
+
+use std::fmt;
+
+use crate::activity::ActivityId;
+use crate::completion::CompletionStatus;
+
+/// Error raised by an [`crate::action::Action`] while processing a signal
+/// (mirrors the IDL `ActionError` exception).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionError {
+    message: String,
+}
+
+impl ActionError {
+    /// Build from any printable reason.
+    pub fn new(message: impl Into<String>) -> Self {
+        ActionError { message: message.into() }
+    }
+
+    /// The failure description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "action failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+/// Errors raised by activities, coordinators and the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ActivityError {
+    /// The referenced signal set is not associated with the activity.
+    UnknownSignalSet(String),
+    /// The signal set has reached its End state and cannot be reused
+    /// (mirrors the IDL `SignalSetInactive` exception).
+    SignalSetInactive(String),
+    /// `get_outcome` was called while the set was still producing signals
+    /// (mirrors the IDL `SignalSetActive` exception).
+    SignalSetActive(String),
+    /// The activity is not in a state that allows the operation.
+    InvalidState {
+        /// Activity concerned.
+        activity: ActivityId,
+        /// What was attempted.
+        operation: String,
+        /// The state it was in.
+        state: String,
+    },
+    /// An illegal completion-status transition (e.g. leaving `FailOnly`).
+    CompletionStatus {
+        /// From.
+        from: CompletionStatus,
+        /// To.
+        to: CompletionStatus,
+    },
+    /// The activity still has incomplete children.
+    ChildrenActive(ActivityId),
+    /// No activity is associated with the calling thread.
+    NoCurrentActivity,
+    /// The activity's timeout elapsed.
+    TimedOut(ActivityId),
+    /// A remote invocation failed permanently.
+    Remote(String),
+    /// The durable log failed (or an injected crash fired).
+    Log(String),
+    /// Context (de)serialisation failed.
+    Context(String),
+    /// Recovery could not rebind a logged entity.
+    Recovery(String),
+    /// The referenced property group does not exist.
+    UnknownPropertyGroup(String),
+}
+
+impl fmt::Display for ActivityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActivityError::UnknownSignalSet(name) => write!(f, "unknown signal set {name:?}"),
+            ActivityError::SignalSetInactive(name) => {
+                write!(f, "signal set {name:?} already reached its end state")
+            }
+            ActivityError::SignalSetActive(name) => {
+                write!(f, "signal set {name:?} is still producing signals")
+            }
+            ActivityError::InvalidState { activity, operation, state } => {
+                write!(f, "activity {activity} cannot {operation} while {state}")
+            }
+            ActivityError::CompletionStatus { from, to } => {
+                write!(f, "illegal completion status transition {from} -> {to}")
+            }
+            ActivityError::ChildrenActive(id) => {
+                write!(f, "activity {id} still has incomplete children")
+            }
+            ActivityError::NoCurrentActivity => {
+                write!(f, "no activity associated with this thread")
+            }
+            ActivityError::TimedOut(id) => write!(f, "activity {id} timed out"),
+            ActivityError::Remote(msg) => write!(f, "remote delivery failed: {msg}"),
+            ActivityError::Log(msg) => write!(f, "activity log failure: {msg}"),
+            ActivityError::Context(msg) => write!(f, "activity context failure: {msg}"),
+            ActivityError::Recovery(msg) => write!(f, "recovery failure: {msg}"),
+            ActivityError::UnknownPropertyGroup(name) => {
+                write!(f, "unknown property group {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ActivityError {}
+
+impl From<recovery_log::LogError> for ActivityError {
+    fn from(e: recovery_log::LogError) -> Self {
+        ActivityError::Log(e.to_string())
+    }
+}
+
+impl From<orb::OrbError> for ActivityError {
+    fn from(e: orb::OrbError) -> Self {
+        ActivityError::Remote(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        let errors = vec![
+            ActivityError::UnknownSignalSet("s".into()),
+            ActivityError::SignalSetInactive("s".into()),
+            ActivityError::SignalSetActive("s".into()),
+            ActivityError::InvalidState {
+                activity: ActivityId::new(1),
+                operation: "complete".into(),
+                state: "suspended".into(),
+            },
+            ActivityError::CompletionStatus {
+                from: CompletionStatus::FailOnly,
+                to: CompletionStatus::Success,
+            },
+            ActivityError::ChildrenActive(ActivityId::new(2)),
+            ActivityError::NoCurrentActivity,
+            ActivityError::TimedOut(ActivityId::new(3)),
+            ActivityError::Remote("gone".into()),
+            ActivityError::Log("full".into()),
+            ActivityError::Context("bad".into()),
+            ActivityError::Recovery("unbound".into()),
+            ActivityError::UnknownPropertyGroup("pg".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(!ActionError::new("boom").to_string().is_empty());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: ActivityError = recovery_log::LogError::Sealed.into();
+        assert!(matches!(e, ActivityError::Log(_)));
+        let e: ActivityError = orb::OrbError::Timeout { operation: "x".into() }.into();
+        assert!(matches!(e, ActivityError::Remote(_)));
+    }
+}

@@ -1,0 +1,572 @@
+//! Durable activity records and recovery of the activity structure (§3.4).
+//!
+//! The paper's recovery requirements map onto this module as follows:
+//!
+//! * **rebinding of the activity structure** — [`recover_activities`]
+//!   rebuilds the activity tree (ids, names, parent links) from the log;
+//! * **recover actions and signal sets** — sets and actions are re-created
+//!   through the [`SignalSetFactories`] / [`ActionFactories`] registries
+//!   keyed by the factory names recorded at registration time;
+//! * **application logic** / **object consistency** — the returned
+//!   [`RecoveredService::incomplete`] list is handed back to the
+//!   application, which drives each in-flight activity to completion (it is
+//!   "predominately the application that is responsible for driving
+//!   recovery").
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use orb::{SimClock, Value, ValueMap};
+use recovery_log::{Lsn, Wal};
+
+use crate::action::Action;
+use crate::activity::{Activity, ActivityId};
+use crate::completion::CompletionStatus;
+use crate::error::ActivityError;
+use crate::signal_set::SignalSet;
+
+/// Record kind: an activity was begun.
+pub const KIND_ACT_BEGUN: u32 = 0x0201;
+/// Record kind: a recoverable SignalSet was associated.
+pub const KIND_ACT_SIGNAL_SET: u32 = 0x0202;
+/// Record kind: a recoverable Action was registered.
+pub const KIND_ACT_ACTION: u32 = 0x0203;
+/// Record kind: the completion status changed.
+pub const KIND_ACT_STATUS: u32 = 0x0204;
+/// Record kind: the completion SignalSet was designated.
+pub const KIND_ACT_COMPLETION_SET: u32 = 0x0205;
+/// Record kind: the activity completed.
+pub const KIND_ACT_COMPLETED: u32 = 0x0206;
+
+/// Writes activity lifecycle records to a [`Wal`].
+pub struct ActivityLogger {
+    wal: Arc<dyn Wal>,
+}
+
+impl std::fmt::Debug for ActivityLogger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActivityLogger").finish_non_exhaustive()
+    }
+}
+
+fn record(fields: &[(&str, Value)]) -> Vec<u8> {
+    let mut m = ValueMap::new();
+    for (k, v) in fields {
+        m.insert((*k).to_owned(), v.clone());
+    }
+    Value::Map(m).encode().to_vec()
+}
+
+impl ActivityLogger {
+    /// A logger over `wal`.
+    pub fn new(wal: Arc<dyn Wal>) -> Arc<Self> {
+        Arc::new(ActivityLogger { wal })
+    }
+
+    /// The underlying log.
+    pub fn wal(&self) -> &Arc<dyn Wal> {
+        &self.wal
+    }
+
+    pub(crate) fn log_begun(
+        &self,
+        id: ActivityId,
+        name: &str,
+        parent: Option<ActivityId>,
+    ) -> Result<(), ActivityError> {
+        let mut fields = vec![
+            ("id", Value::U64(id.raw())),
+            ("name", Value::from(name)),
+        ];
+        if let Some(parent) = parent {
+            fields.push(("parent", Value::U64(parent.raw())));
+        }
+        self.wal.append(KIND_ACT_BEGUN, &record(&fields))?;
+        Ok(())
+    }
+
+    pub(crate) fn log_signal_set(
+        &self,
+        id: ActivityId,
+        set_name: &str,
+        factory: &str,
+    ) -> Result<(), ActivityError> {
+        self.wal.append(
+            KIND_ACT_SIGNAL_SET,
+            &record(&[
+                ("id", Value::U64(id.raw())),
+                ("set", Value::from(set_name)),
+                ("factory", Value::from(factory)),
+            ]),
+        )?;
+        Ok(())
+    }
+
+    pub(crate) fn log_action(
+        &self,
+        id: ActivityId,
+        set_name: &str,
+        factory: &str,
+    ) -> Result<(), ActivityError> {
+        self.wal.append(
+            KIND_ACT_ACTION,
+            &record(&[
+                ("id", Value::U64(id.raw())),
+                ("set", Value::from(set_name)),
+                ("factory", Value::from(factory)),
+            ]),
+        )?;
+        Ok(())
+    }
+
+    pub(crate) fn log_completion_status(
+        &self,
+        id: ActivityId,
+        status: CompletionStatus,
+    ) -> Result<(), ActivityError> {
+        self.wal.append(
+            KIND_ACT_STATUS,
+            &record(&[("id", Value::U64(id.raw())), ("status", Value::from(status.as_str()))]),
+        )?;
+        Ok(())
+    }
+
+    pub(crate) fn log_completion_set(
+        &self,
+        id: ActivityId,
+        set_name: &str,
+    ) -> Result<(), ActivityError> {
+        self.wal.append(
+            KIND_ACT_COMPLETION_SET,
+            &record(&[("id", Value::U64(id.raw())), ("set", Value::from(set_name))]),
+        )?;
+        Ok(())
+    }
+
+    pub(crate) fn log_completed(
+        &self,
+        id: ActivityId,
+        status: CompletionStatus,
+        outcome: &str,
+    ) -> Result<(), ActivityError> {
+        self.wal.append(
+            KIND_ACT_COMPLETED,
+            &record(&[
+                ("id", Value::U64(id.raw())),
+                ("status", Value::from(status.as_str())),
+                ("outcome", Value::from(outcome)),
+            ]),
+        )?;
+        Ok(())
+    }
+}
+
+/// Registry of named SignalSet constructors used to re-instantiate sets at
+/// recovery time.
+#[derive(Default)]
+pub struct SignalSetFactories {
+    factories: HashMap<String, Box<dyn Fn() -> Box<dyn SignalSet> + Send + Sync>>,
+}
+
+impl std::fmt::Debug for SignalSetFactories {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignalSetFactories").field("keys", &self.keys()).finish()
+    }
+}
+
+impl SignalSetFactories {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a constructor under `key`.
+    pub fn register<F>(&mut self, key: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<dyn SignalSet> + Send + Sync + 'static,
+    {
+        self.factories.insert(key.into(), Box::new(factory));
+    }
+
+    /// Instantiate the set registered under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`ActivityError::Recovery`] when the key is unknown.
+    pub fn create(&self, key: &str) -> Result<Box<dyn SignalSet>, ActivityError> {
+        self.factories
+            .get(key)
+            .map(|f| f())
+            .ok_or_else(|| ActivityError::Recovery(format!("no signal set factory {key:?}")))
+    }
+
+    /// Sorted factory keys.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.factories.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// Registry of named Action constructors used at recovery time.
+#[derive(Default)]
+pub struct ActionFactories {
+    factories: HashMap<String, Box<dyn Fn() -> Arc<dyn Action> + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ActionFactories {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActionFactories").field("keys", &self.keys()).finish()
+    }
+}
+
+impl ActionFactories {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a constructor under `key`.
+    pub fn register<F>(&mut self, key: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Arc<dyn Action> + Send + Sync + 'static,
+    {
+        self.factories.insert(key.into(), Box::new(factory));
+    }
+
+    /// Instantiate the action registered under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`ActivityError::Recovery`] when the key is unknown.
+    pub fn create(&self, key: &str) -> Result<Arc<dyn Action>, ActivityError> {
+        self.factories
+            .get(key)
+            .map(|f| f())
+            .ok_or_else(|| ActivityError::Recovery(format!("no action factory {key:?}")))
+    }
+
+    /// Sorted factory keys.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.factories.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct LoggedActivity {
+    name: String,
+    parent: Option<u64>,
+    signal_sets: Vec<(String, String)>,
+    actions: Vec<(String, String)>,
+    status: Option<CompletionStatus>,
+    completion_set: Option<String>,
+    completed: bool,
+    begun: bool,
+}
+
+/// Result of [`recover_activities`].
+#[derive(Debug)]
+pub struct RecoveredService {
+    /// Rebuilt root activities (tree roots; children hang off them).
+    pub roots: Vec<Activity>,
+    /// Activities that had not completed at crash time, in begin order —
+    /// the application must drive these to consistency.
+    pub incomplete: Vec<Activity>,
+    /// Ids of activities that had already completed.
+    pub completed: Vec<ActivityId>,
+    /// The id the service's counter should continue from.
+    pub next_id: u64,
+}
+
+/// Rebuild the activity structure recorded in `wal`.
+///
+/// # Errors
+///
+/// [`ActivityError::Log`] when the log cannot be read or decoded;
+/// [`ActivityError::Recovery`] when a recorded factory key has no registered
+/// constructor or a parent link dangles.
+pub fn recover_activities(
+    wal: Arc<dyn Wal>,
+    set_factories: &SignalSetFactories,
+    action_factories: &ActionFactories,
+    clock: SimClock,
+) -> Result<RecoveredService, ActivityError> {
+    let mut logged: BTreeMap<u64, LoggedActivity> = BTreeMap::new();
+    for rec in wal.scan(Lsn::new(0))? {
+        let payload = || {
+            Value::decode(&rec.payload)
+                .map_err(|e| ActivityError::Log(e.to_string()))
+                .and_then(|v| {
+                    v.as_map()
+                        .cloned()
+                        .ok_or_else(|| ActivityError::Log("record payload must be a map".into()))
+                })
+        };
+        let field_id = |m: &ValueMap| {
+            m.get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ActivityError::Log("record missing id".into()))
+        };
+        match rec.kind {
+            KIND_ACT_BEGUN => {
+                let m = payload()?;
+                let id = field_id(&m)?;
+                let entry = logged.entry(id).or_default();
+                entry.begun = true;
+                entry.name = m.get("name").and_then(Value::as_str).unwrap_or("").to_owned();
+                entry.parent = m.get("parent").and_then(Value::as_u64);
+            }
+            KIND_ACT_SIGNAL_SET => {
+                let m = payload()?;
+                let id = field_id(&m)?;
+                let set = m.get("set").and_then(Value::as_str).unwrap_or("").to_owned();
+                let factory = m.get("factory").and_then(Value::as_str).unwrap_or("").to_owned();
+                logged.entry(id).or_default().signal_sets.push((set, factory));
+            }
+            KIND_ACT_ACTION => {
+                let m = payload()?;
+                let id = field_id(&m)?;
+                let set = m.get("set").and_then(Value::as_str).unwrap_or("").to_owned();
+                let factory = m.get("factory").and_then(Value::as_str).unwrap_or("").to_owned();
+                logged.entry(id).or_default().actions.push((set, factory));
+            }
+            KIND_ACT_STATUS => {
+                let m = payload()?;
+                let id = field_id(&m)?;
+                logged.entry(id).or_default().status =
+                    m.get("status").and_then(Value::as_str).and_then(CompletionStatus::parse);
+            }
+            KIND_ACT_COMPLETION_SET => {
+                let m = payload()?;
+                let id = field_id(&m)?;
+                logged.entry(id).or_default().completion_set =
+                    m.get("set").and_then(Value::as_str).map(str::to_owned);
+            }
+            KIND_ACT_COMPLETED => {
+                let m = payload()?;
+                let id = field_id(&m)?;
+                let entry = logged.entry(id).or_default();
+                entry.completed = true;
+                entry.status =
+                    m.get("status").and_then(Value::as_str).and_then(CompletionStatus::parse);
+            }
+            _ => {}
+        }
+    }
+
+    let next_id = logged.keys().max().map_or(1, |m| m + 1);
+    let id_source = Arc::new(AtomicU64::new(next_id));
+    let logger = ActivityLogger::new(Arc::clone(&wal));
+
+    // Rebuild the tree. BTreeMap order means parents (lower ids) come first.
+    let mut rebuilt: HashMap<u64, Activity> = HashMap::new();
+    let mut roots = Vec::new();
+    let mut incomplete = Vec::new();
+    let mut completed = Vec::new();
+    for (id, info) in &logged {
+        if !info.begun {
+            return Err(ActivityError::Recovery(format!(
+                "activity {id} has records but no begin entry"
+            )));
+        }
+        let parent = match info.parent {
+            Some(pid) => Some(rebuilt.get(&pid).cloned().ok_or_else(|| {
+                ActivityError::Recovery(format!("activity {id} has unknown parent {pid}"))
+            })?),
+            None => None,
+        };
+        let activity = Activity::rebuild(
+            ActivityId::new(*id),
+            info.name.clone(),
+            parent.as_ref(),
+            clock.clone(),
+            Some(Arc::clone(&logger)),
+            Arc::clone(&id_source),
+        );
+        if info.parent.is_none() {
+            roots.push(activity.clone());
+        }
+        if info.completed {
+            activity.force_completed(info.status.unwrap_or(CompletionStatus::Success));
+            completed.push(activity.id());
+        } else {
+            // Re-create the protocol machinery for in-flight activities.
+            for (_, factory) in &info.signal_sets {
+                activity.coordinator().add_signal_set(set_factories.create(factory)?)?;
+            }
+            for (set_name, factory) in &info.actions {
+                activity
+                    .coordinator()
+                    .register_action(set_name.clone(), action_factories.create(factory)?);
+            }
+            if let Some(status) = info.status {
+                activity.set_completion_status(status)?;
+            }
+            if let Some(set) = &info.completion_set {
+                activity.set_completion_signal_set(set.clone());
+            }
+            incomplete.push(activity.clone());
+        }
+        rebuilt.insert(*id, activity);
+    }
+
+    Ok(RecoveredService { roots, incomplete, completed, next_id })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+    use crate::signal::Signal;
+    use crate::signal_set::BroadcastSignalSet;
+    use crate::activity::ActivityState;
+    use crate::action::FnAction;
+    use recovery_log::MemWal;
+
+    fn factories() -> (SignalSetFactories, ActionFactories) {
+        let mut sets = SignalSetFactories::new();
+        sets.register("completion-v1", || {
+            Box::new(BroadcastSignalSet::new("Completion", "finished", Value::Null)) as Box<dyn SignalSet>
+        });
+        let mut actions = ActionFactories::new();
+        actions.register("observer-v1", || {
+            Arc::new(FnAction::new("observer", |_s: &Signal| Ok(Outcome::done()))) as Arc<dyn Action>
+        });
+        (sets, actions)
+    }
+
+    fn logged_root(wal: &Arc<dyn Wal>) -> Activity {
+        let logger = ActivityLogger::new(Arc::clone(wal));
+        Activity::new_root_with("job", SimClock::new(), Some(logger), Arc::new(AtomicU64::new(1)))
+    }
+
+    #[test]
+    fn factories_reject_unknown_keys() {
+        let (sets, actions) = factories();
+        assert!(sets.create("ghost").is_err());
+        assert!(actions.create("ghost").is_err());
+        assert_eq!(sets.keys(), vec!["completion-v1"]);
+        assert_eq!(actions.keys(), vec!["observer-v1"]);
+    }
+
+    #[test]
+    fn structure_is_rebuilt_after_crash() {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        {
+            let root = logged_root(&wal);
+            let child = root.begin_child("step-1").unwrap();
+            child
+                .add_signal_set_recoverable(
+                    "completion-v1",
+                    Box::new(BroadcastSignalSet::new("Completion", "finished", Value::Null)),
+                )
+                .unwrap();
+            child
+                .register_action_recoverable(
+                    "Completion",
+                    "observer-v1",
+                    Arc::new(FnAction::new("observer", |_s: &Signal| Ok(Outcome::done()))),
+                )
+                .unwrap();
+            child.set_completion_signal_set("Completion");
+            child.set_completion_status(CompletionStatus::Fail).unwrap();
+            // Crash here: nothing completes.
+        }
+        let (sets, actions) = factories();
+        let recovered =
+            recover_activities(Arc::clone(&wal), &sets, &actions, SimClock::new()).unwrap();
+        assert_eq!(recovered.roots.len(), 1);
+        assert_eq!(recovered.incomplete.len(), 2);
+        assert!(recovered.completed.is_empty());
+
+        let root = &recovered.roots[0];
+        assert_eq!(root.name(), "job");
+        let children = root.children();
+        assert_eq!(children.len(), 1);
+        let child = &children[0];
+        assert_eq!(child.name(), "step-1");
+        assert_eq!(child.parent().unwrap().id(), root.id());
+        assert_eq!(child.completion_status(), CompletionStatus::Fail);
+        assert_eq!(child.completion_signal_set().as_deref(), Some("Completion"));
+        assert_eq!(child.coordinator().action_count("Completion"), 1);
+
+        // The application drives recovery to completion (§3.4). The
+        // designated set (a broadcast here) produces the outcome; the
+        // recovered Fail status is what the set was told.
+        let out = child.complete().unwrap();
+        assert!(out.is_done(), "the re-created broadcast set collates its actions' outcomes");
+        assert_eq!(child.completion_status(), CompletionStatus::Fail);
+        root.complete().unwrap();
+    }
+
+    #[test]
+    fn completed_activities_recover_as_completed() {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        {
+            let root = logged_root(&wal);
+            root.complete().unwrap();
+        }
+        let (sets, actions) = factories();
+        let recovered =
+            recover_activities(Arc::clone(&wal), &sets, &actions, SimClock::new()).unwrap();
+        assert_eq!(recovered.completed.len(), 1);
+        assert!(recovered.incomplete.is_empty());
+        assert_eq!(recovered.roots[0].state(), ActivityState::Completed);
+    }
+
+    #[test]
+    fn next_id_continues_past_logged_ids() {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        {
+            let root = logged_root(&wal);
+            let _ = root.begin_child("a").unwrap();
+            let _ = root.begin_child("b").unwrap();
+        }
+        let (sets, actions) = factories();
+        let recovered =
+            recover_activities(Arc::clone(&wal), &sets, &actions, SimClock::new()).unwrap();
+        assert_eq!(recovered.next_id, 4);
+        // New children of recovered activities use fresh ids.
+        let root = &recovered.roots[0];
+        let fresh = root.begin_child("c").unwrap();
+        assert_eq!(fresh.id().raw(), 4);
+    }
+
+    #[test]
+    fn unknown_factory_key_fails_recovery() {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        {
+            let root = logged_root(&wal);
+            root.add_signal_set_recoverable(
+                "not-registered",
+                Box::new(BroadcastSignalSet::new("S", "x", Value::Null)),
+            )
+            .unwrap();
+        }
+        let (sets, actions) = factories();
+        let err = recover_activities(wal, &sets, &actions, SimClock::new()).unwrap_err();
+        assert!(matches!(err, ActivityError::Recovery(_)));
+    }
+
+    #[test]
+    fn recovery_after_recovery_is_stable() {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        {
+            let root = logged_root(&wal);
+            let _child = root.begin_child("step").unwrap();
+        }
+        let (sets, actions) = factories();
+        let first =
+            recover_activities(Arc::clone(&wal), &sets, &actions, SimClock::new()).unwrap();
+        // Complete everything; the completions are logged to the same wal.
+        for a in first.incomplete.iter().rev() {
+            a.complete().unwrap();
+        }
+        let second = recover_activities(wal, &sets, &actions, SimClock::new()).unwrap();
+        assert!(second.incomplete.is_empty(), "everything completed before the second crash");
+        assert_eq!(second.completed.len(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Protocol tracing: a recorder for coordinator/signal/action interactions.
+//!
+//! The paper's figs. 8, 10, 11 and 12 are message-sequence charts; the
+//! integration tests regenerate them by attaching a [`TraceLog`] to a
+//! coordinator and asserting the exact recorded exchange.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One observed protocol step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The coordinator asked the signal set for a signal.
+    GetSignal {
+        /// Signal set asked.
+        set: String,
+    },
+    /// A signal was transmitted to an action.
+    Transmit {
+        /// Signal name.
+        signal: String,
+        /// Receiving action's name.
+        action: String,
+    },
+    /// The action's outcome was fed back to the set.
+    SetResponse {
+        /// Signal set informed.
+        set: String,
+        /// Outcome name.
+        outcome: String,
+    },
+    /// The coordinator read the collated outcome.
+    GetOutcome {
+        /// Signal set asked.
+        set: String,
+        /// Collated outcome name.
+        outcome: String,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::GetSignal { set } => write!(f, "get_signal({set})"),
+            TraceEvent::Transmit { signal, action } => write!(f, "{signal:?} -> {action}"),
+            TraceEvent::SetResponse { set, outcome } => {
+                write!(f, "set_response({set}, {outcome})")
+            }
+            TraceEvent::GetOutcome { set, outcome } => {
+                write!(f, "get_outcome({set}) = {outcome}")
+            }
+        }
+    }
+}
+
+/// A shared, append-only recording of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl TraceLog {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event.
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Snapshot of all events so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Compact, line-per-event rendering (handy in assertion failures).
+    pub fn render(&self) -> String {
+        self.events
+            .lock()
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Clear all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_renders() {
+        let log = TraceLog::new();
+        assert!(log.is_empty());
+        log.record(TraceEvent::GetSignal { set: "2pc".into() });
+        log.record(TraceEvent::Transmit { signal: "prepare".into(), action: "a1".into() });
+        log.record(TraceEvent::SetResponse { set: "2pc".into(), outcome: "done".into() });
+        log.record(TraceEvent::GetOutcome { set: "2pc".into(), outcome: "done".into() });
+        assert_eq!(log.len(), 4);
+        let rendered = log.render();
+        assert!(rendered.contains("get_signal(2pc)"));
+        assert!(rendered.contains("\"prepare\" -> a1"));
+        assert!(rendered.contains("get_outcome(2pc) = done"));
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = TraceLog::new();
+        let b = a.clone();
+        a.record(TraceEvent::GetSignal { set: "s".into() });
+        assert_eq!(b.len(), 1);
+    }
+}

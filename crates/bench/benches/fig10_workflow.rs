@@ -1,0 +1,28 @@
+//! F10 — fig. 10: workflow engine makespan over width and depth, sequential
+//! vs batch-parallel scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_workflow");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for (width, depth) in [(2usize, 8usize), (8, 2), (8, 8)] {
+        let tasks = width * depth;
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("{width}x{depth}")),
+            &(width, depth),
+            |b, &(w, d)| b.iter(|| assert_eq!(bench::fig10_workflow(w, d, false), tasks)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", format!("{width}x{depth}")),
+            &(width, depth),
+            |b, &(w, d)| b.iter(|| assert_eq!(bench::fig10_workflow(w, d, true), tasks)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

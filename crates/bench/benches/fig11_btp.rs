@@ -1,0 +1,23 @@
+//! F11/F12 — figs. 11–12: BTP atom prepare+confirm and cohesion
+//! confirm-set termination, swept over size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_btp");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for size in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("atom", size), &size, |b, &n| {
+            b.iter(|| assert!(bench::fig11_atom(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("cohesion", size), &size, |b, &n| {
+            b.iter(|| assert_eq!(bench::fig11_cohesion(n), n / 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

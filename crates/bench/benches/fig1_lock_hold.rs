@@ -1,0 +1,31 @@
+//! F1 — fig. 1: lock-hold time and competitor contention, activity-chain
+//! vs monolithic transaction, swept over the number of steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_lock_hold");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for steps in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("chained", steps), &steps, |b, &steps| {
+            b.iter(|| {
+                let sample = bench::fig1_booking(steps, true);
+                assert!(sample.competitor_successes > 0);
+                sample
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("monolithic", steps), &steps, |b, &steps| {
+            b.iter(|| {
+                let sample = bench::fig1_booking(steps, false);
+                assert!(sample.competitor_conflicts > 0);
+                sample
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! F2 — fig. 2: the compensation path (saga failure at the last step),
+//! swept over chain length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_compensation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for steps in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| assert_eq!(bench::fig2_compensation(steps), steps - 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! F5 — fig. 5: coordinator signal dispatch latency vs registered actions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_dispatch");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for actions in [1usize, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(actions), &actions, |b, &actions| {
+            b.iter(|| assert_eq!(bench::fig5_dispatch(actions), actions as u64))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

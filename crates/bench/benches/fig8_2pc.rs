@@ -1,0 +1,27 @@
+//! F8 — fig. 8: two-phase commit through the signal framework vs the
+//! native OTS coordinator, swept over participants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_2pc");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for participants in [2usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("signal_framework", participants),
+            &participants,
+            |b, &n| b.iter(|| assert!(bench::fig8_signal_2pc(n))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("native_ots", participants),
+            &participants,
+            |b, &n| b.iter(|| assert!(bench::fig8_native_2pc(n))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

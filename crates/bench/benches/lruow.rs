@@ -1,0 +1,29 @@
+//! X1 — §4.3: LRUOW rehearsal/performance throughput vs a strict-locking
+//! baseline, swept over conflict rate (interloper every N operations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const OPS: usize = 500;
+
+fn bench_lruow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lruow_vs_locking");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for conflict_every in [0usize, 20, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("lruow", conflict_every),
+            &conflict_every,
+            |b, &ce| b.iter(|| bench::lruow_counter(OPS, ce)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("locking", conflict_every),
+            &conflict_every,
+            |b, &ce| b.iter(|| bench::locking_counter(OPS, ce)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lruow);
+criterion_main!(benches);

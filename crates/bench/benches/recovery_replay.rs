@@ -1,0 +1,20 @@
+//! X2 — §3.4: activity-structure recovery (log replay + rebinding) vs log
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_replay");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for records in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, &n| {
+            b.iter(|| assert_eq!(bench::recovery_replay(n), n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Prints the paper's sequence diagrams — figs. 8, 10, 11 and 12 — as
+//! recorded from live protocol runs, so the figures can be compared line
+//! by line against the published ones.
+//!
+//! Run with: `cargo run -q -p bench --bin traces`
+
+use std::sync::Arc;
+
+use activity_service::{Activity, CompletionStatus, FnAction, Outcome, Signal, TraceLog};
+use orb::{SimClock, Value};
+
+fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+fn print_trace(trace: &TraceLog) {
+    for line in trace.render().lines() {
+        println!("  {line}");
+    }
+}
+
+fn fig8() {
+    banner("fig. 8 — two-phase commit with Signals, SignalSets and Actions");
+    let activity = Activity::new_root("tx", SimClock::new());
+    let trace = TraceLog::new();
+    activity.coordinator().set_trace(trace.clone());
+    activity
+        .coordinator()
+        .add_signal_set(Box::new(tx_models::TwoPhaseCommitSignalSet::new()))
+        .unwrap();
+    activity.set_completion_signal_set(tx_models::TWO_PC_SET);
+    for name in ["Action-1", "Action-2"] {
+        activity.coordinator().register_action(
+            tx_models::TWO_PC_SET,
+            Arc::new(FnAction::new(name, |_s: &Signal| Ok(Outcome::done()))) as _,
+        );
+    }
+    activity.complete().unwrap();
+    print_trace(&trace);
+}
+
+fn fig10() {
+    banner("fig. 10 — workflow coordination: a starts b and c");
+    let activity = Activity::new_root("a", SimClock::new());
+    let trace = TraceLog::new();
+    activity.coordinator().set_trace(trace.clone());
+    activity
+        .coordinator()
+        .add_signal_set(Box::new(tx_models::TaskStartSignalSet::new(Value::from("order"))))
+        .unwrap();
+    for name in ["b", "c"] {
+        activity.coordinator().register_action(
+            tx_models::TASK_START_SET,
+            tx_models::TaskAction::new(name, |_p: &Value| Ok(Value::from("started"))) as _,
+        );
+    }
+    activity.signal(tx_models::TASK_START_SET).unwrap();
+    print_trace(&trace);
+
+    println!("  --- child b reports its outcome back to a ---");
+    let child = activity.begin_child("b").unwrap();
+    let child_trace = TraceLog::new();
+    child.coordinator().set_trace(child_trace.clone());
+    child
+        .coordinator()
+        .add_signal_set(Box::new(tx_models::CompletedSignalSet::new(Value::from("b-result"))))
+        .unwrap();
+    child.set_completion_signal_set(tx_models::COMPLETED_SET);
+    child.coordinator().register_action(
+        tx_models::COMPLETED_SET,
+        tx_models::OutcomeCollector::new("a") as _,
+    );
+    child.complete().unwrap();
+    print_trace(&child_trace);
+}
+
+fn fig11_12() {
+    banner("fig. 11 — the BTP PrepareSignalSet");
+    let activity = Activity::new_root("atom", SimClock::new());
+    let trace = TraceLog::new();
+    activity.coordinator().set_trace(trace.clone());
+    let atom = btp::Atom::new("booking", activity).unwrap();
+    for name in ["Action-1", "Action-2"] {
+        atom.enroll(btp::Reservation::new(name) as _).unwrap();
+    }
+    atom.prepare().unwrap();
+    print_trace(&trace);
+
+    banner("fig. 12 — the BTP CompleteSignalSet (confirm)");
+    trace.clear();
+    atom.confirm().unwrap();
+    print_trace(&trace);
+
+    banner("fig. 12 variant — cancel in place of confirm");
+    let activity = Activity::new_root("atom-2", SimClock::new());
+    let trace = TraceLog::new();
+    activity.coordinator().set_trace(trace.clone());
+    let atom = btp::Atom::new("booking-2", activity).unwrap();
+    for name in ["Action-1", "Action-2"] {
+        atom.enroll(btp::Reservation::new(name) as _).unwrap();
+    }
+    atom.prepare().unwrap();
+    trace.clear();
+    atom.cancel().unwrap();
+    print_trace(&trace);
+}
+
+fn fig9() {
+    banner("fig. 9 / sec 4.2 — open nesting: B propagates, A fails, !B runs");
+    let registry = tx_models::InMemoryActivityRegistry::new();
+    let a = Activity::new_root("A", SimClock::new());
+    let a_trace = TraceLog::new();
+    a.coordinator().set_trace(a_trace.clone());
+    a.coordinator()
+        .add_signal_set(Box::new(tx_models::CompletionSignalSet::new()))
+        .unwrap();
+    a.set_completion_signal_set(tx_models::COMPLETION_SET);
+    registry.register(&a);
+
+    let b = a.begin_child("B").unwrap();
+    let b_trace = TraceLog::new();
+    b.coordinator().set_trace(b_trace.clone());
+    b.coordinator()
+        .add_signal_set(Box::new(tx_models::CompletionSignalSet::propagating_to(a.id())))
+        .unwrap();
+    b.set_completion_signal_set(tx_models::COMPLETION_SET);
+    let undo = tx_models::CompensationAction::new(
+        "CompensationAction",
+        registry as Arc<dyn tx_models::ActivityRegistry>,
+        || Ok(()),
+    );
+    b.coordinator()
+        .register_action(tx_models::COMPLETION_SET, undo as _);
+
+    b.complete().unwrap();
+    println!("  --- B completes successfully: Propagate carries A's identity ---");
+    print_trace(&b_trace);
+
+    a.set_completion_status(CompletionStatus::FailOnly).unwrap();
+    a.complete().unwrap();
+    println!("  --- A later fails: the propagated action receives Failure and starts !B ---");
+    print_trace(&a_trace);
+}
+
+fn main() {
+    println!("Sequence-diagram reproduction: each block below is the live trace of the");
+    println!("corresponding figure's protocol, in the paper's own message vocabulary.");
+    fig8();
+    fig9();
+    fig10();
+    fig11_12();
+}

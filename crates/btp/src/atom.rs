@@ -1,0 +1,290 @@
+//! BTP atoms: user-driven two-phase transactions over the framework.
+//!
+//! "Atoms ... execute a traditional two-phase commit protocol on all the
+//! enlisted participants. ... users are expected to drive both phases of
+//! the protocol explicitly, i.e., issue prepare followed (at an arbitrary
+//! time later) by either confirm or cancel."
+
+use std::sync::Arc;
+
+use activity_service::{Activity, CompletionStatus};
+use parking_lot::Mutex;
+
+use crate::error::BtpError;
+use crate::participant::{BtpParticipant, ParticipantAction, OUT_PREPARED};
+use crate::signal_sets::{CompleteSignalSet, PrepareSignalSet, COMPLETE_SET, PREPARE_SET};
+
+/// Lifecycle of an [`Atom`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomState {
+    /// Accepting enrolments; prepare not yet driven.
+    Enrolling,
+    /// Every participant is prepared; awaiting the user's decision.
+    Prepared,
+    /// Terminal: confirmed.
+    Confirmed,
+    /// Terminal: cancelled.
+    Cancelled,
+}
+
+impl std::fmt::Display for AtomState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AtomState::Enrolling => "enrolling",
+            AtomState::Prepared => "prepared",
+            AtomState::Confirmed => "confirmed",
+            AtomState::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// A BTP atom bound to one activity, driven through the fig. 11/12 signal
+/// sets.
+pub struct Atom {
+    name: String,
+    activity: Activity,
+    state: Mutex<AtomState>,
+    participants: Mutex<usize>,
+}
+
+impl std::fmt::Debug for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Atom")
+            .field("name", &self.name)
+            .field("state", &*self.state.lock())
+            .finish()
+    }
+}
+
+impl Atom {
+    /// Bind a new atom to `activity`, associating its two signal sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinator failures (e.g. the activity already carries
+    /// BTP sets).
+    pub fn new(name: impl Into<String>, activity: Activity) -> Result<Arc<Self>, BtpError> {
+        activity.coordinator().add_signal_set(Box::new(PrepareSignalSet::new()))?;
+        activity.coordinator().add_signal_set(Box::new(CompleteSignalSet::new()))?;
+        Ok(Arc::new(Atom {
+            name: name.into(),
+            activity,
+            state: Mutex::new(AtomState::Enrolling),
+            participants: Mutex::new(0),
+        }))
+    }
+
+    /// The atom's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bound activity.
+    pub fn activity(&self) -> &Activity {
+        &self.activity
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AtomState {
+        *self.state.lock()
+    }
+
+    /// Number of enrolled participants.
+    pub fn participant_count(&self) -> usize {
+        *self.participants.lock()
+    }
+
+    /// Enrol a participant: it will receive `prepare` and then whichever of
+    /// `confirm`/`cancel` the user decides.
+    ///
+    /// # Errors
+    ///
+    /// [`BtpError::InvalidState`] once prepare has been driven.
+    pub fn enroll(&self, participant: Arc<dyn BtpParticipant>) -> Result<(), BtpError> {
+        let state = self.state.lock();
+        if *state != AtomState::Enrolling {
+            return Err(BtpError::InvalidState {
+                operation: "enroll".into(),
+                state: state.to_string(),
+            });
+        }
+        let action = ParticipantAction::new(participant);
+        self.activity
+            .coordinator()
+            .register_action(PREPARE_SET, Arc::clone(&action) as _);
+        self.activity.coordinator().register_action(COMPLETE_SET, action as _);
+        *self.participants.lock() += 1;
+        Ok(())
+    }
+
+    /// Phase one, explicitly user-driven (fig. 11). When any participant
+    /// votes to cancel, the atom cancels everyone and reports
+    /// [`BtpError::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// [`BtpError::InvalidState`] unless enrolling; [`BtpError::Cancelled`]
+    /// on a cancellation vote.
+    pub fn prepare(&self) -> Result<(), BtpError> {
+        {
+            let state = self.state.lock();
+            if *state != AtomState::Enrolling {
+                return Err(BtpError::InvalidState {
+                    operation: "prepare".into(),
+                    state: state.to_string(),
+                });
+            }
+        }
+        let outcome = self.activity.signal(PREPARE_SET)?;
+        if outcome.name() == OUT_PREPARED {
+            *self.state.lock() = AtomState::Prepared;
+            Ok(())
+        } else {
+            // A cancellation vote dooms the atom: deliver cancel to all.
+            self.finish(CompletionStatus::FailOnly)?;
+            *self.state.lock() = AtomState::Cancelled;
+            Err(BtpError::Cancelled)
+        }
+    }
+
+    /// Phase two, forward (fig. 12): deliver `confirm` to every
+    /// participant. Legal only after a successful [`Atom::prepare`] —
+    /// possibly "many hours or days" later.
+    ///
+    /// # Errors
+    ///
+    /// [`BtpError::InvalidState`] unless prepared.
+    pub fn confirm(&self) -> Result<(), BtpError> {
+        {
+            let state = self.state.lock();
+            if *state != AtomState::Prepared {
+                return Err(BtpError::InvalidState {
+                    operation: "confirm".into(),
+                    state: state.to_string(),
+                });
+            }
+        }
+        self.finish(CompletionStatus::Success)?;
+        *self.state.lock() = AtomState::Confirmed;
+        Ok(())
+    }
+
+    /// Phase two, backward: deliver `cancel`. Legal while enrolling (the
+    /// user abandons the work) or prepared.
+    ///
+    /// # Errors
+    ///
+    /// [`BtpError::InvalidState`] when already terminal.
+    pub fn cancel(&self) -> Result<(), BtpError> {
+        {
+            let state = self.state.lock();
+            match *state {
+                AtomState::Enrolling | AtomState::Prepared => {}
+                other => {
+                    return Err(BtpError::InvalidState {
+                        operation: "cancel".into(),
+                        state: other.to_string(),
+                    })
+                }
+            }
+        }
+        self.finish(CompletionStatus::FailOnly)?;
+        *self.state.lock() = AtomState::Cancelled;
+        Ok(())
+    }
+
+    /// Drive the CompleteSignalSet in the given direction and complete the
+    /// bound activity.
+    fn finish(&self, status: CompletionStatus) -> Result<(), BtpError> {
+        self.activity
+            .coordinator()
+            .set_completion_status(COMPLETE_SET, status)?;
+        self.activity.signal(COMPLETE_SET)?;
+        self.activity.set_completion_status(status)?;
+        self.activity.complete()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::{BtpVote, Reservation, ReservationState};
+    use orb::SimClock;
+
+    fn atom_with(names: &[&str]) -> (Arc<Atom>, Vec<Arc<Reservation>>) {
+        let activity = Activity::new_root("atom", SimClock::new());
+        let atom = Atom::new("booking", activity).unwrap();
+        let reservations: Vec<Arc<Reservation>> =
+            names.iter().map(|n| Reservation::new(*n)).collect();
+        for r in &reservations {
+            atom.enroll(Arc::clone(r) as Arc<dyn BtpParticipant>).unwrap();
+        }
+        (atom, reservations)
+    }
+
+    #[test]
+    fn prepare_then_confirm() {
+        let (atom, reservations) = atom_with(&["taxi", "hotel"]);
+        assert_eq!(atom.state(), AtomState::Enrolling);
+        assert_eq!(atom.participant_count(), 2);
+        atom.prepare().unwrap();
+        assert_eq!(atom.state(), AtomState::Prepared);
+        for r in &reservations {
+            assert_eq!(r.state(), ReservationState::Prepared, "held, not booked");
+        }
+        // "at an arbitrary time later"
+        atom.confirm().unwrap();
+        assert_eq!(atom.state(), AtomState::Confirmed);
+        for r in &reservations {
+            assert_eq!(r.state(), ReservationState::Confirmed);
+        }
+    }
+
+    #[test]
+    fn prepare_then_cancel() {
+        let (atom, reservations) = atom_with(&["taxi", "hotel"]);
+        atom.prepare().unwrap();
+        atom.cancel().unwrap();
+        assert_eq!(atom.state(), AtomState::Cancelled);
+        for r in &reservations {
+            assert_eq!(r.state(), ReservationState::Cancelled);
+        }
+    }
+
+    #[test]
+    fn cancellation_vote_cancels_everyone() {
+        let activity = Activity::new_root("atom", SimClock::new());
+        let atom = Atom::new("booking", activity).unwrap();
+        let good = Reservation::new("good");
+        let bad = Reservation::voting("bad", BtpVote::Cancelled);
+        atom.enroll(good.clone() as _).unwrap();
+        atom.enroll(bad as _).unwrap();
+        assert!(matches!(atom.prepare(), Err(BtpError::Cancelled)));
+        assert_eq!(atom.state(), AtomState::Cancelled);
+        assert_eq!(good.state(), ReservationState::Cancelled);
+    }
+
+    #[test]
+    fn state_machine_enforced() {
+        let (atom, _) = atom_with(&["only"]);
+        assert!(matches!(atom.confirm(), Err(BtpError::InvalidState { .. })));
+        atom.prepare().unwrap();
+        assert!(matches!(atom.prepare(), Err(BtpError::InvalidState { .. })));
+        assert!(matches!(
+            atom.enroll(Reservation::new("late") as _),
+            Err(BtpError::InvalidState { .. })
+        ));
+        atom.confirm().unwrap();
+        assert!(matches!(atom.confirm(), Err(BtpError::InvalidState { .. })));
+        assert!(matches!(atom.cancel(), Err(BtpError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn abandon_before_prepare() {
+        let (atom, reservations) = atom_with(&["taxi"]);
+        atom.cancel().unwrap();
+        assert_eq!(atom.state(), AtomState::Cancelled);
+        assert_eq!(reservations[0].state(), ReservationState::Cancelled);
+    }
+}

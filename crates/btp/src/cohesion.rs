@@ -1,0 +1,346 @@
+//! BTP cohesions: non-ACID business transactions that select which work to
+//! confirm.
+//!
+//! "Cohesions are non-ACID transactions and allow for the selection of work
+//! to be confirmed or cancelled based on higher level business rules. ...
+//! it may be many hours or days before the cohesion arrives at its
+//! confirm-set: the set of participants that it requires to confirm. ...
+//! Once the confirm-set has been determined, the cohesion collapses down to
+//! being an atom: all members of the confirm-set see the same outcome."
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use activity_service::Activity;
+use parking_lot::Mutex;
+
+use crate::atom::{Atom, AtomState};
+use crate::error::BtpError;
+
+/// Lifecycle of a [`Cohesion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CohesionState {
+    /// Enrolling and preparing inferior atoms as the business logic
+    /// progresses.
+    Gathering,
+    /// Terminal: the confirm-set was confirmed, everything else cancelled.
+    Confirmed,
+    /// Terminal: everything was cancelled.
+    Cancelled,
+}
+
+impl std::fmt::Display for CohesionState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CohesionState::Gathering => "gathering",
+            CohesionState::Confirmed => "confirmed",
+            CohesionState::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// What a completed cohesion did with each inferior atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CohesionReport {
+    /// Atoms confirmed (the confirm-set).
+    pub confirmed: Vec<String>,
+    /// Atoms cancelled.
+    pub cancelled: Vec<String>,
+}
+
+/// A cohesion: a tree of inferior atoms under one enclosing activity (the
+/// dotted ellipse of fig. 1), terminated by confirm-set selection.
+pub struct Cohesion {
+    name: String,
+    activity: Activity,
+    inferiors: Mutex<BTreeMap<String, Arc<Atom>>>,
+    state: Mutex<CohesionState>,
+}
+
+impl std::fmt::Debug for Cohesion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cohesion")
+            .field("name", &self.name)
+            .field("state", &*self.state.lock())
+            .field("inferiors", &self.inferiors.lock().len())
+            .finish()
+    }
+}
+
+impl Cohesion {
+    /// Bind a cohesion to its enclosing `activity`.
+    pub fn new(name: impl Into<String>, activity: Activity) -> Arc<Self> {
+        Arc::new(Cohesion {
+            name: name.into(),
+            activity,
+            inferiors: Mutex::new(BTreeMap::new()),
+            state: Mutex::new(CohesionState::Gathering),
+        })
+    }
+
+    /// The cohesion's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CohesionState {
+        *self.state.lock()
+    }
+
+    /// Create and enrol a new inferior atom (with its own child activity).
+    ///
+    /// # Errors
+    ///
+    /// [`BtpError::DuplicateEnrolment`] on a name collision;
+    /// [`BtpError::InvalidState`] once terminated.
+    pub fn enroll_atom(&self, name: impl Into<String>) -> Result<Arc<Atom>, BtpError> {
+        let name = name.into();
+        self.check_gathering("enroll an atom")?;
+        let mut inferiors = self.inferiors.lock();
+        if inferiors.contains_key(&name) {
+            return Err(BtpError::DuplicateEnrolment(name));
+        }
+        let child_activity = self.activity.begin_child(name.clone())?;
+        let atom = Atom::new(name.clone(), child_activity)?;
+        inferiors.insert(name, Arc::clone(&atom));
+        Ok(atom)
+    }
+
+    /// Look up an enrolled atom.
+    ///
+    /// # Errors
+    ///
+    /// [`BtpError::UnknownInferior`].
+    pub fn inferior(&self, name: &str) -> Result<Arc<Atom>, BtpError> {
+        self.inferiors
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BtpError::UnknownInferior(name.to_owned()))
+    }
+
+    /// Names of enrolled atoms, sorted.
+    pub fn inferior_names(&self) -> Vec<String> {
+        self.inferiors.lock().keys().cloned().collect()
+    }
+
+    /// Prepare one inferior now ("services enroll in atoms that represent
+    /// specific units of work and as the business activity progresses, it
+    /// may encounter conditions that allow it to ... prepare these units").
+    ///
+    /// # Errors
+    ///
+    /// Propagates the atom's prepare failure (including
+    /// [`BtpError::Cancelled`] — the cohesion survives; the business logic
+    /// decides what to do next).
+    pub fn prepare(&self, name: &str) -> Result<(), BtpError> {
+        self.check_gathering("prepare")?;
+        self.inferior(name)?.prepare()
+    }
+
+    /// Cancel one inferior now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the atom's cancel failure.
+    pub fn cancel(&self, name: &str) -> Result<(), BtpError> {
+        self.check_gathering("cancel")?;
+        self.inferior(name)?.cancel()
+    }
+
+    /// Terminate by confirming exactly `confirm_set` and cancelling every
+    /// other live inferior — the "collapse down to being an atom".
+    ///
+    /// # Errors
+    ///
+    /// [`BtpError::UnknownInferior`] / [`BtpError::NotPrepared`] when the
+    /// confirm-set is invalid; nothing is confirmed or cancelled in that
+    /// case.
+    pub fn confirm(&self, confirm_set: &[&str]) -> Result<CohesionReport, BtpError> {
+        self.check_gathering("confirm")?;
+        let inferiors = self.inferiors.lock().clone();
+        // Validate the whole confirm-set first: atomicity of the decision.
+        for name in confirm_set {
+            let atom = inferiors
+                .get(*name)
+                .ok_or_else(|| BtpError::UnknownInferior((*name).to_owned()))?;
+            if atom.state() != AtomState::Prepared {
+                return Err(BtpError::NotPrepared((*name).to_owned()));
+            }
+        }
+        let mut report = CohesionReport { confirmed: Vec::new(), cancelled: Vec::new() };
+        for (name, atom) in &inferiors {
+            if confirm_set.contains(&name.as_str()) {
+                atom.confirm()?;
+                report.confirmed.push(name.clone());
+            } else {
+                match atom.state() {
+                    AtomState::Confirmed | AtomState::Cancelled => {}
+                    _ => {
+                        atom.cancel()?;
+                        report.cancelled.push(name.clone());
+                    }
+                }
+            }
+        }
+        self.activity.complete()?;
+        *self.state.lock() =
+            if confirm_set.is_empty() { CohesionState::Cancelled } else { CohesionState::Confirmed };
+        Ok(report)
+    }
+
+    /// Terminate by cancelling everything still live.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cancellation failures.
+    pub fn cancel_all(&self) -> Result<CohesionReport, BtpError> {
+        self.confirm(&[])
+    }
+
+    fn check_gathering(&self, operation: &str) -> Result<(), BtpError> {
+        let state = self.state.lock();
+        if *state != CohesionState::Gathering {
+            return Err(BtpError::InvalidState {
+                operation: operation.to_owned(),
+                state: state.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::{BtpParticipant, BtpVote, Reservation, ReservationState};
+    use orb::SimClock;
+
+    /// Build the fig. 1/fig. 2 travel cohesion: taxi, restaurant, theatre,
+    /// hotel atoms with one reservation each.
+    fn travel() -> (Arc<Cohesion>, BTreeMap<String, Arc<Reservation>>) {
+        let activity = Activity::new_root("trip", SimClock::new());
+        let cohesion = Cohesion::new("trip", activity);
+        let mut reservations = BTreeMap::new();
+        for name in ["taxi", "restaurant", "theatre", "hotel"] {
+            let atom = cohesion.enroll_atom(name).unwrap();
+            let r = Reservation::new(name);
+            atom.enroll(Arc::clone(&r) as Arc<dyn BtpParticipant>).unwrap();
+            reservations.insert(name.to_owned(), r);
+        }
+        (cohesion, reservations)
+    }
+
+    #[test]
+    fn happy_trip_confirms_everything() {
+        let (cohesion, reservations) = travel();
+        for name in cohesion.inferior_names() {
+            cohesion.prepare(&name).unwrap();
+        }
+        let report = cohesion
+            .confirm(&["hotel", "restaurant", "taxi", "theatre"])
+            .unwrap();
+        assert_eq!(report.confirmed.len(), 4);
+        assert!(report.cancelled.is_empty());
+        assert_eq!(cohesion.state(), CohesionState::Confirmed);
+        for r in reservations.values() {
+            assert_eq!(r.state(), ReservationState::Confirmed);
+        }
+    }
+
+    #[test]
+    fn fig2_hotel_fails_alternative_confirm_set() {
+        // t4 (hotel) cancels; the business logic books the cinema instead
+        // and arrives at a different confirm-set.
+        let (cohesion, reservations) = travel();
+        for name in ["taxi", "restaurant", "theatre"] {
+            cohesion.prepare(name).unwrap();
+        }
+        cohesion.cancel("hotel").unwrap();
+
+        let cinema_atom = cohesion.enroll_atom("cinema").unwrap();
+        let cinema = Reservation::new("cinema");
+        cinema_atom.enroll(Arc::clone(&cinema) as Arc<dyn BtpParticipant>).unwrap();
+        cohesion.prepare("cinema").unwrap();
+
+        // Theatre no longer wanted either (the plan changed).
+        let report = cohesion.confirm(&["taxi", "cinema"]).unwrap();
+        assert_eq!(report.confirmed, vec!["cinema", "taxi"]);
+        assert_eq!(report.cancelled, vec!["restaurant", "theatre"]);
+        assert_eq!(reservations["taxi"].state(), ReservationState::Confirmed);
+        assert_eq!(cinema.state(), ReservationState::Confirmed);
+        assert_eq!(reservations["restaurant"].state(), ReservationState::Cancelled);
+        assert_eq!(reservations["hotel"].state(), ReservationState::Cancelled);
+    }
+
+    #[test]
+    fn confirm_set_must_be_prepared() {
+        let (cohesion, _) = travel();
+        cohesion.prepare("taxi").unwrap();
+        // Hotel never prepared.
+        let err = cohesion.confirm(&["taxi", "hotel"]).unwrap_err();
+        assert_eq!(err, BtpError::NotPrepared("hotel".into()));
+        // Nothing was decided: the cohesion still gathers.
+        assert_eq!(cohesion.state(), CohesionState::Gathering);
+        assert_eq!(cohesion.inferior("taxi").unwrap().state(), AtomState::Prepared);
+        // Unknown names are caught too.
+        assert!(matches!(
+            cohesion.confirm(&["ghost"]),
+            Err(BtpError::UnknownInferior(_))
+        ));
+    }
+
+    #[test]
+    fn cancel_all_cancels_everything() {
+        let (cohesion, reservations) = travel();
+        for name in ["taxi", "restaurant"] {
+            cohesion.prepare(name).unwrap();
+        }
+        let report = cohesion.cancel_all().unwrap();
+        assert!(report.confirmed.is_empty());
+        assert_eq!(report.cancelled.len(), 4);
+        assert_eq!(cohesion.state(), CohesionState::Cancelled);
+        for r in reservations.values() {
+            assert_eq!(r.state(), ReservationState::Cancelled);
+        }
+    }
+
+    #[test]
+    fn cancellation_vote_inside_one_atom_leaves_cohesion_alive() {
+        let activity = Activity::new_root("trip", SimClock::new());
+        let cohesion = Cohesion::new("trip", activity);
+        let fussy_atom = cohesion.enroll_atom("fussy").unwrap();
+        fussy_atom
+            .enroll(Reservation::voting("fussy-res", BtpVote::Cancelled) as _)
+            .unwrap();
+        let solid_atom = cohesion.enroll_atom("solid").unwrap();
+        let solid = Reservation::new("solid-res");
+        solid_atom.enroll(Arc::clone(&solid) as _).unwrap();
+
+        assert!(matches!(cohesion.prepare("fussy"), Err(BtpError::Cancelled)));
+        assert_eq!(cohesion.state(), CohesionState::Gathering, "cohesion survives");
+        cohesion.prepare("solid").unwrap();
+        let report = cohesion.confirm(&["solid"]).unwrap();
+        assert_eq!(report.confirmed, vec!["solid"]);
+        assert_eq!(solid.state(), ReservationState::Confirmed);
+    }
+
+    #[test]
+    fn terminated_cohesion_rejects_everything() {
+        let (cohesion, _) = travel();
+        cohesion.cancel_all().unwrap();
+        assert!(matches!(cohesion.enroll_atom("late"), Err(BtpError::InvalidState { .. })));
+        assert!(matches!(cohesion.prepare("taxi"), Err(BtpError::InvalidState { .. })));
+        assert!(matches!(cohesion.confirm(&[]), Err(BtpError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn duplicate_atom_names_rejected() {
+        let (cohesion, _) = travel();
+        assert!(matches!(
+            cohesion.enroll_atom("taxi"),
+            Err(BtpError::DuplicateEnrolment(_))
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for BTP operations.
+
+use std::fmt;
+
+/// Errors raised by atoms and cohesions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BtpError {
+    /// The operation is illegal in the transaction's current state (BTP is
+    /// explicitly user-driven, so ordering violations are application
+    /// bugs worth loud errors).
+    InvalidState {
+        /// What was attempted.
+        operation: String,
+        /// The state the atom/cohesion was in.
+        state: String,
+    },
+    /// A participant (or inferior atom) with this name is already enrolled.
+    DuplicateEnrolment(String),
+    /// No inferior with this name is enrolled in the cohesion.
+    UnknownInferior(String),
+    /// The prepare phase ended in cancellation.
+    Cancelled,
+    /// The confirm-set references an inferior that is not prepared.
+    NotPrepared(String),
+    /// The underlying activity machinery failed.
+    Activity(String),
+}
+
+impl fmt::Display for BtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BtpError::InvalidState { operation, state } => {
+                write!(f, "cannot {operation} while {state}")
+            }
+            BtpError::DuplicateEnrolment(name) => write!(f, "{name:?} already enrolled"),
+            BtpError::UnknownInferior(name) => write!(f, "no inferior named {name:?}"),
+            BtpError::Cancelled => write!(f, "transaction cancelled during prepare"),
+            BtpError::NotPrepared(name) => {
+                write!(f, "inferior {name:?} is not prepared and cannot be confirmed")
+            }
+            BtpError::Activity(msg) => write!(f, "activity failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BtpError {}
+
+impl From<activity_service::ActivityError> for BtpError {
+    fn from(e: activity_service::ActivityError) -> Self {
+        BtpError::Activity(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            BtpError::InvalidState { operation: "confirm".into(), state: "enrolling".into() },
+            BtpError::DuplicateEnrolment("x".into()),
+            BtpError::UnknownInferior("x".into()),
+            BtpError::Cancelled,
+            BtpError::NotPrepared("x".into()),
+            BtpError::Activity("boom".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

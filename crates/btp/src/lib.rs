@@ -1,0 +1,46 @@
+//! OASIS Business Transaction Protocol (BTP) atoms and cohesions over the
+//! Activity Service — the paper's §4.5 and figs. 11–12.
+//!
+//! BTP extends transactions to "applications which are disparate in time,
+//! location, and administration":
+//!
+//! * an [`atom::Atom`] runs a user-driven two-phase protocol — the user
+//!   explicitly issues `prepare`, then (arbitrarily later) `confirm` or
+//!   `cancel` — with no locking or isolation assumptions on participants;
+//! * a [`cohesion::Cohesion`] encloses many atoms and terminates by
+//!   selecting a *confirm-set*: those atoms confirm, the rest cancel.
+//!
+//! Both are built from two SignalSets ([`signal_sets::PrepareSignalSet`],
+//! [`signal_sets::CompleteSignalSet`]) exactly as the paper prescribes:
+//! "providing an implementation of atoms is straightforward: there are two
+//! SignalSets with which all participants are registered".
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use activity_service::Activity;
+//! use btp::{Atom, BtpParticipant, Reservation};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let activity = Activity::new_root("booking", orb::SimClock::new());
+//! let atom = Atom::new("booking", activity)?;
+//! let taxi = Reservation::new("taxi");
+//! atom.enroll(Arc::clone(&taxi) as Arc<dyn BtpParticipant>)?;
+//! atom.prepare()?;   // reserve (fig. 11)
+//! atom.confirm()?;   // book (fig. 12)
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod atom;
+pub mod cohesion;
+pub mod error;
+pub mod participant;
+pub mod signal_sets;
+
+pub use atom::{Atom, AtomState};
+pub use cohesion::{Cohesion, CohesionReport, CohesionState};
+pub use error::BtpError;
+pub use participant::{BtpParticipant, BtpVote, ParticipantAction, Reservation, ReservationState};
+pub use signal_sets::{CompleteSignalSet, Decision, PrepareSignalSet, COMPLETE_SET, PREPARE_SET};

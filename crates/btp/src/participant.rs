@@ -1,0 +1,223 @@
+//! BTP participants: services enrolled in atoms.
+//!
+//! "Individual services (participants) are free to implement prepare,
+//! confirm and cancel in a manner appropriate to them" — two-phase locking
+//! is explicitly *not* required, so the trait says nothing about isolation.
+
+use std::sync::Arc;
+
+use activity_service::{ActionError, Outcome, Signal};
+use parking_lot::Mutex;
+
+use tx_models::common::{SIG_CANCEL, SIG_CONFIRM, SIG_PREPARE};
+
+/// A participant's answer to `prepare`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtpVote {
+    /// Ready to confirm or cancel on request, durably.
+    Prepared,
+    /// Refuses; the atom must cancel.
+    Cancelled,
+    /// Did no work worth confirming; drops out of the protocol.
+    Resigned,
+}
+
+/// Outcome names carried back to the BTP signal sets.
+pub(crate) const OUT_PREPARED: &str = "prepared";
+pub(crate) const OUT_CANCELLED: &str = "cancelled";
+pub(crate) const OUT_RESIGNED: &str = "resigned";
+
+/// A web service taking part in a BTP atom.
+pub trait BtpParticipant: Send + Sync {
+    /// Phase one, user-driven.
+    ///
+    /// # Errors
+    ///
+    /// A failure is treated as a `Cancelled` vote.
+    fn prepare(&self) -> Result<BtpVote, String>;
+
+    /// Make the prepared work final.
+    ///
+    /// # Errors
+    ///
+    /// Reported to the terminator as a contradiction (the decision stands).
+    fn confirm(&self) -> Result<(), String>;
+
+    /// Undo the (prepared or pending) work.
+    ///
+    /// # Errors
+    ///
+    /// Reported to the terminator; cancellation is presumed to eventually
+    /// succeed.
+    fn cancel(&self) -> Result<(), String>;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+}
+
+/// Adapts a [`BtpParticipant`] into a framework Action driven by the
+/// `prepare` / `confirm` / `cancel` signals of figs. 11 and 12.
+pub struct ParticipantAction {
+    participant: Arc<dyn BtpParticipant>,
+}
+
+impl ParticipantAction {
+    /// Wrap `participant`.
+    pub fn new(participant: Arc<dyn BtpParticipant>) -> Arc<Self> {
+        Arc::new(ParticipantAction { participant })
+    }
+}
+
+impl activity_service::Action for ParticipantAction {
+    fn process_signal(&self, signal: &Signal) -> Result<Outcome, ActionError> {
+        match signal.name() {
+            SIG_PREPARE => match self.participant.prepare() {
+                Ok(BtpVote::Prepared) => Ok(Outcome::new(OUT_PREPARED)),
+                Ok(BtpVote::Cancelled) | Err(_) => Ok(Outcome::new(OUT_CANCELLED)),
+                Ok(BtpVote::Resigned) => Ok(Outcome::new(OUT_RESIGNED)),
+            },
+            SIG_CONFIRM => match self.participant.confirm() {
+                Ok(()) => Ok(Outcome::done()),
+                Err(e) => Ok(Outcome::from_error(e)),
+            },
+            SIG_CANCEL => match self.participant.cancel() {
+                Ok(()) => Ok(Outcome::done()),
+                Err(e) => Ok(Outcome::from_error(e)),
+            },
+            other => Err(ActionError::new(format!("unexpected signal {other:?}"))),
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.participant.name()
+    }
+}
+
+/// A scriptable in-memory participant for tests, examples and benchmarks:
+/// a named reservation that moves `pending → prepared → confirmed` or
+/// `→ cancelled`.
+#[derive(Debug)]
+pub struct Reservation {
+    name: String,
+    vote: BtpVote,
+    state: Mutex<ReservationState>,
+}
+
+/// Lifecycle of a [`Reservation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReservationState {
+    /// Created, not yet prepared.
+    Pending,
+    /// Tentatively held.
+    Prepared,
+    /// Finalised.
+    Confirmed,
+    /// Released.
+    Cancelled,
+}
+
+impl Reservation {
+    /// A reservation that will vote `Prepared`.
+    pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Self::voting(name, BtpVote::Prepared)
+    }
+
+    /// A reservation with a scripted vote.
+    pub fn voting(name: impl Into<String>, vote: BtpVote) -> Arc<Self> {
+        Arc::new(Reservation {
+            name: name.into(),
+            vote,
+            state: Mutex::new(ReservationState::Pending),
+        })
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ReservationState {
+        *self.state.lock()
+    }
+}
+
+impl BtpParticipant for Reservation {
+    fn prepare(&self) -> Result<BtpVote, String> {
+        let mut state = self.state.lock();
+        match self.vote {
+            BtpVote::Prepared => {
+                *state = ReservationState::Prepared;
+                Ok(BtpVote::Prepared)
+            }
+            BtpVote::Cancelled => {
+                *state = ReservationState::Cancelled;
+                Ok(BtpVote::Cancelled)
+            }
+            BtpVote::Resigned => Ok(BtpVote::Resigned),
+        }
+    }
+
+    fn confirm(&self) -> Result<(), String> {
+        let mut state = self.state.lock();
+        match *state {
+            ReservationState::Prepared | ReservationState::Confirmed => {
+                *state = ReservationState::Confirmed;
+                Ok(())
+            }
+            other => Err(format!("cannot confirm from {other:?}")),
+        }
+    }
+
+    fn cancel(&self) -> Result<(), String> {
+        *self.state.lock() = ReservationState::Cancelled;
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activity_service::Action;
+
+    #[test]
+    fn reservation_lifecycle() {
+        let r = Reservation::new("hotel");
+        assert_eq!(r.state(), ReservationState::Pending);
+        assert_eq!(r.prepare().unwrap(), BtpVote::Prepared);
+        assert_eq!(r.state(), ReservationState::Prepared);
+        r.confirm().unwrap();
+        assert_eq!(r.state(), ReservationState::Confirmed);
+        // Confirm is idempotent.
+        r.confirm().unwrap();
+    }
+
+    #[test]
+    fn confirm_without_prepare_fails() {
+        let r = Reservation::new("hotel");
+        assert!(r.confirm().is_err());
+        r.cancel().unwrap();
+        assert_eq!(r.state(), ReservationState::Cancelled);
+        assert!(r.confirm().is_err());
+    }
+
+    #[test]
+    fn action_translates_signals_to_votes() {
+        let r = Reservation::voting("taxi", BtpVote::Cancelled);
+        let action = ParticipantAction::new(r.clone() as Arc<dyn BtpParticipant>);
+        let out = action.process_signal(&Signal::new(SIG_PREPARE, "x")).unwrap();
+        assert_eq!(out.name(), OUT_CANCELLED);
+        let out = action.process_signal(&Signal::new(SIG_CANCEL, "x")).unwrap();
+        assert!(out.is_done());
+        assert!(action.process_signal(&Signal::new("bogus", "x")).is_err());
+        assert_eq!(action.name(), "taxi");
+    }
+
+    #[test]
+    fn resigned_participants_drop_out() {
+        let r = Reservation::voting("observer", BtpVote::Resigned);
+        let action = ParticipantAction::new(r.clone() as Arc<dyn BtpParticipant>);
+        let out = action.process_signal(&Signal::new(SIG_PREPARE, "x")).unwrap();
+        assert_eq!(out.name(), OUT_RESIGNED);
+        assert_eq!(r.state(), ReservationState::Pending);
+    }
+}

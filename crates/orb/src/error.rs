@@ -1,0 +1,115 @@
+//! Error types for ORB operations.
+
+use std::fmt;
+
+use crate::object::ObjectId;
+
+/// Error produced by ORB-level operations: invocation, activation, naming.
+///
+/// All variants carry enough information to distinguish *transport* failures
+/// (which an at-least-once caller should retry) from *semantic* failures
+/// (which it should not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OrbError {
+    /// The target object is not registered on any node known to the ORB.
+    ObjectNotFound(ObjectId),
+    /// The named node does not exist.
+    NodeNotFound(String),
+    /// A node with this name already exists.
+    DuplicateNode(String),
+    /// The request was dropped by the (simulated) network and no reply
+    /// arrived within the retry budget. Retryable.
+    Timeout {
+        /// Operation that timed out.
+        operation: String,
+    },
+    /// Source and destination nodes are in different partitions. Retryable
+    /// once the partition heals.
+    Partitioned {
+        /// Node issuing the request.
+        from: String,
+        /// Node hosting the target object.
+        to: String,
+    },
+    /// The servant rejected the request (application-level failure raised by
+    /// the remote object). Not retryable.
+    Application(String),
+    /// The servant does not understand the requested operation.
+    BadOperation(String),
+    /// A request or context payload failed to decode.
+    Codec(String),
+    /// A name-registry lookup failed.
+    NameNotBound(String),
+    /// A name-registry bind collided with an existing binding.
+    AlreadyBound(String),
+    /// An interceptor vetoed the invocation.
+    InterceptorVeto(String),
+}
+
+impl OrbError {
+    /// Whether a caller implementing at-least-once semantics should retry
+    /// the invocation that produced this error.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, OrbError::Timeout { .. } | OrbError::Partitioned { .. })
+    }
+}
+
+impl fmt::Display for OrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrbError::ObjectNotFound(id) => write!(f, "object {id} not found"),
+            OrbError::NodeNotFound(n) => write!(f, "node {n:?} not found"),
+            OrbError::DuplicateNode(n) => write!(f, "node {n:?} already exists"),
+            OrbError::Timeout { operation } => {
+                write!(f, "no reply for operation {operation:?} within retry budget")
+            }
+            OrbError::Partitioned { from, to } => {
+                write!(f, "network partition between {from:?} and {to:?}")
+            }
+            OrbError::Application(msg) => write!(f, "application failure: {msg}"),
+            OrbError::BadOperation(op) => write!(f, "unknown operation {op:?}"),
+            OrbError::Codec(msg) => write!(f, "codec failure: {msg}"),
+            OrbError::NameNotBound(n) => write!(f, "name {n:?} not bound"),
+            OrbError::AlreadyBound(n) => write!(f, "name {n:?} already bound"),
+            OrbError::InterceptorVeto(msg) => write!(f, "interceptor vetoed request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OrbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(OrbError::Timeout { operation: "f".into() }.is_retryable());
+        assert!(OrbError::Partitioned { from: "a".into(), to: "b".into() }.is_retryable());
+        assert!(!OrbError::Application("x".into()).is_retryable());
+        assert!(!OrbError::BadOperation("x".into()).is_retryable());
+        assert!(!OrbError::NameNotBound("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors: Vec<OrbError> = vec![
+            OrbError::ObjectNotFound(ObjectId::new(1, 2)),
+            OrbError::NodeNotFound("n".into()),
+            OrbError::Timeout { operation: "op".into() },
+            OrbError::Application("boom".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OrbError>();
+    }
+}

@@ -1,0 +1,120 @@
+//! Request interceptors: the hook that lets middleware services piggyback
+//! state on every invocation without application cooperation.
+//!
+//! The Activity Service registers a client interceptor that stamps the
+//! current activity context into each outgoing request and a server
+//! interceptor that establishes that context on the receiving node before
+//! the servant runs (paper §3: "permitting such transactions to span a
+//! network of systems connected indirectly by some distribution
+//! infrastructure").
+
+use crate::error::OrbError;
+use crate::message::{Reply, Request};
+
+/// Client-side interception points.
+///
+/// Interceptors run in registration order on the way out and in reverse
+/// order on the way back.
+pub trait ClientRequestInterceptor: Send + Sync {
+    /// Name used in diagnostics.
+    fn name(&self) -> &str;
+
+    /// Called before the request leaves the client node. May attach service
+    /// contexts or veto the call by returning an error.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error aborts the invocation with
+    /// [`OrbError::InterceptorVeto`].
+    fn send_request(&self, request: &mut Request) -> Result<(), OrbError> {
+        let _ = request;
+        Ok(())
+    }
+
+    /// Called after a reply (successful or not) returns to the client node.
+    fn receive_reply(&self, request: &Request, reply: &mut Reply) {
+        let _ = (request, reply);
+    }
+}
+
+/// Server-side interception points.
+pub trait ServerRequestInterceptor: Send + Sync {
+    /// Name used in diagnostics.
+    fn name(&self) -> &str;
+
+    /// Called on the server node before the servant dispatches. May read
+    /// service contexts and establish thread/ambient state.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error rejects the request with
+    /// [`OrbError::InterceptorVeto`].
+    fn receive_request(&self, request: &Request) -> Result<(), OrbError> {
+        let _ = request;
+        Ok(())
+    }
+
+    /// Called after the servant ran (even when it failed); may attach reply
+    /// contexts and must tear down whatever `receive_request` established.
+    fn send_reply(&self, request: &Request, reply: &mut Reply) {
+        let _ = (request, reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    struct Stamp;
+    impl ClientRequestInterceptor for Stamp {
+        fn name(&self) -> &str {
+            "stamp"
+        }
+        fn send_request(&self, request: &mut Request) -> Result<(), OrbError> {
+            request.contexts_mut().set("stamp", Value::Bool(true));
+            Ok(())
+        }
+    }
+
+    struct Veto;
+    impl ClientRequestInterceptor for Veto {
+        fn name(&self) -> &str {
+            "veto"
+        }
+        fn send_request(&self, _request: &mut Request) -> Result<(), OrbError> {
+            Err(OrbError::InterceptorVeto("no".into()))
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        struct Passive;
+        impl ClientRequestInterceptor for Passive {
+            fn name(&self) -> &str {
+                "passive"
+            }
+        }
+        impl ServerRequestInterceptor for Passive {
+            fn name(&self) -> &str {
+                "passive"
+            }
+        }
+        let mut req = Request::new("x");
+        assert!(ClientRequestInterceptor::send_request(&Passive, &mut req).is_ok());
+        assert!(ServerRequestInterceptor::receive_request(&Passive, &req).is_ok());
+    }
+
+    #[test]
+    fn stamping_interceptor_mutates_request() {
+        let mut req = Request::new("x");
+        Stamp.send_request(&mut req).unwrap();
+        assert_eq!(req.contexts().get("stamp").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn veto_returns_error() {
+        let mut req = Request::new("x");
+        assert!(Veto.send_request(&mut req).is_err());
+    }
+}

@@ -1,0 +1,331 @@
+//! A deterministic, fault-injecting message "network".
+//!
+//! Every inter-node invocation consults this network, which can
+//!
+//! * charge a latency (advancing the shared [`SimClock`] instead of
+//!   sleeping),
+//! * **drop** the message (the caller observes a timeout),
+//! * **duplicate** the message (the servant runs twice — this is what makes
+//!   the paper's at-least-once Signal delivery observable and forces Actions
+//!   to be idempotent, §3.4), and
+//! * **partition** groups of nodes from one another.
+//!
+//! All randomness is drawn from a seeded PRNG, so a given
+//! ([`NetworkConfig::seed`], workload) pair replays identically.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::SimClock;
+
+/// Tunable fault and latency model for the simulated network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Fixed one-way latency charged to every delivered message.
+    pub base_latency: Duration,
+    /// Maximum additional uniformly distributed latency.
+    pub jitter: Duration,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability in `[0, 1]` that a delivered message is delivered twice.
+    pub duplicate_probability: f64,
+    /// Seed for the deterministic PRNG driving drops, duplicates and jitter.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            base_latency: Duration::from_micros(100),
+            jitter: Duration::ZERO,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A perfectly reliable, zero-latency network (unit-test default).
+    pub fn reliable() -> Self {
+        NetworkConfig { base_latency: Duration::ZERO, ..Self::default() }
+    }
+
+    /// A lossy network dropping and duplicating messages with the given
+    /// probabilities.
+    pub fn lossy(drop_probability: f64, duplicate_probability: f64, seed: u64) -> Self {
+        NetworkConfig { drop_probability, duplicate_probability, seed, ..Self::default() }
+    }
+}
+
+/// What the network decided to do with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Message lost; the caller sees a timeout.
+    Dropped,
+    /// Message (and possibly a duplicate) delivered after `latency`.
+    Delivered {
+        /// Number of copies handed to the servant (1 or 2).
+        copies: u32,
+        /// One-way latency charged to the virtual clock.
+        latency: Duration,
+    },
+    /// Source and destination are in different partitions.
+    Partitioned,
+}
+
+/// Running message counters, readable at any time.
+#[derive(Debug, Default)]
+pub struct NetworkStats {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    partitioned: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetworkStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetworkStatsSnapshot {
+    /// Messages submitted for transmission.
+    pub sent: u64,
+    /// Messages delivered at least once.
+    pub delivered: u64,
+    /// Messages silently dropped.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages refused due to a partition.
+    pub partitioned: u64,
+}
+
+/// The simulated network shared by all nodes of an [`crate::Orb`].
+#[derive(Debug)]
+pub struct SimulatedNetwork {
+    config: NetworkConfig,
+    rng: Mutex<StdRng>,
+    clock: SimClock,
+    /// node name → partition group id; empty map means fully connected.
+    groups: RwLock<HashMap<String, u32>>,
+    stats: NetworkStats,
+}
+
+impl SimulatedNetwork {
+    /// Build a network with the given fault model, sharing `clock`.
+    pub fn new(config: NetworkConfig, clock: SimClock) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        SimulatedNetwork {
+            config,
+            rng: Mutex::new(rng),
+            clock,
+            groups: RwLock::new(HashMap::new()),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Split the network into named groups. Nodes not mentioned in any group
+    /// stay together in an implicit group 0 and remain mutually reachable.
+    pub fn partition(&self, partition_groups: &[&[&str]]) {
+        let mut groups = self.groups.write();
+        groups.clear();
+        for (i, members) in partition_groups.iter().enumerate() {
+            for member in *members {
+                groups.insert((*member).to_owned(), (i + 1) as u32);
+            }
+        }
+    }
+
+    /// Remove all partitions; every node can reach every other again.
+    pub fn heal(&self) {
+        self.groups.write().clear();
+    }
+
+    /// Whether a message from `from` can currently reach `to`.
+    pub fn reachable(&self, from: &str, to: &str) -> bool {
+        let groups = self.groups.read();
+        let ga = groups.get(from).copied().unwrap_or(0);
+        let gb = groups.get(to).copied().unwrap_or(0);
+        ga == gb
+    }
+
+    /// Decide the fate of one message from `from` to `to`, advancing the
+    /// virtual clock by the charged latency when the message is delivered.
+    pub fn transmit(&self, from: &str, to: &str) -> Delivery {
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        if !self.reachable(from, to) {
+            self.stats.partitioned.fetch_add(1, Ordering::Relaxed);
+            return Delivery::Partitioned;
+        }
+        // Local (same-node) calls bypass the fault model entirely: they are
+        // plain method invocations, as in a real ORB's collocation path.
+        if from == to {
+            self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            return Delivery::Delivered { copies: 1, latency: Duration::ZERO };
+        }
+        let (dropped, duplicated, jitter_nanos) = {
+            let mut rng = self.rng.lock();
+            let dropped =
+                self.config.drop_probability > 0.0 && rng.gen::<f64>() < self.config.drop_probability;
+            let duplicated = !dropped
+                && self.config.duplicate_probability > 0.0
+                && rng.gen::<f64>() < self.config.duplicate_probability;
+            let jitter_nanos = if self.config.jitter.is_zero() {
+                0
+            } else {
+                rng.gen_range(0..=self.config.jitter.as_nanos() as u64)
+            };
+            (dropped, duplicated, jitter_nanos)
+        };
+        if dropped {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return Delivery::Dropped;
+        }
+        let latency = self.config.base_latency + Duration::from_nanos(jitter_nanos);
+        self.clock.advance(latency);
+        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+        if duplicated {
+            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            Delivery::Delivered { copies: 2, latency }
+        } else {
+            Delivery::Delivered { copies: 1, latency }
+        }
+    }
+
+    /// A consistent snapshot of the message counters.
+    pub fn stats(&self) -> NetworkStatsSnapshot {
+        NetworkStatsSnapshot {
+            sent: self.stats.sent.load(Ordering::Relaxed),
+            delivered: self.stats.delivered.load(Ordering::Relaxed),
+            dropped: self.stats.dropped.load(Ordering::Relaxed),
+            duplicated: self.stats.duplicated.load(Ordering::Relaxed),
+            partitioned: self.stats.partitioned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(config: NetworkConfig) -> SimulatedNetwork {
+        SimulatedNetwork::new(config, SimClock::new())
+    }
+
+    #[test]
+    fn reliable_network_always_delivers_once() {
+        let n = net(NetworkConfig::reliable());
+        for _ in 0..100 {
+            match n.transmit("a", "b") {
+                Delivery::Delivered { copies: 1, .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let s = n.stats();
+        assert_eq!(s.sent, 100);
+        assert_eq!(s.delivered, 100);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.duplicated, 0);
+    }
+
+    #[test]
+    fn drop_probability_one_drops_everything() {
+        let n = net(NetworkConfig::lossy(1.0, 0.0, 7));
+        for _ in 0..50 {
+            assert_eq!(n.transmit("a", "b"), Delivery::Dropped);
+        }
+        assert_eq!(n.stats().dropped, 50);
+    }
+
+    #[test]
+    fn duplicate_probability_one_duplicates_everything() {
+        let n = net(NetworkConfig::lossy(0.0, 1.0, 7));
+        match n.transmit("a", "b") {
+            Delivery::Delivered { copies: 2, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(n.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn same_seed_same_fate_sequence() {
+        let observe = |seed| {
+            let n = net(NetworkConfig::lossy(0.3, 0.3, seed));
+            (0..64).map(|_| n.transmit("a", "b")).collect::<Vec<_>>()
+        };
+        assert_eq!(observe(42), observe(42));
+        assert_ne!(observe(42), observe(43));
+    }
+
+    #[test]
+    fn latency_advances_clock() {
+        let clock = SimClock::new();
+        let n = SimulatedNetwork::new(
+            NetworkConfig { base_latency: Duration::from_millis(2), ..NetworkConfig::default() },
+            clock.clone(),
+        );
+        n.transmit("a", "b");
+        n.transmit("b", "a");
+        assert_eq!(clock.now(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn local_calls_bypass_faults_and_latency() {
+        let clock = SimClock::new();
+        let n = SimulatedNetwork::new(NetworkConfig::lossy(1.0, 0.0, 1), clock.clone());
+        assert!(matches!(n.transmit("a", "a"), Delivery::Delivered { copies: 1, .. }));
+        assert_eq!(clock.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn partitions_isolate_and_heal() {
+        let n = net(NetworkConfig::reliable());
+        n.partition(&[&["a", "b"], &["c"]]);
+        assert!(n.reachable("a", "b"));
+        assert!(!n.reachable("a", "c"));
+        assert!(!n.reachable("c", "b"));
+        // Unmentioned nodes share the implicit group and reach each other,
+        // but not the named groups.
+        assert!(n.reachable("x", "y"));
+        assert!(!n.reachable("x", "a"));
+        assert_eq!(n.transmit("a", "c"), Delivery::Partitioned);
+        n.heal();
+        assert!(n.reachable("a", "c"));
+        assert!(matches!(n.transmit("a", "c"), Delivery::Delivered { .. }));
+    }
+
+    #[test]
+    fn jitter_bounded_by_config() {
+        let clock = SimClock::new();
+        let n = SimulatedNetwork::new(
+            NetworkConfig {
+                base_latency: Duration::from_micros(10),
+                jitter: Duration::from_micros(5),
+                seed: 3,
+                ..NetworkConfig::default()
+            },
+            clock.clone(),
+        );
+        for i in 1..=100u32 {
+            let before = clock.now();
+            n.transmit("a", "b");
+            let charged = clock.now() - before;
+            assert!(charged >= Duration::from_micros(10), "message {i} too fast");
+            assert!(charged <= Duration::from_micros(15), "message {i} too slow");
+        }
+    }
+}

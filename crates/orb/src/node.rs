@@ -1,0 +1,734 @@
+//! Nodes, the ORB core, and the invocation path.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::RwLock;
+
+use crate::clock::SimClock;
+use crate::error::OrbError;
+use crate::interceptor::{ClientRequestInterceptor, ServerRequestInterceptor};
+use crate::message::{Reply, Request};
+use crate::network::{Delivery, NetworkConfig, SimulatedNetwork};
+use crate::object::{ObjectId, ObjectRef, Servant};
+use crate::registry::NameRegistry;
+
+/// Source name used when a caller invokes straight through [`Orb::invoke`]
+/// without identifying a node (e.g. a test driver outside the simulation).
+pub const EXTERNAL_CALLER: &str = "<external>";
+
+struct NodeInner {
+    name: String,
+    seq: u64,
+    orb: Weak<OrbInner>,
+    servants: RwLock<HashMap<ObjectId, Arc<dyn Servant>>>,
+    object_seq: AtomicU64,
+}
+
+impl fmt::Debug for NodeInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("name", &self.name)
+            .field("seq", &self.seq)
+            .field("servants", &self.servants.read().len())
+            .finish()
+    }
+}
+
+/// A handle to one simulated process/host in the distributed system.
+///
+/// Objects ([`Servant`]s) are activated on a node and invoked through the
+/// [`ObjectRef`]s the activation returns. Cloning the handle does not clone
+/// the node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    inner: Arc<NodeInner>,
+}
+
+impl Node {
+    /// This node's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Activate `servant` under the given interface name, returning a
+    /// location-transparent reference to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::NodeNotFound`] if the owning ORB has been dropped.
+    pub fn activate<S: Servant + 'static>(
+        &self,
+        interface: impl Into<String>,
+        servant: S,
+    ) -> Result<ObjectRef, OrbError> {
+        self.activate_arc(interface, Arc::new(servant))
+    }
+
+    /// Like [`Node::activate`] but shares an existing `Arc`-ed servant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::NodeNotFound`] if the owning ORB has been dropped.
+    pub fn activate_arc(
+        &self,
+        interface: impl Into<String>,
+        servant: Arc<dyn Servant>,
+    ) -> Result<ObjectRef, OrbError> {
+        if self.inner.orb.upgrade().is_none() {
+            return Err(OrbError::NodeNotFound(self.inner.name.clone()));
+        }
+        let id = ObjectId::new(
+            self.inner.seq,
+            self.inner.object_seq.fetch_add(1, Ordering::Relaxed),
+        );
+        self.inner.servants.write().insert(id, servant);
+        Ok(ObjectRef::new(id, self.inner.name.clone(), interface))
+    }
+
+    /// Deactivate the object; later invocations fail with
+    /// [`OrbError::ObjectNotFound`]. Returns whether the object was active.
+    pub fn deactivate(&self, object: &ObjectRef) -> bool {
+        self.inner.servants.write().remove(&object.id()).is_some()
+    }
+
+    /// Number of active servants.
+    pub fn servant_count(&self) -> usize {
+        self.inner.servants.read().len()
+    }
+
+    /// Invoke `object` with this node as the network source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors ([`OrbError::Timeout`],
+    /// [`OrbError::Partitioned`]) and servant failures.
+    pub fn invoke(&self, object: &ObjectRef, request: Request) -> Result<Reply, OrbError> {
+        let orb = self
+            .inner
+            .orb
+            .upgrade()
+            .ok_or_else(|| OrbError::NodeNotFound(self.inner.name.clone()))?;
+        orb.invoke_from(&self.inner.name, object, request)
+    }
+}
+
+struct OrbInner {
+    network: SimulatedNetwork,
+    nodes: RwLock<HashMap<String, Arc<NodeInner>>>,
+    node_seq: AtomicU64,
+    client_interceptors: RwLock<Vec<Arc<dyn ClientRequestInterceptor>>>,
+    server_interceptors: RwLock<Vec<Arc<dyn ServerRequestInterceptor>>>,
+    registry: NameRegistry,
+    retry_budget: u32,
+}
+
+impl fmt::Debug for OrbInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Orb")
+            .field("nodes", &self.nodes.read().len())
+            .field("retry_budget", &self.retry_budget)
+            .finish()
+    }
+}
+
+/// The Object Request Broker: the hub owning nodes, the simulated network,
+/// interceptors and the naming service.
+///
+/// Cheap to clone; all clones share state.
+#[derive(Debug, Clone)]
+pub struct Orb {
+    inner: Arc<OrbInner>,
+}
+
+/// Configures and builds an [`Orb`].
+#[derive(Debug, Default)]
+pub struct OrbBuilder {
+    config: NetworkConfig,
+    clock: Option<SimClock>,
+    retry_budget: u32,
+}
+
+impl OrbBuilder {
+    /// Use the given network fault/latency model.
+    #[must_use]
+    pub fn network(mut self, config: NetworkConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Share an existing virtual clock instead of creating a fresh one.
+    #[must_use]
+    pub fn clock(mut self, clock: SimClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Retry budget used by [`Orb::invoke_at_least_once`] (default 8).
+    #[must_use]
+    pub fn retry_budget(mut self, retries: u32) -> Self {
+        self.retry_budget = retries;
+        self
+    }
+
+    /// Build the ORB.
+    pub fn build(self) -> Orb {
+        let clock = self.clock.unwrap_or_default();
+        let retry_budget = if self.retry_budget == 0 { 8 } else { self.retry_budget };
+        Orb {
+            inner: Arc::new(OrbInner {
+                network: SimulatedNetwork::new(self.config, clock),
+                nodes: RwLock::new(HashMap::new()),
+                node_seq: AtomicU64::new(1),
+                client_interceptors: RwLock::new(Vec::new()),
+                server_interceptors: RwLock::new(Vec::new()),
+                registry: NameRegistry::new(),
+                retry_budget,
+            }),
+        }
+    }
+}
+
+impl Default for Orb {
+    fn default() -> Self {
+        Orb::builder().build()
+    }
+}
+
+impl Orb {
+    /// Start configuring an ORB.
+    pub fn builder() -> OrbBuilder {
+        OrbBuilder::default()
+    }
+
+    /// Create a new ORB with a reliable zero-latency network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::DuplicateNode`] if the name is taken.
+    pub fn add_node(&self, name: impl Into<String>) -> Result<Node, OrbError> {
+        let name = name.into();
+        let mut nodes = self.inner.nodes.write();
+        if nodes.contains_key(&name) {
+            return Err(OrbError::DuplicateNode(name));
+        }
+        let inner = Arc::new(NodeInner {
+            name: name.clone(),
+            seq: self.inner.node_seq.fetch_add(1, Ordering::Relaxed),
+            orb: Arc::downgrade(&self.inner),
+            servants: RwLock::new(HashMap::new()),
+            object_seq: AtomicU64::new(1),
+        });
+        nodes.insert(name, Arc::clone(&inner));
+        Ok(Node { inner })
+    }
+
+    /// Look up an existing node handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::NodeNotFound`] for unknown names.
+    pub fn node(&self, name: &str) -> Result<Node, OrbError> {
+        self.inner
+            .nodes
+            .read()
+            .get(name)
+            .map(|inner| Node { inner: Arc::clone(inner) })
+            .ok_or_else(|| OrbError::NodeNotFound(name.to_owned()))
+    }
+
+    /// The simulated network (partitions, fault stats, clock).
+    pub fn network(&self) -> &SimulatedNetwork {
+        &self.inner.network
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        self.inner.network.clock()
+    }
+
+    /// The naming service.
+    pub fn registry(&self) -> &NameRegistry {
+        &self.inner.registry
+    }
+
+    /// Register a client-side interceptor (runs on every outgoing request).
+    pub fn add_client_interceptor(&self, interceptor: Arc<dyn ClientRequestInterceptor>) {
+        self.inner.client_interceptors.write().push(interceptor);
+    }
+
+    /// Register a server-side interceptor (runs on every incoming request).
+    pub fn add_server_interceptor(&self, interceptor: Arc<dyn ServerRequestInterceptor>) {
+        self.inner.server_interceptors.write().push(interceptor);
+    }
+
+    /// Invoke from outside the simulation (source [`EXTERNAL_CALLER`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and servant failures; see
+    /// [`Node::invoke`].
+    pub fn invoke(&self, object: &ObjectRef, request: Request) -> Result<Reply, OrbError> {
+        self.inner.invoke_from(EXTERNAL_CALLER, object, request)
+    }
+
+    /// Invoke with an explicit source node name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and servant failures.
+    pub fn invoke_from(
+        &self,
+        from: &str,
+        object: &ObjectRef,
+        request: Request,
+    ) -> Result<Reply, OrbError> {
+        self.inner.invoke_from(from, object, request)
+    }
+
+    /// One-way (fire-and-forget) invocation: the request leg goes through
+    /// the network and the servant runs, but no reply is awaited — the
+    /// CORBA `oneway` semantics. Returns whether the request was delivered
+    /// at all (a dropped or partitioned request is reported, since the
+    /// simulation knows; a real ORB would not).
+    pub fn invoke_oneway(&self, from: &str, object: &ObjectRef, request: Request) -> bool {
+        self.inner.invoke_oneway(from, object, request)
+    }
+
+    /// Invoke with at-least-once semantics: retryable transport failures are
+    /// retried up to the configured budget. The servant may therefore run
+    /// **more than once** for a single logical call — exactly the delivery
+    /// guarantee the paper specifies for Signals (§3.4), which is why Actions
+    /// must be idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last transport error when the budget is exhausted, or the
+    /// servant's failure immediately (application errors are not retried).
+    pub fn invoke_at_least_once(
+        &self,
+        from: &str,
+        object: &ObjectRef,
+        request: Request,
+    ) -> Result<Reply, OrbError> {
+        let mut last_err = None;
+        for _ in 0..=self.inner.retry_budget {
+            match self.inner.invoke_from(from, object, request.clone()) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if e.is_retryable() => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(OrbError::Timeout { operation: request.operation().to_owned() }))
+    }
+}
+
+impl OrbInner {
+    fn invoke_oneway(&self, from: &str, object: &ObjectRef, mut request: Request) -> bool {
+        let client_interceptors: Vec<_> = self.client_interceptors.read().clone();
+        for ci in &client_interceptors {
+            if ci.send_request(&mut request).is_err() {
+                return false;
+            }
+        }
+        let Some(node) = self.nodes.read().get(object.node()).cloned() else {
+            return false;
+        };
+        let Some(servant) = node.servants.read().get(&object.id()).cloned() else {
+            return false;
+        };
+        let copies = match self.network.transmit(from, object.node()) {
+            Delivery::Delivered { copies, .. } => copies,
+            Delivery::Dropped | Delivery::Partitioned => return false,
+        };
+        let server_interceptors: Vec<_> = self.server_interceptors.read().clone();
+        for _ in 0..copies {
+            for si in &server_interceptors {
+                if si.receive_request(&request).is_err() {
+                    return false;
+                }
+            }
+            let _ = servant.dispatch(&request);
+            let mut scratch = Reply::new(crate::value::Value::Null);
+            for si in server_interceptors.iter().rev() {
+                si.send_reply(&request, &mut scratch);
+            }
+        }
+        true
+    }
+
+    fn invoke_from(
+        &self,
+        from: &str,
+        object: &ObjectRef,
+        mut request: Request,
+    ) -> Result<Reply, OrbError> {
+        // 1. Client interceptors stamp the outgoing request.
+        let client_interceptors: Vec<_> = self.client_interceptors.read().clone();
+        for ci in &client_interceptors {
+            ci.send_request(&mut request).map_err(|e| match e {
+                veto @ OrbError::InterceptorVeto(_) => veto,
+                other => OrbError::InterceptorVeto(format!("{}: {other}", ci.name())),
+            })?;
+        }
+
+        // 2. Locate the target servant.
+        let node = self
+            .nodes
+            .read()
+            .get(object.node())
+            .cloned()
+            .ok_or_else(|| OrbError::NodeNotFound(object.node().to_owned()))?;
+        let servant = node
+            .servants
+            .read()
+            .get(&object.id())
+            .cloned()
+            .ok_or(OrbError::ObjectNotFound(object.id()))?;
+
+        // 3. Request leg through the network.
+        let copies = match self.network.transmit(from, object.node()) {
+            Delivery::Dropped => {
+                return Err(OrbError::Timeout { operation: request.operation().to_owned() })
+            }
+            Delivery::Partitioned => {
+                return Err(OrbError::Partitioned {
+                    from: from.to_owned(),
+                    to: object.node().to_owned(),
+                })
+            }
+            Delivery::Delivered { copies, .. } => copies,
+        };
+
+        // 4. Dispatch (possibly more than once, when duplicated). The first
+        //    execution's result is what rides back in the reply; duplicate
+        //    executions model redelivery of the same message.
+        let server_interceptors: Vec<_> = self.server_interceptors.read().clone();
+        let mut outcome: Option<Result<crate::value::Value, OrbError>> = None;
+        for _ in 0..copies {
+            for si in &server_interceptors {
+                si.receive_request(&request)?;
+            }
+            let result = servant.dispatch(&request);
+            let mut scratch = Reply::new(crate::value::Value::Null);
+            for si in server_interceptors.iter().rev() {
+                si.send_reply(&request, &mut scratch);
+            }
+            if outcome.is_none() {
+                outcome = Some(result);
+            }
+        }
+        let result = outcome.expect("at least one delivery");
+
+        // 5. Reply leg through the network: a dropped reply means the caller
+        //    times out even though the servant already executed — the classic
+        //    at-least-once hazard.
+        match self.network.transmit(object.node(), from) {
+            Delivery::Dropped => {
+                return Err(OrbError::Timeout { operation: request.operation().to_owned() })
+            }
+            Delivery::Partitioned => {
+                return Err(OrbError::Partitioned {
+                    from: object.node().to_owned(),
+                    to: from.to_owned(),
+                })
+            }
+            Delivery::Delivered { .. } => {}
+        }
+
+        let mut reply = Reply::new(result?);
+        reply.deliveries = copies;
+        for ci in client_interceptors.iter().rev() {
+            ci.receive_reply(&request, &mut reply);
+        }
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use std::sync::atomic::AtomicU32;
+
+    struct Counter {
+        hits: AtomicU32,
+    }
+    impl Servant for Counter {
+        fn dispatch(&self, req: &Request) -> Result<Value, OrbError> {
+            match req.operation() {
+                "hit" => {
+                    let n = self.hits.fetch_add(1, Ordering::SeqCst) + 1;
+                    Ok(Value::U64(u64::from(n)))
+                }
+                "fail" => Err(OrbError::Application("deliberate".into())),
+                other => Err(OrbError::BadOperation(other.to_owned())),
+            }
+        }
+    }
+
+    fn counter() -> Arc<Counter> {
+        Arc::new(Counter { hits: AtomicU32::new(0) })
+    }
+
+    #[test]
+    fn basic_invocation() {
+        let orb = Orb::new();
+        let node = orb.add_node("n1").unwrap();
+        let c = counter();
+        let obj = node.activate_arc("Counter", c.clone()).unwrap();
+        let reply = orb.invoke(&obj, Request::new("hit")).unwrap();
+        assert_eq!(reply.result.as_u64(), Some(1));
+        assert_eq!(c.hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn node_to_node_invocation() {
+        let orb = Orb::new();
+        let n1 = orb.add_node("n1").unwrap();
+        let n2 = orb.add_node("n2").unwrap();
+        let obj = n2.activate_arc("Counter", counter()).unwrap();
+        let reply = n1.invoke(&obj, Request::new("hit")).unwrap();
+        assert_eq!(reply.result.as_u64(), Some(1));
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let orb = Orb::new();
+        orb.add_node("n").unwrap();
+        assert!(matches!(orb.add_node("n"), Err(OrbError::DuplicateNode(_))));
+    }
+
+    #[test]
+    fn unknown_object_and_node() {
+        let orb = Orb::new();
+        let node = orb.add_node("n").unwrap();
+        let obj = node.activate("C", |_req: &Request| Ok(Value::Null)).unwrap();
+        assert!(node.deactivate(&obj));
+        assert!(!node.deactivate(&obj));
+        assert!(matches!(orb.invoke(&obj, Request::new("x")), Err(OrbError::ObjectNotFound(_))));
+        let ghost = ObjectRef::new(ObjectId::new(99, 1), "ghost", "C");
+        assert!(matches!(orb.invoke(&ghost, Request::new("x")), Err(OrbError::NodeNotFound(_))));
+    }
+
+    #[test]
+    fn application_errors_propagate() {
+        let orb = Orb::new();
+        let node = orb.add_node("n").unwrap();
+        let obj = node.activate_arc("Counter", counter()).unwrap();
+        assert!(matches!(orb.invoke(&obj, Request::new("fail")), Err(OrbError::Application(_))));
+        assert!(matches!(orb.invoke(&obj, Request::new("nope")), Err(OrbError::BadOperation(_))));
+    }
+
+    #[test]
+    fn dropped_messages_time_out_and_retries_recover() {
+        // 50% drop: a single shot will eventually fail, but at-least-once
+        // delivery with a healthy budget succeeds.
+        let orb = Orb::builder()
+            .network(NetworkConfig::lossy(0.5, 0.0, 11))
+            .retry_budget(64)
+            .build();
+        let node = orb.add_node("srv").unwrap();
+        let c = counter();
+        let obj = node.activate_arc("Counter", c.clone()).unwrap();
+        let reply = orb
+            .invoke_at_least_once(EXTERNAL_CALLER, &obj, Request::new("hit"))
+            .unwrap();
+        assert!(reply.result.as_u64().unwrap() >= 1);
+        assert!(c.hits.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn duplication_executes_servant_twice() {
+        let orb = Orb::builder().network(NetworkConfig::lossy(0.0, 1.0, 5)).build();
+        let node = orb.add_node("srv").unwrap();
+        let c = counter();
+        let obj = node.activate_arc("Counter", c.clone()).unwrap();
+        let reply = orb.invoke(&obj, Request::new("hit")).unwrap();
+        assert_eq!(reply.deliveries, 2);
+        assert_eq!(c.hits.load(Ordering::SeqCst), 2);
+        // The reply carries the FIRST execution's result.
+        assert_eq!(reply.result.as_u64(), Some(1));
+    }
+
+    #[test]
+    fn at_least_once_does_not_retry_application_errors() {
+        let orb = Orb::builder().retry_budget(10).build();
+        let node = orb.add_node("srv").unwrap();
+        let c = counter();
+        let obj = node.activate_arc("Counter", c.clone()).unwrap();
+        let err = orb
+            .invoke_at_least_once(EXTERNAL_CALLER, &obj, Request::new("fail"))
+            .unwrap_err();
+        assert!(matches!(err, OrbError::Application(_)));
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let orb = Orb::new();
+        let a = orb.add_node("a").unwrap();
+        let b = orb.add_node("b").unwrap();
+        let obj = b.activate_arc("Counter", counter()).unwrap();
+        orb.network().partition(&[&["a"], &["b"]]);
+        assert!(matches!(a.invoke(&obj, Request::new("hit")), Err(OrbError::Partitioned { .. })));
+        orb.network().heal();
+        assert!(a.invoke(&obj, Request::new("hit")).is_ok());
+    }
+
+    #[test]
+    fn interceptors_run_in_order_and_veto() {
+        use crate::interceptor::ClientRequestInterceptor;
+        struct Tag(&'static str);
+        impl ClientRequestInterceptor for Tag {
+            fn name(&self) -> &str {
+                self.0
+            }
+            fn send_request(&self, request: &mut Request) -> Result<(), OrbError> {
+                // Each interceptor appends its tag so order is observable.
+                let prior = request
+                    .contexts()
+                    .get("tags")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_owned();
+                request.contexts_mut().set("tags", Value::Str(prior + self.0));
+                Ok(())
+            }
+        }
+        let orb = Orb::new();
+        orb.add_client_interceptor(Arc::new(Tag("a")));
+        orb.add_client_interceptor(Arc::new(Tag("b")));
+        let node = orb.add_node("n").unwrap();
+        let obj = node
+            .activate("Echo", |req: &Request| {
+                Ok(req.contexts().get("tags").cloned().unwrap_or(Value::Null))
+            })
+            .unwrap();
+        let reply = orb.invoke(&obj, Request::new("x")).unwrap();
+        assert_eq!(reply.result.as_str(), Some("ab"));
+
+        struct Nope;
+        impl ClientRequestInterceptor for Nope {
+            fn name(&self) -> &str {
+                "nope"
+            }
+            fn send_request(&self, _r: &mut Request) -> Result<(), OrbError> {
+                Err(OrbError::InterceptorVeto("blocked".into()))
+            }
+        }
+        orb.add_client_interceptor(Arc::new(Nope));
+        assert!(matches!(
+            orb.invoke(&obj, Request::new("x")),
+            Err(OrbError::InterceptorVeto(_))
+        ));
+    }
+
+    #[test]
+    fn server_interceptor_sees_context() {
+        use crate::interceptor::ServerRequestInterceptor;
+        struct Require;
+        impl ServerRequestInterceptor for Require {
+            fn name(&self) -> &str {
+                "require"
+            }
+            fn receive_request(&self, request: &Request) -> Result<(), OrbError> {
+                if request.contexts().get("token").is_some() {
+                    Ok(())
+                } else {
+                    Err(OrbError::InterceptorVeto("missing token".into()))
+                }
+            }
+        }
+        let orb = Orb::new();
+        orb.add_server_interceptor(Arc::new(Require));
+        let node = orb.add_node("n").unwrap();
+        let obj = node.activate("C", |_r: &Request| Ok(Value::Null)).unwrap();
+        assert!(orb.invoke(&obj, Request::new("x")).is_err());
+        let mut req = Request::new("x");
+        req.contexts_mut().set("token", Value::Bool(true));
+        assert!(orb.invoke(&obj, req).is_ok());
+    }
+
+    #[test]
+    fn orb_handles_are_shared() {
+        let orb = Orb::new();
+        let orb2 = orb.clone();
+        orb.add_node("n").unwrap();
+        assert!(orb2.node("n").is_ok());
+    }
+}
+
+#[cfg(test)]
+mod oneway_tests {
+    use super::*;
+    use crate::value::Value;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn oneway_executes_without_a_reply_leg() {
+        let orb = Orb::new();
+        let node = orb.add_node("server").unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let hits2 = Arc::clone(&hits);
+        let obj = node
+            .activate("Notify", move |_r: &Request| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::Null)
+            })
+            .unwrap();
+        assert!(orb.invoke_oneway(EXTERNAL_CALLER, &obj, Request::new("fire")));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // Exactly one network message: the request leg only.
+        assert_eq!(orb.network().stats().sent, 1);
+    }
+
+    #[test]
+    fn oneway_reports_undeliverable_requests() {
+        let orb = Orb::builder().network(NetworkConfig::lossy(1.0, 0.0, 3)).build();
+        let node = orb.add_node("server").unwrap();
+        let obj = node.activate("N", |_r: &Request| Ok(Value::Null)).unwrap();
+        assert!(!orb.invoke_oneway(EXTERNAL_CALLER, &obj, Request::new("fire")));
+
+        let orb2 = Orb::new();
+        let node2 = orb2.add_node("server").unwrap();
+        let obj2 = node2.activate("N", |_r: &Request| Ok(Value::Null)).unwrap();
+        orb2.network().partition(&[&["server"], &["island"]]);
+        assert!(!orb2.invoke_from_oneway_helper(&obj2));
+        // Unknown objects are also reported.
+        node2.deactivate(&obj2);
+        orb2.network().heal();
+        assert!(!orb2.invoke_oneway(EXTERNAL_CALLER, &obj2, Request::new("fire")));
+    }
+
+    #[test]
+    fn oneway_duplication_runs_servant_twice() {
+        let orb = Orb::builder().network(NetworkConfig::lossy(0.0, 1.0, 4)).build();
+        let node = orb.add_node("server").unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let hits2 = Arc::clone(&hits);
+        let obj = node
+            .activate("N", move |_r: &Request| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::Null)
+            })
+            .unwrap();
+        assert!(orb.invoke_oneway(EXTERNAL_CALLER, &obj, Request::new("fire")));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+}
+
+#[cfg(test)]
+impl Orb {
+    /// Test helper: a oneway from an isolated partition.
+    fn invoke_from_oneway_helper(&self, obj: &ObjectRef) -> bool {
+        self.invoke_oneway("island", obj, Request::new("fire"))
+    }
+}

@@ -1,0 +1,114 @@
+//! A simple naming service binding names to object references.
+//!
+//! This is the substrate for the paper's §2.1(ii) motivating example: a name
+//! server whose updates, performed from inside an application transaction,
+//! should *not* be undone if that transaction later aborts.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::error::OrbError;
+use crate::object::ObjectRef;
+
+/// A process-wide name → [`ObjectRef`] registry.
+#[derive(Debug, Default)]
+pub struct NameRegistry {
+    bindings: RwLock<BTreeMap<String, ObjectRef>>,
+}
+
+impl NameRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `name` to `object`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::AlreadyBound`] if the name is taken; use
+    /// [`NameRegistry::rebind`] to replace.
+    pub fn bind(&self, name: impl Into<String>, object: ObjectRef) -> Result<(), OrbError> {
+        let name = name.into();
+        let mut bindings = self.bindings.write();
+        if bindings.contains_key(&name) {
+            return Err(OrbError::AlreadyBound(name));
+        }
+        bindings.insert(name, object);
+        Ok(())
+    }
+
+    /// Bind `name` to `object`, replacing any existing binding; returns the
+    /// previous binding if there was one.
+    pub fn rebind(&self, name: impl Into<String>, object: ObjectRef) -> Option<ObjectRef> {
+        self.bindings.write().insert(name.into(), object)
+    }
+
+    /// Resolve a name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::NameNotBound`] for unknown names.
+    pub fn resolve(&self, name: &str) -> Result<ObjectRef, OrbError> {
+        self.bindings
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| OrbError::NameNotBound(name.to_owned()))
+    }
+
+    /// Remove a binding, returning it if present.
+    pub fn unbind(&self, name: &str) -> Option<ObjectRef> {
+        self.bindings.write().remove(name)
+    }
+
+    /// All bound names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.bindings.read().keys().cloned().collect()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.read().len()
+    }
+
+    /// Whether the registry has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectId;
+
+    fn obj(n: u64) -> ObjectRef {
+        ObjectRef::new(ObjectId::new(1, n), "node", "I")
+    }
+
+    #[test]
+    fn bind_resolve_unbind() {
+        let reg = NameRegistry::new();
+        assert!(reg.is_empty());
+        reg.bind("svc/a", obj(1)).unwrap();
+        assert_eq!(reg.resolve("svc/a").unwrap(), obj(1));
+        assert!(matches!(reg.bind("svc/a", obj(2)), Err(OrbError::AlreadyBound(_))));
+        assert_eq!(reg.rebind("svc/a", obj(2)), Some(obj(1)));
+        assert_eq!(reg.resolve("svc/a").unwrap(), obj(2));
+        assert_eq!(reg.unbind("svc/a"), Some(obj(2)));
+        assert!(matches!(reg.resolve("svc/a"), Err(OrbError::NameNotBound(_))));
+        assert_eq!(reg.unbind("svc/a"), None);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let reg = NameRegistry::new();
+        reg.bind("b", obj(1)).unwrap();
+        reg.bind("a", obj(2)).unwrap();
+        reg.bind("c", obj(3)).unwrap();
+        assert_eq!(reg.names(), vec!["a", "b", "c"]);
+        assert_eq!(reg.len(), 3);
+    }
+}

@@ -1,0 +1,467 @@
+//! A self-describing dynamic value: the stand-in for CORBA's `any`.
+//!
+//! The paper's `Signal` struct carries `any application_specific_data`; every
+//! layer of this reproduction (service contexts, signal payloads, workflow
+//! task parameters, BTP qualifiers) uses [`Value`] for the same purpose.
+//! Values encode to a compact self-describing binary form ([`Value::encode`])
+//! so that they can cross the simulated network and be written to the
+//! recovery log.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::OrbError;
+
+/// An ordered attribute→value map; the tuple-space representation used by
+/// the paper's `PropertyGroup` (§3.3) and by signal payloads.
+pub type ValueMap = BTreeMap<String, Value>;
+
+/// A dynamically typed value, analogous to CORBA's `any`.
+///
+/// `Value` deliberately supports a small closed set of shapes: everything the
+/// Activity Service framework, the transaction models and the workflow engine
+/// need to exchange, and nothing more.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// Absence of a value.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed 64-bit integer.
+    I64(i64),
+    /// Unsigned 64-bit integer.
+    U64(u64),
+    /// Double-precision float.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Ordered list.
+    List(Vec<Value>),
+    /// String-keyed map.
+    Map(ValueMap),
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_I64: u8 = 2;
+const TAG_U64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BYTES: u8 = 6;
+const TAG_LIST: u8 = 7;
+const TAG_MAP: u8 = 8;
+
+impl Value {
+    /// Encode into a self-describing binary representation.
+    ///
+    /// The encoding is a tag byte followed by a type-specific body; strings,
+    /// byte arrays, lists and maps are length-prefixed with a `u32`.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            Value::Null => buf.put_u8(TAG_NULL),
+            Value::Bool(b) => {
+                buf.put_u8(TAG_BOOL);
+                buf.put_u8(u8::from(*b));
+            }
+            Value::I64(v) => {
+                buf.put_u8(TAG_I64);
+                buf.put_i64(*v);
+            }
+            Value::U64(v) => {
+                buf.put_u8(TAG_U64);
+                buf.put_u64(*v);
+            }
+            Value::F64(v) => {
+                buf.put_u8(TAG_F64);
+                buf.put_f64(*v);
+            }
+            Value::Str(s) => {
+                buf.put_u8(TAG_STR);
+                buf.put_u32(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                buf.put_u8(TAG_BYTES);
+                buf.put_u32(b.len() as u32);
+                buf.put_slice(b);
+            }
+            Value::List(items) => {
+                buf.put_u8(TAG_LIST);
+                buf.put_u32(items.len() as u32);
+                for item in items {
+                    item.encode_into(buf);
+                }
+            }
+            Value::Map(map) => {
+                buf.put_u8(TAG_MAP);
+                buf.put_u32(map.len() as u32);
+                for (k, v) in map {
+                    buf.put_u32(k.len() as u32);
+                    buf.put_slice(k.as_bytes());
+                    v.encode_into(buf);
+                }
+            }
+        }
+    }
+
+    /// Decode a value previously produced by [`Value::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbError::Codec`] when the input is truncated, contains an
+    /// unknown tag or has a malformed UTF-8 string.
+    pub fn decode(bytes: &[u8]) -> Result<Value, OrbError> {
+        let mut cursor = bytes;
+        let value = Self::decode_from(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(OrbError::Codec(format!(
+                "{} trailing bytes after value",
+                cursor.len()
+            )));
+        }
+        Ok(value)
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Result<Value, OrbError> {
+        fn need(buf: &&[u8], n: usize) -> Result<(), OrbError> {
+            if buf.len() < n {
+                return Err(OrbError::Codec(format!(
+                    "truncated value: need {n} bytes, have {}",
+                    buf.len()
+                )));
+            }
+            Ok(())
+        }
+        need(buf, 1)?;
+        let tag = buf.get_u8();
+        match tag {
+            TAG_NULL => Ok(Value::Null),
+            TAG_BOOL => {
+                need(buf, 1)?;
+                Ok(Value::Bool(buf.get_u8() != 0))
+            }
+            TAG_I64 => {
+                need(buf, 8)?;
+                Ok(Value::I64(buf.get_i64()))
+            }
+            TAG_U64 => {
+                need(buf, 8)?;
+                Ok(Value::U64(buf.get_u64()))
+            }
+            TAG_F64 => {
+                need(buf, 8)?;
+                Ok(Value::F64(buf.get_f64()))
+            }
+            TAG_STR => {
+                need(buf, 4)?;
+                let len = buf.get_u32() as usize;
+                need(buf, len)?;
+                let raw = buf[..len].to_vec();
+                buf.advance(len);
+                String::from_utf8(raw)
+                    .map(Value::Str)
+                    .map_err(|e| OrbError::Codec(format!("invalid utf-8 in string: {e}")))
+            }
+            TAG_BYTES => {
+                need(buf, 4)?;
+                let len = buf.get_u32() as usize;
+                need(buf, len)?;
+                let raw = buf[..len].to_vec();
+                buf.advance(len);
+                Ok(Value::Bytes(raw))
+            }
+            TAG_LIST => {
+                need(buf, 4)?;
+                let len = buf.get_u32() as usize;
+                let mut items = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    items.push(Self::decode_from(buf)?);
+                }
+                Ok(Value::List(items))
+            }
+            TAG_MAP => {
+                need(buf, 4)?;
+                let len = buf.get_u32() as usize;
+                let mut map = ValueMap::new();
+                for _ in 0..len {
+                    need(buf, 4)?;
+                    let klen = buf.get_u32() as usize;
+                    need(buf, klen)?;
+                    let kraw = buf[..klen].to_vec();
+                    buf.advance(klen);
+                    let key = String::from_utf8(kraw)
+                        .map_err(|e| OrbError::Codec(format!("invalid utf-8 in key: {e}")))?;
+                    let value = Self::decode_from(buf)?;
+                    map.insert(key, value);
+                }
+                Ok(Value::Map(map))
+            }
+            other => Err(OrbError::Codec(format!("unknown value tag {other}"))),
+        }
+    }
+
+    /// View as a string slice if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a bool if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// View as an `i64`, converting from `U64` when it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// View as a `u64`, converting from non-negative `I64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// View as an `f64` if this is a [`Value::F64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// View as a map if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&ValueMap> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as a list if this is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+impl From<ValueMap> for Value {
+    fn from(v: ValueMap) -> Self {
+        Value::Map(v)
+    }
+}
+impl FromIterator<Value> for Value {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Value::List(iter.into_iter().collect())
+    }
+}
+impl FromIterator<(String, Value)> for Value {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Value::Map(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let encoded = v.encode();
+        let decoded = Value::decode(&encoded).expect("decode");
+        assert_eq!(&decoded, v);
+    }
+
+    #[test]
+    fn roundtrip_scalars() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::I64(-42));
+        roundtrip(&Value::I64(i64::MIN));
+        roundtrip(&Value::U64(u64::MAX));
+        roundtrip(&Value::F64(3.125));
+        roundtrip(&Value::Str(String::new()));
+        roundtrip(&Value::Str("héllo wörld".into()));
+        roundtrip(&Value::Bytes(vec![0, 255, 1, 2]));
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let mut map = ValueMap::new();
+        map.insert("list".into(), Value::List(vec![Value::I64(1), Value::Str("x".into())]));
+        map.insert("inner".into(), Value::Map(ValueMap::new()));
+        roundtrip(&Value::Map(map));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut encoded = Value::Bool(true).encode().to_vec();
+        encoded.push(9);
+        assert!(matches!(Value::decode(&encoded), Err(OrbError::Codec(_))));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let encoded = Value::Str("hello".into()).encode();
+        for cut in 0..encoded.len() {
+            assert!(
+                Value::decode(&encoded[..cut]).is_err(),
+                "prefix of length {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        assert!(matches!(Value::decode(&[200]), Err(OrbError::Codec(_))));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(7i64).as_i64(), Some(7));
+        assert_eq!(Value::from(7u64).as_i64(), Some(7));
+        assert_eq!(Value::U64(u64::MAX).as_i64(), None);
+        assert_eq!(Value::I64(-1).as_u64(), None);
+        assert_eq!(Value::from(2.5f64).as_f64(), Some(2.5));
+        assert!(Value::Null.is_null());
+        assert!(Value::default().is_null());
+        assert!(Value::from("x").as_map().is_none());
+    }
+
+    #[test]
+    fn display_never_empty() {
+        for v in [
+            Value::Null,
+            Value::List(vec![]),
+            Value::Map(ValueMap::new()),
+            Value::Str(String::new()),
+            Value::Bytes(vec![]),
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn collect_into_value() {
+        let l: Value = vec![Value::I64(1), Value::I64(2)].into_iter().collect();
+        assert_eq!(l.as_list().unwrap().len(), 2);
+        let m: Value = vec![("a".to_string(), Value::I64(1))].into_iter().collect();
+        assert_eq!(m.as_map().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,737 @@
+//! The per-transaction coordinator: registration, two-phase commit, nesting.
+
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use orb::SimClock;
+use parking_lot::Mutex;
+use recovery_log::{FailpointSet, Wal};
+
+use crate::error::TxError;
+use crate::resource::{Resource, SubtransactionAwareResource, Synchronization, Vote};
+use crate::status::TxStatus;
+use crate::txlog;
+use crate::xid::TxId;
+
+/// Outcome of a completed transaction, as reported to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Everything committed.
+    Committed,
+    /// Everything rolled back.
+    RolledBack,
+}
+
+struct CoordinatorInner {
+    status: TxStatus,
+    resources: Vec<Arc<dyn Resource>>,
+    synchronizations: Vec<Arc<dyn Synchronization>>,
+    subtx_aware: Vec<Arc<dyn SubtransactionAwareResource>>,
+    children: Vec<Arc<Coordinator>>,
+    child_counter: u32,
+    deadline: Option<Duration>,
+}
+
+/// Coordinates one transaction (mirrors CosTransactions::Coordinator plus
+/// the completion half of Terminator).
+///
+/// Top-level coordinators drive full two-phase commit with presumed abort
+/// and durable decision logging; subtransaction coordinators commit
+/// *provisionally*, handing their participants to the parent (the resource
+/// inheritance described in §1 of the paper).
+pub struct Coordinator {
+    id: TxId,
+    parent: Weak<Coordinator>,
+    inner: Mutex<CoordinatorInner>,
+    wal: Option<Arc<dyn Wal>>,
+    failpoints: FailpointSet,
+    clock: Option<SimClock>,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Coordinator")
+            .field("id", &self.id)
+            .field("status", &inner.status)
+            .field("resources", &inner.resources.len())
+            .field("children", &inner.children.len())
+            .finish()
+    }
+}
+
+impl Coordinator {
+    pub(crate) fn new_top_level(
+        id: TxId,
+        wal: Option<Arc<dyn Wal>>,
+        failpoints: FailpointSet,
+        clock: Option<SimClock>,
+        deadline: Option<Duration>,
+    ) -> Arc<Self> {
+        Arc::new(Coordinator {
+            id,
+            parent: Weak::new(),
+            inner: Mutex::new(CoordinatorInner {
+                status: TxStatus::Active,
+                resources: Vec::new(),
+                synchronizations: Vec::new(),
+                subtx_aware: Vec::new(),
+                children: Vec::new(),
+                child_counter: 0,
+                deadline,
+            }),
+            wal,
+            failpoints,
+            clock,
+        })
+    }
+
+    /// This transaction's identity.
+    pub fn id(&self) -> &TxId {
+        &self.id
+    }
+
+    /// Current status (timeout is assessed lazily here: an expired active
+    /// transaction reports `MarkedRollback`).
+    pub fn status(&self) -> TxStatus {
+        let mut inner = self.inner.lock();
+        self.assess_timeout(&mut inner);
+        inner.status
+    }
+
+    /// Whether this coordinator manages a top-level transaction.
+    pub fn is_top_level(&self) -> bool {
+        self.id.is_top_level()
+    }
+
+    fn assess_timeout(&self, inner: &mut CoordinatorInner) {
+        if inner.status == TxStatus::Active {
+            if let (Some(clock), Some(deadline)) = (&self.clock, inner.deadline) {
+                if clock.now() > deadline {
+                    inner.status = TxStatus::MarkedRollback;
+                }
+            }
+        }
+    }
+
+    /// Register a two-phase participant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Inactive`] unless the transaction is active, or
+    /// [`TxError::TimedOut`] when the deadline has passed.
+    pub fn register_resource(&self, resource: Arc<dyn Resource>) -> Result<(), TxError> {
+        let mut inner = self.inner.lock();
+        self.assess_timeout(&mut inner);
+        match inner.status {
+            TxStatus::Active => {
+                inner.resources.push(resource);
+                Ok(())
+            }
+            TxStatus::MarkedRollback if inner.deadline.is_some() => {
+                Err(TxError::TimedOut(self.id.clone()))
+            }
+            status => Err(TxError::Inactive { tx: self.id.clone(), status }),
+        }
+    }
+
+    /// Register a before/after completion callback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Inactive`] unless the transaction is active.
+    pub fn register_synchronization(&self, sync: Arc<dyn Synchronization>) -> Result<(), TxError> {
+        let mut inner = self.inner.lock();
+        self.assess_timeout(&mut inner);
+        if inner.status != TxStatus::Active {
+            return Err(TxError::Inactive { tx: self.id.clone(), status: inner.status });
+        }
+        inner.synchronizations.push(sync);
+        Ok(())
+    }
+
+    /// Register a participant interested in this *subtransaction's*
+    /// provisional completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::NestingViolation`] on a top-level transaction and
+    /// [`TxError::Inactive`] unless active.
+    pub fn register_subtransaction_aware(
+        &self,
+        participant: Arc<dyn SubtransactionAwareResource>,
+    ) -> Result<(), TxError> {
+        if self.is_top_level() {
+            return Err(TxError::NestingViolation(
+                "subtransaction-aware registration on a top-level transaction".into(),
+            ));
+        }
+        let mut inner = self.inner.lock();
+        if inner.status != TxStatus::Active {
+            return Err(TxError::Inactive { tx: self.id.clone(), status: inner.status });
+        }
+        inner.subtx_aware.push(participant);
+        Ok(())
+    }
+
+    /// Doom the transaction: it can only roll back from here on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Inactive`] if already completing or completed.
+    pub fn rollback_only(&self) -> Result<(), TxError> {
+        let mut inner = self.inner.lock();
+        match inner.status {
+            TxStatus::Active => {
+                inner.status = TxStatus::MarkedRollback;
+                Ok(())
+            }
+            TxStatus::MarkedRollback => Ok(()),
+            status => Err(TxError::Inactive { tx: self.id.clone(), status }),
+        }
+    }
+
+    /// Begin a subtransaction nested inside this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Inactive`] unless this transaction is active.
+    pub fn create_subtransaction(self: &Arc<Self>) -> Result<Arc<Coordinator>, TxError> {
+        let mut inner = self.inner.lock();
+        self.assess_timeout(&mut inner);
+        if inner.status != TxStatus::Active {
+            return Err(TxError::Inactive { tx: self.id.clone(), status: inner.status });
+        }
+        let index = inner.child_counter;
+        inner.child_counter += 1;
+        let child = Arc::new(Coordinator {
+            id: self.id.child(index),
+            parent: Arc::downgrade(self),
+            inner: Mutex::new(CoordinatorInner {
+                status: TxStatus::Active,
+                resources: Vec::new(),
+                synchronizations: Vec::new(),
+                subtx_aware: Vec::new(),
+                children: Vec::new(),
+                child_counter: 0,
+                deadline: inner.deadline,
+            }),
+            wal: self.wal.clone(),
+            failpoints: self.failpoints.clone(),
+            clock: self.clock.clone(),
+        });
+        inner.children.push(Arc::clone(&child));
+        Ok(child)
+    }
+
+    /// Commit the transaction.
+    ///
+    /// For a **top-level** transaction this runs the full protocol:
+    /// synchronizations' `before_completion`, phase one (prepare, with the
+    /// read-only optimisation and one-phase shortcut), a durable decision
+    /// record, phase two, a completion record and `after_completion`.
+    ///
+    /// For a **subtransaction** the commit is provisional: its participants
+    /// are inherited by the parent, and subtransaction-aware participants
+    /// are told.
+    ///
+    /// Any still-active child subtransactions are rolled back first
+    /// (their provisional work never reached this coordinator).
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::RolledBack`] when the transaction had to abort (rollback
+    /// vote, marked rollback-only, or timeout); [`TxError::Heuristic`] when
+    /// `report_heuristics` and a phase-two delivery failed;
+    /// [`TxError::Log`] when the decision could not be made durable (the
+    /// transaction rolls back) or a crash was injected.
+    pub fn commit(&self, report_heuristics: bool) -> Result<TxOutcome, TxError> {
+        // Settle children and collect a snapshot under the lock, then drive
+        // the protocol outside it (participants may call back in).
+        let (resources, synchronizations, doomed) = {
+            let mut inner = self.inner.lock();
+            self.assess_timeout(&mut inner);
+            match inner.status {
+                TxStatus::Active => {}
+                TxStatus::MarkedRollback => {
+                    drop(inner);
+                    self.rollback()?;
+                    return Err(TxError::RolledBack(self.id.clone()));
+                }
+                status => return Err(TxError::Inactive { tx: self.id.clone(), status }),
+            }
+            let children: Vec<_> = inner.children.drain(..).collect();
+            drop(inner);
+            // Children that never completed lose their provisional work.
+            for child in children {
+                if !child.status().is_terminal() {
+                    let _ = child.rollback();
+                }
+            }
+            let inner = self.inner.lock();
+            let doomed = inner.status == TxStatus::MarkedRollback;
+            (inner.resources.clone(), inner.synchronizations.clone(), doomed)
+        };
+        if doomed {
+            self.rollback()?;
+            return Err(TxError::RolledBack(self.id.clone()));
+        }
+
+        if !self.is_top_level() {
+            return self.commit_provisionally();
+        }
+
+        for sync in &synchronizations {
+            sync.before_completion(&self.id);
+        }
+        // before_completion may have doomed us.
+        if self.inner.lock().status == TxStatus::MarkedRollback {
+            self.rollback()?;
+            return Err(TxError::RolledBack(self.id.clone()));
+        }
+
+        self.failpoints.hit("ots.before_prepare").map_err(TxError::from)?;
+
+        // One-phase shortcut.
+        if resources.len() == 1 {
+            let result = resources[0].commit_one_phase(&self.id);
+            let status = match &result {
+                Ok(()) => TxStatus::Committed,
+                Err(_) => TxStatus::RolledBack,
+            };
+            self.finish(status, &synchronizations);
+            return match result {
+                Ok(()) => Ok(TxOutcome::Committed),
+                Err(_) => Err(TxError::RolledBack(self.id.clone())),
+            };
+        }
+
+        // Phase one.
+        self.set_status(TxStatus::Preparing);
+        if let Some(wal) = &self.wal {
+            let names: Vec<&str> = resources.iter().map(|r| r.resource_name()).collect();
+            txlog::log_prepared(wal.as_ref(), &self.id, &names)?;
+        }
+        let mut prepared: Vec<&Arc<dyn Resource>> = Vec::new();
+        let mut voted_rollback = false;
+        for resource in &resources {
+            match resource.prepare(&self.id) {
+                Ok(Vote::Commit) => prepared.push(resource),
+                Ok(Vote::ReadOnly) => {}
+                Ok(Vote::Rollback) | Err(_) => {
+                    voted_rollback = true;
+                    break;
+                }
+            }
+        }
+        self.failpoints.hit("ots.after_prepare").map_err(TxError::from)?;
+
+        if voted_rollback {
+            // Presumed abort: no decision record needed; undo the prepared.
+            self.set_status(TxStatus::RollingBack);
+            for resource in &resources {
+                let _ = resource.rollback(&self.id);
+            }
+            self.finish(TxStatus::RolledBack, &synchronizations);
+            return Err(TxError::RolledBack(self.id.clone()));
+        }
+
+        if prepared.is_empty() {
+            // Everybody read-only: committed with no phase two, no log.
+            self.set_status(TxStatus::Committed);
+            for sync in &synchronizations {
+                sync.after_completion(&self.id, TxStatus::Committed);
+            }
+            return Ok(TxOutcome::Committed);
+        }
+
+        self.set_status(TxStatus::Prepared);
+        self.failpoints.hit("ots.before_decision").map_err(TxError::from)?;
+        if let Some(wal) = &self.wal {
+            txlog::log_decision_commit(wal.as_ref(), &self.id)?;
+            wal.sync()?;
+        }
+        self.failpoints.hit("ots.after_decision").map_err(TxError::from)?;
+
+        // Phase two.
+        self.set_status(TxStatus::Committing);
+        let mut heuristics = Vec::new();
+        for resource in prepared {
+            if let Err(e) = resource.commit(&self.id) {
+                heuristics.push(format!("{}: {e}", resource.resource_name()));
+            } else {
+                resource.forget(&self.id);
+            }
+        }
+        self.failpoints.hit("ots.before_completion_record").map_err(TxError::from)?;
+        self.finish(TxStatus::Committed, &synchronizations);
+
+        if report_heuristics && !heuristics.is_empty() {
+            return Err(TxError::Heuristic { tx: self.id.clone(), detail: heuristics.join("; ") });
+        }
+        Ok(TxOutcome::Committed)
+    }
+
+    /// Provisional commit of a subtransaction: participants move to the
+    /// parent; subtransaction-aware participants are notified.
+    fn commit_provisionally(&self) -> Result<TxOutcome, TxError> {
+        let parent = self.parent.upgrade().ok_or_else(|| {
+            TxError::NestingViolation(format!("parent of {} already gone", self.id))
+        })?;
+        let (resources, synchronizations, subtx_aware) = {
+            let mut inner = self.inner.lock();
+            inner.status = TxStatus::Committed;
+            (
+                std::mem::take(&mut inner.resources),
+                std::mem::take(&mut inner.synchronizations),
+                std::mem::take(&mut inner.subtx_aware),
+            )
+        };
+        {
+            let mut parent_inner = parent.inner.lock();
+            parent_inner.resources.extend(resources);
+            parent_inner.synchronizations.extend(synchronizations);
+        }
+        for participant in &subtx_aware {
+            participant.commit_subtransaction(&self.id, parent.id());
+        }
+        Ok(TxOutcome::Committed)
+    }
+
+    /// Roll the transaction back, undoing its work and (recursively) that of
+    /// any still-active subtransactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Inactive`] if already completed.
+    pub fn rollback(&self) -> Result<TxOutcome, TxError> {
+        let (resources, synchronizations, subtx_aware, children) = {
+            let mut inner = self.inner.lock();
+            match inner.status {
+                TxStatus::Active | TxStatus::MarkedRollback | TxStatus::Prepared => {}
+                status => return Err(TxError::Inactive { tx: self.id.clone(), status }),
+            }
+            inner.status = TxStatus::RollingBack;
+            (
+                std::mem::take(&mut inner.resources),
+                std::mem::take(&mut inner.synchronizations),
+                std::mem::take(&mut inner.subtx_aware),
+                std::mem::take(&mut inner.children),
+            )
+        };
+        for child in children {
+            if !child.status().is_terminal() {
+                let _ = child.rollback();
+            }
+        }
+        for resource in &resources {
+            let _ = resource.rollback(&self.id);
+        }
+        for participant in &subtx_aware {
+            participant.rollback_subtransaction(&self.id);
+        }
+        self.finish(TxStatus::RolledBack, &synchronizations);
+        Ok(TxOutcome::RolledBack)
+    }
+
+    fn set_status(&self, status: TxStatus) {
+        self.inner.lock().status = status;
+    }
+
+    fn finish(&self, status: TxStatus, synchronizations: &[Arc<dyn Synchronization>]) {
+        self.set_status(status);
+        if self.is_top_level() {
+            if let Some(wal) = &self.wal {
+                let _ = txlog::log_completed(wal.as_ref(), &self.id, status);
+            }
+        }
+        for sync in synchronizations {
+            sync.after_completion(&self.id, status);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::test_support::ScriptedResource;
+    use recovery_log::MemWal;
+
+    fn top(wal: Option<Arc<dyn Wal>>) -> Arc<Coordinator> {
+        Coordinator::new_top_level(TxId::top_level(1), wal, FailpointSet::new(), None, None)
+    }
+
+    #[test]
+    fn two_phase_commit_happy_path() {
+        let c = top(None);
+        let r1 = ScriptedResource::voting("r1", Vote::Commit);
+        let r2 = ScriptedResource::voting("r2", Vote::Commit);
+        c.register_resource(r1.clone()).unwrap();
+        c.register_resource(r2.clone()).unwrap();
+        assert_eq!(c.commit(true).unwrap(), TxOutcome::Committed);
+        assert_eq!(c.status(), TxStatus::Committed);
+        assert_eq!(r1.calls(), vec!["prepare", "commit", "forget"]);
+        assert_eq!(r2.calls(), vec!["prepare", "commit", "forget"]);
+    }
+
+    #[test]
+    fn rollback_vote_aborts_everyone() {
+        let c = top(None);
+        let good = ScriptedResource::voting("good", Vote::Commit);
+        let bad = ScriptedResource::voting("bad", Vote::Rollback);
+        c.register_resource(good.clone()).unwrap();
+        c.register_resource(bad.clone()).unwrap();
+        assert!(matches!(c.commit(true), Err(TxError::RolledBack(_))));
+        assert_eq!(c.status(), TxStatus::RolledBack);
+        assert_eq!(good.calls(), vec!["prepare", "rollback"]);
+        assert_eq!(bad.calls(), vec!["prepare", "rollback"]);
+    }
+
+    #[test]
+    fn read_only_resources_skip_phase_two() {
+        let c = top(None);
+        let ro1 = ScriptedResource::voting("ro1", Vote::ReadOnly);
+        let ro2 = ScriptedResource::voting("ro2", Vote::ReadOnly);
+        c.register_resource(ro1.clone()).unwrap();
+        c.register_resource(ro2.clone()).unwrap();
+        assert_eq!(c.commit(true).unwrap(), TxOutcome::Committed);
+        assert_eq!(ro1.calls(), vec!["prepare"]);
+        assert_eq!(ro2.calls(), vec!["prepare"]);
+    }
+
+    #[test]
+    fn single_resource_uses_one_phase() {
+        let c = top(None);
+        let r = ScriptedResource::voting("solo", Vote::Commit);
+        c.register_resource(r.clone()).unwrap();
+        assert_eq!(c.commit(true).unwrap(), TxOutcome::Committed);
+        assert_eq!(r.calls(), vec!["prepare", "commit"]);
+    }
+
+    #[test]
+    fn empty_transaction_commits() {
+        let c = top(None);
+        assert_eq!(c.commit(true).unwrap(), TxOutcome::Committed);
+    }
+
+    #[test]
+    fn rollback_only_dooms_commit() {
+        let c = top(None);
+        let r = ScriptedResource::voting("r", Vote::Commit);
+        c.register_resource(r.clone()).unwrap();
+        c.rollback_only().unwrap();
+        assert!(matches!(c.commit(true), Err(TxError::RolledBack(_))));
+        assert_eq!(r.calls(), vec!["rollback"]);
+        // rollback_only is idempotent while pending but an error after the end.
+        assert!(matches!(c.rollback_only(), Err(TxError::Inactive { .. })));
+    }
+
+    #[test]
+    fn registration_after_completion_fails() {
+        let c = top(None);
+        c.commit(true).unwrap();
+        let r = ScriptedResource::voting("late", Vote::Commit);
+        assert!(matches!(c.register_resource(r), Err(TxError::Inactive { .. })));
+        assert!(matches!(c.commit(true), Err(TxError::Inactive { .. })));
+        assert!(matches!(c.rollback(), Err(TxError::Inactive { .. })));
+    }
+
+    #[test]
+    fn heuristic_reported_when_phase_two_fails() {
+        let c = top(None);
+        let flaky = ScriptedResource::voting("flaky", Vote::Commit);
+        *flaky.fail_commit_times.lock() = 1;
+        let fine = ScriptedResource::voting("fine", Vote::Commit);
+        c.register_resource(flaky.clone()).unwrap();
+        c.register_resource(fine.clone()).unwrap();
+        let err = c.commit(true).unwrap_err();
+        assert!(matches!(err, TxError::Heuristic { .. }));
+        // The transaction is still committed: the decision was made.
+        assert_eq!(c.status(), TxStatus::Committed);
+    }
+
+    #[test]
+    fn heuristics_swallowed_when_not_reporting() {
+        let c = top(None);
+        let flaky = ScriptedResource::voting("flaky", Vote::Commit);
+        *flaky.fail_commit_times.lock() = 1;
+        c.register_resource(flaky).unwrap();
+        c.register_resource(ScriptedResource::voting("fine", Vote::Commit)).unwrap();
+        assert_eq!(c.commit(false).unwrap(), TxOutcome::Committed);
+    }
+
+    #[test]
+    fn subtransaction_commit_propagates_resources_to_parent() {
+        let parent = top(None);
+        let child = parent.create_subtransaction().unwrap();
+        assert_eq!(child.id(), &TxId::top_level(1).child(0));
+        let r = ScriptedResource::voting("r", Vote::Commit);
+        child.register_resource(r.clone()).unwrap();
+        child.commit(true).unwrap();
+        assert_eq!(child.status(), TxStatus::Committed);
+        // No 2PC happened yet.
+        assert!(r.calls().is_empty());
+        // Parent commit drives it.
+        parent.commit(true).unwrap();
+        assert_eq!(r.calls(), vec!["prepare", "commit"]);
+    }
+
+    #[test]
+    fn subtransaction_rollback_confines_failure() {
+        let parent = top(None);
+        let child = parent.create_subtransaction().unwrap();
+        let child_r = ScriptedResource::voting("child-r", Vote::Commit);
+        child.register_resource(child_r.clone()).unwrap();
+        child.rollback().unwrap();
+        assert_eq!(child_r.calls(), vec!["rollback"]);
+        // Parent is unaffected and can still commit its own work.
+        let parent_r = ScriptedResource::voting("parent-r", Vote::Commit);
+        parent.register_resource(parent_r.clone()).unwrap();
+        parent.commit(true).unwrap();
+        assert_eq!(parent_r.calls(), vec!["prepare", "commit"]);
+    }
+
+    #[test]
+    fn parent_rollback_undoes_inherited_resources() {
+        let parent = top(None);
+        let child = parent.create_subtransaction().unwrap();
+        let r = ScriptedResource::voting("r", Vote::Commit);
+        child.register_resource(r.clone()).unwrap();
+        child.commit(true).unwrap();
+        parent.rollback().unwrap();
+        assert_eq!(r.calls(), vec!["rollback"]);
+    }
+
+    #[test]
+    fn active_children_are_rolled_back_by_parent_commit() {
+        let parent = top(None);
+        let child = parent.create_subtransaction().unwrap();
+        let r = ScriptedResource::voting("r", Vote::Commit);
+        child.register_resource(r.clone()).unwrap();
+        // Child never completes; parent commits anyway.
+        parent.commit(true).unwrap();
+        assert_eq!(child.status(), TxStatus::RolledBack);
+        assert_eq!(r.calls(), vec!["rollback"]);
+    }
+
+    #[test]
+    fn deep_nesting_propagates_transitively() {
+        let parent = top(None);
+        let child = parent.create_subtransaction().unwrap();
+        let grandchild = child.create_subtransaction().unwrap();
+        let r = ScriptedResource::voting("deep", Vote::Commit);
+        grandchild.register_resource(r.clone()).unwrap();
+        grandchild.commit(true).unwrap();
+        child.commit(true).unwrap();
+        parent.commit(true).unwrap();
+        assert_eq!(r.calls(), vec!["prepare", "commit"]);
+    }
+
+    #[test]
+    fn subtransaction_aware_notifications() {
+        struct Watcher(Mutex<Vec<String>>);
+        impl SubtransactionAwareResource for Watcher {
+            fn commit_subtransaction(&self, tx: &TxId, parent: &TxId) {
+                self.0.lock().push(format!("commit {tx} into {parent}"));
+            }
+            fn rollback_subtransaction(&self, tx: &TxId) {
+                self.0.lock().push(format!("rollback {tx}"));
+            }
+        }
+        let parent = top(None);
+        let w = Arc::new(Watcher(Mutex::new(Vec::new())));
+        assert!(parent.register_subtransaction_aware(w.clone()).is_err());
+
+        let c1 = parent.create_subtransaction().unwrap();
+        c1.register_subtransaction_aware(w.clone()).unwrap();
+        c1.commit(true).unwrap();
+        let c2 = parent.create_subtransaction().unwrap();
+        c2.register_subtransaction_aware(w.clone()).unwrap();
+        c2.rollback().unwrap();
+        assert_eq!(
+            *w.0.lock(),
+            vec!["commit tx-1.0 into tx-1".to_string(), "rollback tx-1.1".to_string()]
+        );
+    }
+
+    #[test]
+    fn synchronizations_bracket_completion() {
+        struct Sync(Mutex<Vec<String>>);
+        impl Synchronization for Sync {
+            fn before_completion(&self, _tx: &TxId) {
+                self.0.lock().push("before".into());
+            }
+            fn after_completion(&self, _tx: &TxId, status: TxStatus) {
+                self.0.lock().push(format!("after {status}"));
+            }
+        }
+        let c = top(None);
+        let s = Arc::new(Sync(Mutex::new(Vec::new())));
+        c.register_synchronization(s.clone()).unwrap();
+        c.register_resource(ScriptedResource::voting("r", Vote::Commit)).unwrap();
+        c.commit(true).unwrap();
+        assert_eq!(*s.0.lock(), vec!["before".to_string(), "after committed".to_string()]);
+    }
+
+    #[test]
+    fn decision_and_completion_are_logged() {
+        let wal = Arc::new(MemWal::new());
+        let c = Coordinator::new_top_level(
+            TxId::top_level(9),
+            Some(wal.clone() as Arc<dyn Wal>),
+            FailpointSet::new(),
+            None,
+            None,
+        );
+        c.register_resource(ScriptedResource::voting("a", Vote::Commit)).unwrap();
+        c.register_resource(ScriptedResource::voting("b", Vote::Commit)).unwrap();
+        c.commit(true).unwrap();
+        let kinds: Vec<u32> =
+            wal.scan(recovery_log::Lsn::new(0)).unwrap().iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![txlog::KIND_TX_PREPARED, txlog::KIND_TX_DECISION, txlog::KIND_TX_COMPLETED]
+        );
+    }
+
+    #[test]
+    fn crash_before_decision_leaves_no_decision_record() {
+        let wal = Arc::new(MemWal::new());
+        let failpoints = FailpointSet::new();
+        failpoints.arm("ots.before_decision", 0);
+        let c = Coordinator::new_top_level(
+            TxId::top_level(2),
+            Some(wal.clone() as Arc<dyn Wal>),
+            failpoints,
+            None,
+            None,
+        );
+        c.register_resource(ScriptedResource::voting("a", Vote::Commit)).unwrap();
+        c.register_resource(ScriptedResource::voting("b", Vote::Commit)).unwrap();
+        let err = c.commit(true).unwrap_err();
+        assert!(matches!(err, TxError::Log(_)));
+        let kinds: Vec<u32> =
+            wal.scan(recovery_log::Lsn::new(0)).unwrap().iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![txlog::KIND_TX_PREPARED]);
+    }
+
+    #[test]
+    fn timeout_dooms_transaction() {
+        let clock = SimClock::new();
+        let c = Coordinator::new_top_level(
+            TxId::top_level(3),
+            None,
+            FailpointSet::new(),
+            Some(clock.clone()),
+            Some(Duration::from_secs(1)),
+        );
+        c.register_resource(ScriptedResource::voting("r", Vote::Commit)).unwrap();
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(c.status(), TxStatus::MarkedRollback);
+        assert!(matches!(
+            c.register_resource(ScriptedResource::voting("late", Vote::Commit)),
+            Err(TxError::TimedOut(_))
+        ));
+        assert!(matches!(c.commit(true), Err(TxError::RolledBack(_))));
+    }
+}

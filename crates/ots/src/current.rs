@@ -1,0 +1,216 @@
+//! Thread-associated implicit transaction demarcation.
+//!
+//! Mirrors CosTransactions::Current: `begin`/`commit`/`rollback` operate on
+//! a per-thread stack of transaction controls, so application code need not
+//! thread [`Control`]s through every call. `begin` inside an existing
+//! association starts a *subtransaction* (the nesting model of §1).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::control::Control;
+use crate::coordinator::TxOutcome;
+use crate::error::TxError;
+use crate::factory::TransactionFactory;
+use crate::status::TxStatus;
+use crate::xid::TxId;
+
+thread_local! {
+    static STACK: RefCell<Vec<Control>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The implicit, thread-associated transaction interface.
+///
+/// All methods are static-like: the receiver only carries the factory used
+/// by [`Current::begin`] for *top-level* transactions.
+#[derive(Debug, Clone)]
+pub struct Current {
+    factory: Arc<TransactionFactory>,
+}
+
+impl Current {
+    /// Build over the given factory.
+    pub fn new(factory: Arc<TransactionFactory>) -> Self {
+        Current { factory }
+    }
+
+    /// Begin a transaction and associate it with this thread. When the
+    /// thread already has one, the new transaction is a subtransaction of
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates creation failures.
+    pub fn begin(&self) -> Result<TxId, TxError> {
+        let control = STACK.with(|stack| -> Result<Control, TxError> {
+            let parent = stack.borrow().last().cloned();
+            let control = match parent {
+                Some(parent) => parent.begin_subtransaction()?,
+                None => self.factory.create()?,
+            };
+            stack.borrow_mut().push(control.clone());
+            Ok(control)
+        })?;
+        Ok(control.id().clone())
+    }
+
+    /// Commit the innermost associated transaction and disassociate it.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NoTransaction`] when the thread has none; otherwise see
+    /// [`crate::Coordinator::commit`]. The association is removed even when
+    /// the commit fails.
+    pub fn commit(&self) -> Result<TxOutcome, TxError> {
+        let control = Self::pop()?;
+        control.terminator().commit()
+    }
+
+    /// Roll back the innermost associated transaction and disassociate it.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NoTransaction`] when the thread has none.
+    pub fn rollback(&self) -> Result<TxOutcome, TxError> {
+        let control = Self::pop()?;
+        control.terminator().rollback()
+    }
+
+    /// Mark the innermost associated transaction rollback-only.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NoTransaction`] when the thread has none.
+    pub fn rollback_only(&self) -> Result<(), TxError> {
+        let control = Self::peek().ok_or(TxError::NoTransaction)?;
+        control.coordinator().rollback_only()
+    }
+
+    /// The id of the innermost associated transaction, if any.
+    pub fn transaction(&self) -> Option<TxId> {
+        Self::peek().map(|c| c.id().clone())
+    }
+
+    /// The status of the innermost associated transaction, if any.
+    pub fn status(&self) -> Option<TxStatus> {
+        Self::peek().map(|c| c.coordinator().status())
+    }
+
+    /// The control of the innermost associated transaction, if any (for
+    /// resource registration).
+    pub fn control(&self) -> Option<Control> {
+        Self::peek()
+    }
+
+    /// Nesting depth of the association stack (0 = none).
+    pub fn depth(&self) -> usize {
+        STACK.with(|s| s.borrow().len())
+    }
+
+    /// Detach the innermost transaction from this thread and return it, so
+    /// it can be resumed elsewhere (suspend/resume).
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::NoTransaction`] when the thread has none.
+    pub fn suspend(&self) -> Result<Control, TxError> {
+        Self::pop()
+    }
+
+    /// Re-associate a previously suspended transaction with this thread.
+    pub fn resume(&self, control: Control) {
+        STACK.with(|s| s.borrow_mut().push(control));
+    }
+
+    fn peek() -> Option<Control> {
+        STACK.with(|s| s.borrow().last().cloned())
+    }
+
+    fn pop() -> Result<Control, TxError> {
+        STACK.with(|s| s.borrow_mut().pop()).ok_or(TxError::NoTransaction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::test_support::ScriptedResource;
+    use crate::resource::Vote;
+
+    fn current() -> Current {
+        Current::new(Arc::new(TransactionFactory::new()))
+    }
+
+    #[test]
+    fn begin_commit_cycle() {
+        let cur = current();
+        assert!(cur.transaction().is_none());
+        assert!(matches!(cur.commit(), Err(TxError::NoTransaction)));
+
+        let id = cur.begin().unwrap();
+        assert!(id.is_top_level());
+        assert_eq!(cur.transaction(), Some(id));
+        assert_eq!(cur.status(), Some(TxStatus::Active));
+        cur.commit().unwrap();
+        assert!(cur.transaction().is_none());
+    }
+
+    #[test]
+    fn nested_begin_creates_subtransaction() {
+        let cur = current();
+        let top = cur.begin().unwrap();
+        let sub = cur.begin().unwrap();
+        assert!(top.is_ancestor_of(&sub));
+        assert_eq!(cur.depth(), 2);
+        cur.commit().unwrap(); // sub
+        assert_eq!(cur.transaction(), Some(top));
+        cur.commit().unwrap(); // top
+        assert_eq!(cur.depth(), 0);
+    }
+
+    #[test]
+    fn rollback_only_dooms_current() {
+        let cur = current();
+        cur.begin().unwrap();
+        cur.rollback_only().unwrap();
+        assert!(matches!(cur.commit(), Err(TxError::RolledBack(_))));
+        assert!(cur.transaction().is_none(), "association removed despite failure");
+    }
+
+    #[test]
+    fn suspend_resume_moves_transaction() {
+        let cur = current();
+        let id = cur.begin().unwrap();
+        let suspended = cur.suspend().unwrap();
+        assert!(cur.transaction().is_none());
+        cur.resume(suspended);
+        assert_eq!(cur.transaction(), Some(id));
+        cur.commit().unwrap();
+    }
+
+    #[test]
+    fn resources_flow_through_nesting() {
+        let cur = current();
+        cur.begin().unwrap();
+        cur.begin().unwrap();
+        let r = ScriptedResource::voting("r", Vote::Commit);
+        cur.control().unwrap().coordinator().register_resource(r.clone()).unwrap();
+        cur.commit().unwrap(); // subtransaction: provisional
+        assert!(r.calls().is_empty());
+        cur.commit().unwrap(); // top-level: real 2PC (one-phase here)
+        assert_eq!(r.calls(), vec!["prepare", "commit"]);
+    }
+
+    #[test]
+    fn associations_are_per_thread() {
+        let cur = current();
+        cur.begin().unwrap();
+        let cur2 = cur.clone();
+        std::thread::spawn(move || {
+            assert!(cur2.transaction().is_none());
+        })
+        .join()
+        .unwrap();
+        cur.rollback().unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type for transaction operations.
+
+use std::fmt;
+
+use crate::status::TxStatus;
+use crate::xid::TxId;
+
+/// Errors raised by the Object Transaction Service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TxError {
+    /// The operation requires an active transaction but the target has
+    /// already moved past `Active`.
+    Inactive {
+        /// Transaction concerned.
+        tx: TxId,
+        /// Its actual status.
+        status: TxStatus,
+    },
+    /// The transaction was (or had to be) rolled back; the commit request
+    /// therefore failed.
+    RolledBack(TxId),
+    /// The transaction is marked rollback-only; no new work or commit is
+    /// allowed.
+    RollbackOnly(TxId),
+    /// No transaction is associated with the calling thread.
+    NoTransaction,
+    /// The thread already has a transaction and the operation forbids that.
+    AlreadyAssociated(TxId),
+    /// A lock could not be acquired (conflict with another transaction).
+    LockConflict {
+        /// Resource key fought over.
+        key: String,
+        /// Holder of the conflicting lock.
+        holder: TxId,
+        /// Requester that lost.
+        requester: TxId,
+    },
+    /// The transaction exceeded its timeout and was marked rollback-only.
+    TimedOut(TxId),
+    /// A participant failed during completion, leaving a heuristic hazard.
+    Heuristic {
+        /// Transaction concerned.
+        tx: TxId,
+        /// Participant detail.
+        detail: String,
+    },
+    /// The durable log failed.
+    Log(String),
+    /// The referenced transaction is unknown to this factory.
+    Unknown(TxId),
+    /// A subtransaction operation was attempted on a top-level transaction
+    /// or vice versa.
+    NestingViolation(String),
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Inactive { tx, status } => {
+                write!(f, "transaction {tx} is not active (status {status})")
+            }
+            TxError::RolledBack(tx) => write!(f, "transaction {tx} rolled back"),
+            TxError::RollbackOnly(tx) => write!(f, "transaction {tx} is marked rollback-only"),
+            TxError::NoTransaction => write!(f, "no transaction associated with this thread"),
+            TxError::AlreadyAssociated(tx) => {
+                write!(f, "thread already associated with transaction {tx}")
+            }
+            TxError::LockConflict { key, holder, requester } => write!(
+                f,
+                "lock conflict on {key:?}: held by {holder}, wanted by {requester}"
+            ),
+            TxError::TimedOut(tx) => write!(f, "transaction {tx} timed out"),
+            TxError::Heuristic { tx, detail } => {
+                write!(f, "heuristic hazard in transaction {tx}: {detail}")
+            }
+            TxError::Log(msg) => write!(f, "transaction log failure: {msg}"),
+            TxError::Unknown(tx) => write!(f, "unknown transaction {tx}"),
+            TxError::NestingViolation(msg) => write!(f, "nesting violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+impl From<recovery_log::LogError> for TxError {
+    fn from(e: recovery_log::LogError) -> Self {
+        TxError::Log(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let tx = TxId::top_level(1);
+        for e in [
+            TxError::Inactive { tx: tx.clone(), status: TxStatus::Committed },
+            TxError::RolledBack(tx.clone()),
+            TxError::RollbackOnly(tx.clone()),
+            TxError::NoTransaction,
+            TxError::AlreadyAssociated(tx.clone()),
+            TxError::LockConflict {
+                key: "k".into(),
+                holder: tx.clone(),
+                requester: TxId::top_level(2),
+            },
+            TxError::TimedOut(tx.clone()),
+            TxError::Heuristic { tx: tx.clone(), detail: "d".into() },
+            TxError::Log("lost".into()),
+            TxError::Unknown(tx.clone()),
+            TxError::NestingViolation("bad".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_log_error() {
+        let e: TxError = recovery_log::LogError::Sealed.into();
+        assert!(matches!(e, TxError::Log(_)));
+    }
+}

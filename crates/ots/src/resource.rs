@@ -1,0 +1,223 @@
+//! Participant interfaces: resources, synchronizations and
+//! subtransaction-aware resources.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::TxError;
+use crate::status::TxStatus;
+use crate::xid::TxId;
+
+/// A participant's phase-one answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vote {
+    /// The participant is prepared: it can commit or roll back on request
+    /// and has made its prepared state durable.
+    Commit,
+    /// The participant refuses; the transaction must roll back.
+    Rollback,
+    /// The participant did no work that needs phase two; it drops out of the
+    /// protocol (the read-only optimisation).
+    ReadOnly,
+}
+
+impl fmt::Display for Vote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Vote::Commit => "vote-commit",
+            Vote::Rollback => "vote-rollback",
+            Vote::ReadOnly => "vote-read-only",
+        })
+    }
+}
+
+/// A two-phase-commit participant (mirrors CosTransactions::Resource).
+///
+/// All methods may be invoked more than once after failures; participants
+/// must treat redelivery idempotently (the same discipline the Activity
+/// Service imposes on Actions).
+pub trait Resource: Send + Sync {
+    /// Phase one: vote on the outcome of `tx`.
+    ///
+    /// # Errors
+    ///
+    /// A transport-style failure; the coordinator treats it as a
+    /// [`Vote::Rollback`].
+    fn prepare(&self, tx: &TxId) -> Result<Vote, TxError>;
+
+    /// Phase two: make the prepared work of `tx` permanent.
+    ///
+    /// # Errors
+    ///
+    /// Failures here are heuristic hazards: the decision is already durable.
+    fn commit(&self, tx: &TxId) -> Result<(), TxError>;
+
+    /// Undo all work performed under `tx`.
+    ///
+    /// # Errors
+    ///
+    /// Failures are reported but rollback is presumed to eventually succeed.
+    fn rollback(&self, tx: &TxId) -> Result<(), TxError>;
+
+    /// Combined prepare+commit when this is the only participant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::RolledBack`] when the participant chose to abort.
+    fn commit_one_phase(&self, tx: &TxId) -> Result<(), TxError> {
+        match self.prepare(tx)? {
+            Vote::Commit => self.commit(tx),
+            Vote::ReadOnly => Ok(()),
+            Vote::Rollback => {
+                self.rollback(tx)?;
+                Err(TxError::RolledBack(tx.clone()))
+            }
+        }
+    }
+
+    /// The coordinator has no more need of this participant's heuristic
+    /// memory; it may forget `tx`.
+    fn forget(&self, tx: &TxId) {
+        let _ = tx;
+    }
+
+    /// Diagnostic name used in decision log records.
+    fn resource_name(&self) -> &str {
+        "resource"
+    }
+}
+
+/// Callbacks around completion (mirrors CosTransactions::Synchronization).
+pub trait Synchronization: Send + Sync {
+    /// Runs before phase one starts (e.g. flush caches to the resource).
+    fn before_completion(&self, tx: &TxId);
+    /// Runs after the outcome is decided and delivered.
+    fn after_completion(&self, tx: &TxId, status: TxStatus);
+}
+
+/// A participant interested in *subtransaction* completion (mirrors
+/// CosTransactions::SubtransactionAwareResource).
+///
+/// When a subtransaction commits, its plain [`Resource`] registrations are
+/// inherited by the parent coordinator; subtransaction-aware participants
+/// are additionally told about the provisional commit or the rollback at
+/// that moment.
+pub trait SubtransactionAwareResource: Send + Sync {
+    /// The subtransaction `tx` provisionally committed into `parent`.
+    fn commit_subtransaction(&self, tx: &TxId, parent: &TxId);
+    /// The subtransaction `tx` rolled back.
+    fn rollback_subtransaction(&self, tx: &TxId);
+}
+
+impl<T: Resource + ?Sized> Resource for Arc<T> {
+    fn prepare(&self, tx: &TxId) -> Result<Vote, TxError> {
+        (**self).prepare(tx)
+    }
+    fn commit(&self, tx: &TxId) -> Result<(), TxError> {
+        (**self).commit(tx)
+    }
+    fn rollback(&self, tx: &TxId) -> Result<(), TxError> {
+        (**self).rollback(tx)
+    }
+    fn commit_one_phase(&self, tx: &TxId) -> Result<(), TxError> {
+        (**self).commit_one_phase(tx)
+    }
+    fn forget(&self, tx: &TxId) {
+        (**self).forget(tx)
+    }
+    fn resource_name(&self) -> &str {
+        (**self).resource_name()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Scriptable in-memory participants shared by coordinator tests.
+
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// A resource that votes as scripted and records every call.
+    pub struct ScriptedResource {
+        pub name: String,
+        pub vote: Mutex<Vote>,
+        pub calls: Mutex<Vec<String>>,
+        pub fail_commit_times: Mutex<u32>,
+    }
+
+    impl ScriptedResource {
+        pub fn voting(name: &str, vote: Vote) -> Arc<Self> {
+            Arc::new(ScriptedResource {
+                name: name.to_owned(),
+                vote: Mutex::new(vote),
+                calls: Mutex::new(Vec::new()),
+                fail_commit_times: Mutex::new(0),
+            })
+        }
+
+        pub fn calls(&self) -> Vec<String> {
+            self.calls.lock().clone()
+        }
+    }
+
+    impl Resource for ScriptedResource {
+        fn prepare(&self, _tx: &TxId) -> Result<Vote, TxError> {
+            self.calls.lock().push("prepare".into());
+            Ok(*self.vote.lock())
+        }
+        fn commit(&self, tx: &TxId) -> Result<(), TxError> {
+            self.calls.lock().push("commit".into());
+            let mut failures = self.fail_commit_times.lock();
+            if *failures > 0 {
+                *failures -= 1;
+                return Err(TxError::Heuristic { tx: tx.clone(), detail: "flaky".into() });
+            }
+            Ok(())
+        }
+        fn rollback(&self, _tx: &TxId) -> Result<(), TxError> {
+            self.calls.lock().push("rollback".into());
+            Ok(())
+        }
+        fn forget(&self, _tx: &TxId) {
+            self.calls.lock().push("forget".into());
+        }
+        fn resource_name(&self) -> &str {
+            &self.name
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::ScriptedResource;
+    use super::*;
+
+    #[test]
+    fn default_one_phase_commits_on_commit_vote() {
+        let r = ScriptedResource::voting("r", Vote::Commit);
+        r.commit_one_phase(&TxId::top_level(1)).unwrap();
+        assert_eq!(r.calls(), vec!["prepare", "commit"]);
+    }
+
+    #[test]
+    fn default_one_phase_skips_phase_two_for_read_only() {
+        let r = ScriptedResource::voting("r", Vote::ReadOnly);
+        r.commit_one_phase(&TxId::top_level(1)).unwrap();
+        assert_eq!(r.calls(), vec!["prepare"]);
+    }
+
+    #[test]
+    fn default_one_phase_rolls_back_on_rollback_vote() {
+        let r = ScriptedResource::voting("r", Vote::Rollback);
+        let err = r.commit_one_phase(&TxId::top_level(1)).unwrap_err();
+        assert!(matches!(err, TxError::RolledBack(_)));
+        assert_eq!(r.calls(), vec!["prepare", "rollback"]);
+    }
+
+    #[test]
+    fn vote_display() {
+        assert_eq!(Vote::Commit.to_string(), "vote-commit");
+        assert_eq!(Vote::Rollback.to_string(), "vote-rollback");
+        assert_eq!(Vote::ReadOnly.to_string(), "vote-read-only");
+    }
+}

@@ -1,0 +1,143 @@
+//! Transaction status and its legal transitions.
+
+use std::fmt;
+
+/// Lifecycle status of a transaction (mirrors CosTransactions::Status).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxStatus {
+    /// Work may be performed; resources may be registered.
+    Active,
+    /// Still formally active but doomed: the only way out is rollback.
+    MarkedRollback,
+    /// Phase one in progress: prepare being sent to participants.
+    Preparing,
+    /// All participants voted; awaiting the durable decision.
+    Prepared,
+    /// Decision logged; phase two (commit) being delivered.
+    Committing,
+    /// Terminal: committed.
+    Committed,
+    /// Phase two (rollback) being delivered.
+    RollingBack,
+    /// Terminal: rolled back.
+    RolledBack,
+}
+
+impl TxStatus {
+    /// Whether the transaction has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, TxStatus::Committed | TxStatus::RolledBack)
+    }
+
+    /// Whether new work (writes, registrations) is admissible.
+    pub fn accepts_work(self) -> bool {
+        matches!(self, TxStatus::Active)
+    }
+
+    /// Whether `self → next` is a legal lifecycle transition.
+    pub fn can_transition_to(self, next: TxStatus) -> bool {
+        use TxStatus::*;
+        matches!(
+            (self, next),
+            (Active, MarkedRollback)
+                | (Active, Preparing)
+                | (Active, RollingBack)
+                | (MarkedRollback, RollingBack)
+                | (Preparing, Prepared)
+                | (Preparing, RollingBack)
+                | (Preparing, Committed) // all participants voted read-only
+                | (Prepared, Committing)
+                | (Prepared, RollingBack)
+                | (Committing, Committed)
+                | (RollingBack, RolledBack)
+        )
+    }
+}
+
+impl fmt::Display for TxStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxStatus::Active => "active",
+            TxStatus::MarkedRollback => "marked-rollback",
+            TxStatus::Preparing => "preparing",
+            TxStatus::Prepared => "prepared",
+            TxStatus::Committing => "committing",
+            TxStatus::Committed => "committed",
+            TxStatus::RollingBack => "rolling-back",
+            TxStatus::RolledBack => "rolled-back",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TxStatus::*;
+
+    const ALL: [TxStatus; 8] = [
+        Active,
+        MarkedRollback,
+        Preparing,
+        Prepared,
+        Committing,
+        Committed,
+        RollingBack,
+        RolledBack,
+    ];
+
+    #[test]
+    fn terminal_states_allow_nothing() {
+        for terminal in [Committed, RolledBack] {
+            assert!(terminal.is_terminal());
+            assert!(!terminal.accepts_work());
+            for next in ALL {
+                assert!(!terminal.can_transition_to(next), "{terminal} -> {next}");
+            }
+        }
+    }
+
+    #[test]
+    fn happy_commit_path_is_legal() {
+        assert!(Active.can_transition_to(Preparing));
+        assert!(Preparing.can_transition_to(Prepared));
+        assert!(Prepared.can_transition_to(Committing));
+        assert!(Committing.can_transition_to(Committed));
+    }
+
+    #[test]
+    fn rollback_paths_are_legal() {
+        assert!(Active.can_transition_to(RollingBack));
+        assert!(Active.can_transition_to(MarkedRollback));
+        assert!(MarkedRollback.can_transition_to(RollingBack));
+        assert!(Preparing.can_transition_to(RollingBack));
+        assert!(Prepared.can_transition_to(RollingBack));
+        assert!(RollingBack.can_transition_to(RolledBack));
+    }
+
+    #[test]
+    fn marked_rollback_cannot_commit() {
+        assert!(!MarkedRollback.can_transition_to(Preparing));
+        assert!(!MarkedRollback.can_transition_to(Committed));
+        assert!(!MarkedRollback.accepts_work());
+    }
+
+    #[test]
+    fn read_only_shortcut() {
+        assert!(Preparing.can_transition_to(Committed));
+    }
+
+    #[test]
+    fn no_resurrection() {
+        assert!(!Committed.can_transition_to(Active));
+        assert!(!RolledBack.can_transition_to(Active));
+        assert!(!RollingBack.can_transition_to(Committed));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for s in ALL {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

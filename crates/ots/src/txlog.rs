@@ -1,0 +1,359 @@
+//! Durable transaction records and crash recovery.
+//!
+//! The coordinator writes three kinds of records for a top-level transaction
+//! that reaches phase two:
+//!
+//! 1. [`KIND_TX_PREPARED`] — entering phase one, with participant names;
+//! 2. [`KIND_TX_DECISION`] — the commit decision (the *only* record that
+//!    must be forced before phase two; presumed abort makes an explicit
+//!    rollback decision unnecessary);
+//! 3. [`KIND_TX_COMPLETED`] — the outcome was fully delivered.
+//!
+//! [`recover`] scans a log and classifies every transaction: decided but not
+//! completed ⇒ **re-deliver commit**; prepared but undecided ⇒ **presumed
+//! abort** (re-deliver rollback). A [`ParticipantResolver`] maps the logged
+//! participant names back to live [`Resource`]s — the "rebinding" half of
+//! the paper's §3.4 recovery requirements, at the transaction level.
+
+use std::collections::BTreeMap;
+
+use orb::{Value, ValueMap};
+use recovery_log::{LogError, Lsn, Wal};
+
+use crate::error::TxError;
+use crate::resource::Resource;
+use crate::status::TxStatus;
+use crate::xid::TxId;
+
+/// Record kind: a top-level transaction was begun.
+pub const KIND_TX_BEGUN: u32 = 0x0101;
+/// Record kind: phase one entered; payload lists participant names.
+pub const KIND_TX_PREPARED: u32 = 0x0102;
+/// Record kind: commit decision made durable.
+pub const KIND_TX_DECISION: u32 = 0x0103;
+/// Record kind: outcome fully delivered.
+pub const KIND_TX_COMPLETED: u32 = 0x0104;
+
+/// Serialise a [`TxId`] into a [`Value`].
+pub fn txid_to_value(tx: &TxId) -> Value {
+    let mut m = ValueMap::new();
+    m.insert("top".into(), Value::U64(tx.top_seq()));
+    let mut indices = Vec::new();
+    collect_branch_indices(tx, &mut indices);
+    m.insert(
+        "branch".into(),
+        Value::List(indices.into_iter().map(|i| Value::U64(u64::from(i))).collect()),
+    );
+    Value::Map(m)
+}
+
+fn collect_branch_indices(tx: &TxId, out: &mut Vec<u32>) {
+    // Reconstruct branch indices by walking the Display form: "tx-7.0.2".
+    let s = tx.to_string();
+    let mut parts = s.trim_start_matches("tx-").split('.');
+    let _top = parts.next();
+    for p in parts {
+        if let Ok(i) = p.parse::<u32>() {
+            out.push(i);
+        }
+    }
+}
+
+/// Deserialise a [`TxId`] from a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`TxError::Log`] on malformed input.
+pub fn txid_from_value(value: &Value) -> Result<TxId, TxError> {
+    let m = value.as_map().ok_or_else(|| TxError::Log("txid must be a map".into()))?;
+    let top = m
+        .get("top")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| TxError::Log("txid missing top".into()))?;
+    let mut tx = TxId::top_level(top);
+    if let Some(Value::List(items)) = m.get("branch") {
+        for item in items {
+            let idx = item.as_u64().ok_or_else(|| TxError::Log("bad branch index".into()))?;
+            tx = tx.child(idx as u32);
+        }
+    }
+    Ok(tx)
+}
+
+/// Write a begin record.
+///
+/// # Errors
+///
+/// Propagates log failures.
+pub fn log_begun(wal: &dyn Wal, tx: &TxId) -> Result<Lsn, LogError> {
+    wal.append(KIND_TX_BEGUN, &txid_to_value(tx).encode())
+}
+
+/// Write the phase-one record with participant names.
+///
+/// # Errors
+///
+/// Propagates log failures.
+pub fn log_prepared(wal: &dyn Wal, tx: &TxId, participants: &[&str]) -> Result<Lsn, LogError> {
+    let mut m = ValueMap::new();
+    m.insert("tx".into(), txid_to_value(tx));
+    m.insert(
+        "participants".into(),
+        Value::List(participants.iter().map(|p| Value::from(*p)).collect()),
+    );
+    wal.append(KIND_TX_PREPARED, &Value::Map(m).encode())
+}
+
+/// Force the commit decision.
+///
+/// # Errors
+///
+/// Propagates log failures.
+pub fn log_decision_commit(wal: &dyn Wal, tx: &TxId) -> Result<Lsn, LogError> {
+    wal.append(KIND_TX_DECISION, &txid_to_value(tx).encode())
+}
+
+/// Record that the outcome was fully delivered.
+///
+/// # Errors
+///
+/// Propagates log failures.
+pub fn log_completed(wal: &dyn Wal, tx: &TxId, status: TxStatus) -> Result<Lsn, LogError> {
+    let mut m = ValueMap::new();
+    m.insert("tx".into(), txid_to_value(tx));
+    m.insert("committed".into(), Value::Bool(status == TxStatus::Committed));
+    wal.append(KIND_TX_COMPLETED, &Value::Map(m).encode())
+}
+
+/// Maps logged participant names back to live resources after a restart.
+pub trait ParticipantResolver {
+    /// Produce the resource registered under `name` before the crash, or
+    /// `None` when it no longer exists (its vote is then unrecoverable and
+    /// the transaction is reported as a heuristic hazard).
+    fn resolve(&self, name: &str) -> Option<std::sync::Arc<dyn Resource>>;
+}
+
+impl<F> ParticipantResolver for F
+where
+    F: Fn(&str) -> Option<std::sync::Arc<dyn Resource>>,
+{
+    fn resolve(&self, name: &str) -> Option<std::sync::Arc<dyn Resource>> {
+        self(name)
+    }
+}
+
+/// What recovery did for the in-doubt transactions it found.
+#[derive(Debug, Default)]
+pub struct TxRecoveryReport {
+    /// Decided transactions whose commit was re-delivered.
+    pub recommitted: Vec<TxId>,
+    /// Prepared-but-undecided transactions rolled back (presumed abort).
+    pub presumed_aborted: Vec<TxId>,
+    /// Participants that could not be rebound.
+    pub unresolved: Vec<(TxId, String)>,
+}
+
+#[derive(Default)]
+struct TxTrace {
+    participants: Vec<String>,
+    prepared: bool,
+    decided: bool,
+    completed: bool,
+}
+
+/// Scan `wal` and finish every in-doubt transaction.
+///
+/// # Errors
+///
+/// Returns [`TxError::Log`] when the log cannot be scanned or a record is
+/// malformed.
+pub fn recover(wal: &dyn Wal, resolver: &dyn ParticipantResolver) -> Result<TxRecoveryReport, TxError> {
+    let mut traces: BTreeMap<TxId, TxTrace> = BTreeMap::new();
+    for record in wal.scan(Lsn::new(0))? {
+        match record.kind {
+            KIND_TX_BEGUN => {
+                let tx = txid_from_value(&decode(&record.payload)?)?;
+                traces.entry(tx).or_default();
+            }
+            KIND_TX_PREPARED => {
+                let v = decode(&record.payload)?;
+                let m = v.as_map().ok_or_else(|| TxError::Log("bad prepared record".into()))?;
+                let tx = txid_from_value(
+                    m.get("tx").ok_or_else(|| TxError::Log("prepared record missing tx".into()))?,
+                )?;
+                let trace = traces.entry(tx).or_default();
+                trace.prepared = true;
+                if let Some(Value::List(items)) = m.get("participants") {
+                    trace.participants = items
+                        .iter()
+                        .filter_map(|i| i.as_str().map(str::to_owned))
+                        .collect();
+                }
+            }
+            KIND_TX_DECISION => {
+                let tx = txid_from_value(&decode(&record.payload)?)?;
+                traces.entry(tx).or_default().decided = true;
+            }
+            KIND_TX_COMPLETED => {
+                let v = decode(&record.payload)?;
+                let m = v.as_map().ok_or_else(|| TxError::Log("bad completed record".into()))?;
+                let tx = txid_from_value(
+                    m.get("tx").ok_or_else(|| TxError::Log("completed record missing tx".into()))?,
+                )?;
+                traces.entry(tx).or_default().completed = true;
+            }
+            _ => {}
+        }
+    }
+
+    let mut report = TxRecoveryReport::default();
+    for (tx, trace) in traces {
+        if trace.completed || !trace.prepared {
+            continue;
+        }
+        for name in &trace.participants {
+            match resolver.resolve(name) {
+                Some(resource) => {
+                    if trace.decided {
+                        let _ = resource.commit(&tx);
+                    } else {
+                        let _ = resource.rollback(&tx);
+                    }
+                }
+                None => report.unresolved.push((tx.clone(), name.clone())),
+            }
+        }
+        let _ = log_completed(
+            wal,
+            &tx,
+            if trace.decided { TxStatus::Committed } else { TxStatus::RolledBack },
+        );
+        if trace.decided {
+            report.recommitted.push(tx);
+        } else {
+            report.presumed_aborted.push(tx);
+        }
+    }
+    Ok(report)
+}
+
+fn decode(payload: &[u8]) -> Result<Value, TxError> {
+    Value::decode(payload).map_err(|e| TxError::Log(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::test_support::ScriptedResource;
+    use crate::resource::Vote;
+    use recovery_log::MemWal;
+    use std::sync::Arc;
+
+    #[test]
+    fn txid_value_roundtrip() {
+        for tx in [
+            TxId::top_level(0),
+            TxId::top_level(7),
+            TxId::top_level(7).child(0),
+            TxId::top_level(7).child(3).child(1),
+        ] {
+            let v = txid_to_value(&tx);
+            assert_eq!(txid_from_value(&v).unwrap(), tx, "roundtrip of {tx}");
+        }
+    }
+
+    #[test]
+    fn decided_but_incomplete_transaction_is_recommitted() {
+        let wal = MemWal::new();
+        let tx = TxId::top_level(5);
+        log_prepared(&wal, &tx, &["store-a", "store-b"]).unwrap();
+        log_decision_commit(&wal, &tx).unwrap();
+        // Crash: no completion record.
+
+        let a = ScriptedResource::voting("store-a", Vote::Commit);
+        let b = ScriptedResource::voting("store-b", Vote::Commit);
+        let a2 = a.clone();
+        let b2 = b.clone();
+        let resolver = move |name: &str| -> Option<Arc<dyn Resource>> {
+            match name {
+                "store-a" => Some(a2.clone()),
+                "store-b" => Some(b2.clone()),
+                _ => None,
+            }
+        };
+        let report = recover(&wal, &resolver).unwrap();
+        assert_eq!(report.recommitted, vec![tx]);
+        assert!(report.presumed_aborted.is_empty());
+        assert_eq!(a.calls(), vec!["commit"]);
+        assert_eq!(b.calls(), vec!["commit"]);
+    }
+
+    #[test]
+    fn undecided_transaction_is_presumed_aborted() {
+        let wal = MemWal::new();
+        let tx = TxId::top_level(6);
+        log_prepared(&wal, &tx, &["store-a"]).unwrap();
+        let a = ScriptedResource::voting("store-a", Vote::Commit);
+        let a2 = a.clone();
+        let resolver =
+            move |name: &str| -> Option<Arc<dyn Resource>> { (name == "store-a").then(|| a2.clone() as _) };
+        let report = recover(&wal, &resolver).unwrap();
+        assert_eq!(report.presumed_aborted, vec![tx]);
+        assert_eq!(a.calls(), vec!["rollback"]);
+    }
+
+    #[test]
+    fn completed_transactions_are_left_alone() {
+        let wal = MemWal::new();
+        let tx = TxId::top_level(7);
+        log_prepared(&wal, &tx, &["r"]).unwrap();
+        log_decision_commit(&wal, &tx).unwrap();
+        log_completed(&wal, &tx, TxStatus::Committed).unwrap();
+        let resolver = |_: &str| -> Option<Arc<dyn Resource>> {
+            panic!("resolver must not be consulted for completed transactions")
+        };
+        let report = recover(&wal, &resolver).unwrap();
+        assert!(report.recommitted.is_empty());
+        assert!(report.presumed_aborted.is_empty());
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let wal = MemWal::new();
+        let tx = TxId::top_level(8);
+        log_prepared(&wal, &tx, &["r"]).unwrap();
+        log_decision_commit(&wal, &tx).unwrap();
+        let r = ScriptedResource::voting("r", Vote::Commit);
+        let r2 = r.clone();
+        let resolver =
+            move |name: &str| -> Option<Arc<dyn Resource>> { (name == "r").then(|| r2.clone() as _) };
+        recover(&wal, &resolver).unwrap();
+        // Second pass: the completion record written by the first pass
+        // means nothing more is re-delivered.
+        let report = recover(&wal, &resolver).unwrap();
+        assert!(report.recommitted.is_empty());
+        assert_eq!(r.calls(), vec!["commit"], "exactly one redelivery");
+    }
+
+    #[test]
+    fn unresolvable_participants_are_reported() {
+        let wal = MemWal::new();
+        let tx = TxId::top_level(9);
+        log_prepared(&wal, &tx, &["ghost"]).unwrap();
+        log_decision_commit(&wal, &tx).unwrap();
+        let resolver = |_: &str| -> Option<Arc<dyn Resource>> { None };
+        let report = recover(&wal, &resolver).unwrap();
+        assert_eq!(report.unresolved, vec![(tx, "ghost".to_string())]);
+    }
+
+    #[test]
+    fn begun_only_transactions_need_nothing() {
+        let wal = MemWal::new();
+        log_begun(&wal, &TxId::top_level(10)).unwrap();
+        let resolver = |_: &str| -> Option<Arc<dyn Resource>> { None };
+        let report = recover(&wal, &resolver).unwrap();
+        assert!(report.recommitted.is_empty());
+        assert!(report.presumed_aborted.is_empty());
+        assert!(report.unresolved.is_empty());
+    }
+}

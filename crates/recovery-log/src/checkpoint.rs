@@ -1,0 +1,107 @@
+//! Checkpointing: bounding replay work by recording a stable prefix.
+//!
+//! A checkpoint is itself a log record (kind [`CHECKPOINT_KIND`]) whose
+//! payload is a component-provided snapshot. Replay then starts from the
+//! last checkpoint instead of the log head, and the prefix before it can be
+//! compacted away.
+
+use crate::error::LogError;
+use crate::record::{LogRecord, Lsn};
+use crate::wal::Wal;
+
+/// Reserved record kind for checkpoints. Component kind spaces must avoid it.
+pub const CHECKPOINT_KIND: u32 = u32::MAX;
+
+/// Write a checkpoint record carrying `snapshot`, then (optionally) compact
+/// the log prefix preceding it.
+///
+/// Returns the checkpoint's LSN.
+///
+/// # Errors
+///
+/// Propagates append/compaction failures from the log.
+pub fn take_checkpoint(wal: &dyn Wal, snapshot: &[u8], compact: bool) -> Result<Lsn, LogError> {
+    let lsn = wal.append(CHECKPOINT_KIND, snapshot)?;
+    wal.sync()?;
+    if compact {
+        wal.truncate_prefix(lsn)?;
+    }
+    Ok(lsn)
+}
+
+/// Locate the most recent checkpoint in the log, returning the checkpoint
+/// record (with its snapshot payload) and the records after it.
+///
+/// When no checkpoint exists, returns `None` and the full record list.
+///
+/// # Errors
+///
+/// Propagates scan failures from the log.
+pub fn latest_checkpoint(
+    wal: &dyn Wal,
+) -> Result<(Option<LogRecord>, Vec<LogRecord>), LogError> {
+    let records = wal.scan(Lsn::new(0))?;
+    let checkpoint_idx = records.iter().rposition(|r| r.kind == CHECKPOINT_KIND);
+    match checkpoint_idx {
+        Some(i) => {
+            let tail = records[i + 1..].to_vec();
+            Ok((Some(records[i].clone()), tail))
+        }
+        None => Ok((None, records)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::MemWal;
+
+    #[test]
+    fn checkpoint_splits_log() {
+        let wal = MemWal::new();
+        wal.append(1, b"a").unwrap();
+        wal.append(1, b"b").unwrap();
+        let cp = take_checkpoint(&wal, b"snapshot-1", false).unwrap();
+        wal.append(1, b"c").unwrap();
+
+        let (checkpoint, tail) = latest_checkpoint(&wal).unwrap();
+        let checkpoint = checkpoint.unwrap();
+        assert_eq!(checkpoint.lsn, cp);
+        assert_eq!(checkpoint.payload, b"snapshot-1");
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].payload, b"c");
+    }
+
+    #[test]
+    fn compacting_checkpoint_drops_prefix() {
+        let wal = MemWal::new();
+        for _ in 0..10 {
+            wal.append(1, b"old").unwrap();
+        }
+        take_checkpoint(&wal, b"snap", true).unwrap();
+        wal.append(1, b"new").unwrap();
+        assert_eq!(wal.len(), 2, "checkpoint + one new record");
+    }
+
+    #[test]
+    fn latest_of_several_checkpoints_wins() {
+        let wal = MemWal::new();
+        take_checkpoint(&wal, b"one", false).unwrap();
+        wal.append(1, b"x").unwrap();
+        take_checkpoint(&wal, b"two", false).unwrap();
+        wal.append(1, b"y").unwrap();
+        let (checkpoint, tail) = latest_checkpoint(&wal).unwrap();
+        assert_eq!(checkpoint.unwrap().payload, b"two");
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].payload, b"y");
+    }
+
+    #[test]
+    fn no_checkpoint_returns_full_log() {
+        let wal = MemWal::new();
+        wal.append(1, b"a").unwrap();
+        let (checkpoint, tail) = latest_checkpoint(&wal).unwrap();
+        assert!(checkpoint.is_none());
+        assert_eq!(tail.len(), 1);
+    }
+}

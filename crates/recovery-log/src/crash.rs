@@ -1,0 +1,190 @@
+//! Deterministic crash injection.
+//!
+//! Two mechanisms:
+//!
+//! * [`FailpointSet`] — named failpoints armed to fire after N passages;
+//!   protocol code calls [`FailpointSet::hit`] at interesting steps
+//!   ("ots.before_commit_record", "activity.after_signal") and gets a
+//!   [`LogError::CrashInjected`] back when the armed count is reached. Tests
+//!   use this to build crash matrices over every protocol step (§3.4's
+//!   recovery requirements).
+//! * [`CrashingWal`] — a [`Wal`] decorator that fails after a configured
+//!   number of appends (tests that want a *torn* record on disk append
+//!   half an encoding to the [`crate::FileWal`]'s file directly).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::LogError;
+use crate::record::{LogRecord, Lsn};
+use crate::wal::Wal;
+
+/// A set of named failpoints shared across components.
+///
+/// Cloning shares the set.
+#[derive(Debug, Clone, Default)]
+pub struct FailpointSet {
+    // name → remaining passages before firing (0 = fire now).
+    armed: Arc<Mutex<HashMap<String, u32>>>,
+}
+
+impl FailpointSet {
+    /// An empty set; all failpoints disarmed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm `name` to fire on the `after`-th passage (0 = the very next one).
+    pub fn arm(&self, name: impl Into<String>, after: u32) {
+        self.armed.lock().insert(name.into(), after);
+    }
+
+    /// Disarm `name`. Returns whether it was armed.
+    pub fn disarm(&self, name: &str) -> bool {
+        self.armed.lock().remove(name).is_some()
+    }
+
+    /// Disarm everything.
+    pub fn clear(&self) {
+        self.armed.lock().clear();
+    }
+
+    /// Record a passage through failpoint `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::CrashInjected`] when the armed passage count is
+    /// reached; the failpoint stays armed at zero so every subsequent hit
+    /// also crashes (a dead process stays dead until the test "restarts" it
+    /// by disarming).
+    pub fn hit(&self, name: &str) -> Result<(), LogError> {
+        let mut armed = self.armed.lock();
+        match armed.get_mut(name) {
+            None => Ok(()),
+            Some(0) => Err(LogError::CrashInjected(name.to_owned())),
+            Some(n) => {
+                *n -= 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether `name` is currently armed.
+    pub fn is_armed(&self, name: &str) -> bool {
+        self.armed.lock().contains_key(name)
+    }
+}
+
+/// A [`Wal`] decorator that injects a crash after a configured number of
+/// successful appends.
+#[derive(Debug)]
+pub struct CrashingWal<W> {
+    inner: W,
+    remaining: Mutex<Option<u32>>,
+}
+
+impl<W: Wal> CrashingWal<W> {
+    /// Wrap `inner`, crashing on the append after `appends_before_crash`
+    /// successful ones.
+    pub fn new(inner: W, appends_before_crash: u32) -> Self {
+        CrashingWal { inner, remaining: Mutex::new(Some(appends_before_crash)) }
+    }
+
+    /// Disable the pending crash (the log "survives").
+    pub fn defuse(&self) {
+        *self.remaining.lock() = None;
+    }
+
+    /// Access the wrapped log (e.g. to reopen after the "crash").
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+
+    /// Unwrap, returning the inner log.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Wal> Wal for CrashingWal<W> {
+    fn append(&self, kind: u32, payload: &[u8]) -> Result<Lsn, LogError> {
+        {
+            let mut remaining = self.remaining.lock();
+            match remaining.as_mut() {
+                Some(0) => return Err(LogError::CrashInjected("wal.append".into())),
+                Some(n) => *n -= 1,
+                None => {}
+            }
+        }
+        self.inner.append(kind, payload)
+    }
+
+    fn scan(&self, from: Lsn) -> Result<Vec<LogRecord>, LogError> {
+        self.inner.scan(from)
+    }
+
+    fn truncate_prefix(&self, upto: Lsn) -> Result<(), LogError> {
+        self.inner.truncate_prefix(upto)
+    }
+
+    fn sync(&self) -> Result<(), LogError> {
+        self.inner.sync()
+    }
+
+    fn next_lsn(&self) -> Lsn {
+        self.inner.next_lsn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::MemWal;
+
+    #[test]
+    fn unarmed_failpoints_pass() {
+        let fp = FailpointSet::new();
+        for _ in 0..100 {
+            fp.hit("anything").unwrap();
+        }
+    }
+
+    #[test]
+    fn armed_failpoint_fires_after_n_passages() {
+        let fp = FailpointSet::new();
+        fp.arm("step", 2);
+        fp.hit("step").unwrap();
+        fp.hit("step").unwrap();
+        assert!(matches!(fp.hit("step"), Err(LogError::CrashInjected(_))));
+        // Stays dead.
+        assert!(fp.hit("step").is_err());
+        assert!(fp.disarm("step"));
+        fp.hit("step").unwrap();
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let fp = FailpointSet::new();
+        let fp2 = fp.clone();
+        fp.arm("x", 0);
+        assert!(fp2.is_armed("x"));
+        assert!(fp2.hit("x").is_err());
+        fp2.clear();
+        assert!(fp.hit("x").is_ok());
+    }
+
+    #[test]
+    fn crashing_wal_counts_appends() {
+        let wal = CrashingWal::new(MemWal::new(), 2);
+        wal.append(1, b"a").unwrap();
+        wal.append(1, b"b").unwrap();
+        assert!(matches!(wal.append(1, b"c"), Err(LogError::CrashInjected(_))));
+        // The first two records survived the crash.
+        assert_eq!(wal.scan(Lsn::new(0)).unwrap().len(), 2);
+        wal.defuse();
+        wal.append(1, b"c").unwrap();
+        assert_eq!(wal.into_inner().scan(Lsn::new(0)).unwrap().len(), 3);
+    }
+}

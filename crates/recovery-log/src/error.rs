@@ -1,0 +1,73 @@
+//! Error type for logging and recovery operations.
+
+use std::fmt;
+
+use crate::record::Lsn;
+
+/// Errors raised by the write-ahead log and replay machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogError {
+    /// An underlying I/O operation failed.
+    Io(String),
+    /// A record failed its integrity check during a scan.
+    Corrupt {
+        /// Sequence number of the bad record (best effort).
+        lsn: Lsn,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A crash was injected at the named failpoint; the "process" must stop.
+    CrashInjected(String),
+    /// The log has been sealed and refuses further appends.
+    Sealed,
+    /// A recovery handler rejected a record.
+    Handler(String),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(msg) => write!(f, "log i/o failure: {msg}"),
+            LogError::Corrupt { lsn, reason } => {
+                write!(f, "corrupt log record at lsn {lsn}: {reason}")
+            }
+            LogError::CrashInjected(point) => write!(f, "crash injected at failpoint {point:?}"),
+            LogError::Sealed => write!(f, "log is sealed"),
+            LogError::Handler(msg) => write!(f, "recovery handler failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            LogError::Io("x".into()),
+            LogError::Corrupt { lsn: Lsn::new(3), reason: "bad crc".into() },
+            LogError::CrashInjected("prepare".into()),
+            LogError::Sealed,
+            LogError::Handler("no".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::other("disk gone");
+        let e: LogError = io.into();
+        assert!(matches!(e, LogError::Io(_)));
+    }
+}

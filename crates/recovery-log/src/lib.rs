@@ -1,0 +1,62 @@
+//! Write-ahead logging, crash injection and replay: the persistence
+//! substrate behind §3.4 of the paper ("Treatment of failure and recovery").
+//!
+//! The paper leaves persistence strategy to implementers but itemises what
+//! recovery must achieve: replaying application logic, rebinding the
+//! activity structure, restoring application object consistency, and
+//! recovering Actions and SignalSets. This crate supplies the mechanisms the
+//! `ots` and `activity-service` crates build those guarantees on:
+//!
+//! * [`record::LogRecord`] — checksummed, length-prefixed records with
+//!   caller-defined kinds;
+//! * [`wal::Wal`] — the append/scan/truncate interface, with an in-memory
+//!   implementation ([`wal::MemWal`]) and a file-backed one
+//!   ([`file_wal::FileWal`]) that tolerates torn tails;
+//! * [`crash::FailpointSet`] and [`crash::CrashingWal`] — deterministic
+//!   crash injection at named protocol steps or after N appends;
+//! * [`replay::Replayer`] — scans a log and feeds records to a
+//!   [`replay::RecoveryHandler`];
+//! * [`checkpoint`] — prefix truncation bookkeeping.
+//!
+//! # Example
+//!
+//! ```
+//! use recovery_log::wal::{MemWal, Wal};
+//! use recovery_log::replay::{RecoveryHandler, Replayer};
+//! use recovery_log::record::LogRecord;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let wal = MemWal::new();
+//! wal.append(1, b"begin tx-7")?;
+//! wal.append(2, b"commit tx-7")?;
+//!
+//! struct Collect(Vec<u32>);
+//! impl RecoveryHandler for Collect {
+//!     type Error = std::convert::Infallible;
+//!     fn apply(&mut self, record: &LogRecord) -> Result<(), Self::Error> {
+//!         self.0.push(record.kind);
+//!         Ok(())
+//!     }
+//! }
+//! let mut handler = Collect(Vec::new());
+//! let report = Replayer::new().replay(&wal, &mut handler)?;
+//! assert_eq!(report.replayed, 2);
+//! assert_eq!(handler.0, vec![1, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod checkpoint;
+pub mod crash;
+pub mod error;
+pub mod file_wal;
+pub mod record;
+pub mod replay;
+pub mod wal;
+
+pub use crash::{CrashingWal, FailpointSet};
+pub use error::LogError;
+pub use file_wal::FileWal;
+pub use record::{LogRecord, Lsn};
+pub use replay::{RecoveryHandler, Replayer};
+pub use wal::{MemWal, Wal};

@@ -1,0 +1,199 @@
+//! The write-ahead log interface and its in-memory implementation.
+
+use parking_lot::Mutex;
+
+use crate::error::LogError;
+use crate::record::{LogRecord, Lsn};
+
+/// A write-ahead log: append-only, scannable, prefix-truncatable.
+///
+/// Implementations must assign dense, strictly increasing [`Lsn`]s starting
+/// at 1 and must make a record visible to [`Wal::scan`] only once it is
+/// durable to the implementation's standard (in-memory logs are "durable" as
+/// soon as the append returns; [`crate::FileWal`] after the bytes hit the
+/// file).
+pub trait Wal: Send + Sync {
+    /// Append a record, returning its assigned [`Lsn`].
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail with [`LogError::Io`], [`LogError::Sealed`]
+    /// or an injected [`LogError::CrashInjected`].
+    fn append(&self, kind: u32, payload: &[u8]) -> Result<Lsn, LogError>;
+
+    /// Return every durable record at or after `from`, in LSN order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] if the log cannot be read. Torn or corrupt
+    /// *tails* are not errors: the valid prefix is returned (file logs
+    /// truncate the scan at the first bad record).
+    fn scan(&self, from: Lsn) -> Result<Vec<LogRecord>, LogError>;
+
+    /// Drop all records with `lsn < upto` (checkpoint compaction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] if the compaction cannot be persisted.
+    fn truncate_prefix(&self, upto: Lsn) -> Result<(), LogError>;
+
+    /// Force durability of everything appended so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] on sync failure.
+    fn sync(&self) -> Result<(), LogError>;
+
+    /// The LSN that the next append will receive.
+    fn next_lsn(&self) -> Lsn;
+
+    /// Number of currently retained records.
+    fn len(&self) -> usize {
+        self.scan(Lsn::new(0)).map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Whether the log retains no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An in-memory [`Wal`] for tests, benchmarks and volatile deployments.
+#[derive(Debug, Default)]
+pub struct MemWal {
+    inner: Mutex<MemWalInner>,
+}
+
+#[derive(Debug, Default)]
+struct MemWalInner {
+    records: Vec<LogRecord>,
+    next: u64,
+    sealed: bool,
+}
+
+impl MemWal {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        MemWal { inner: Mutex::new(MemWalInner { records: Vec::new(), next: 1, sealed: false }) }
+    }
+
+    /// Seal the log: further appends fail with [`LogError::Sealed`]. Used to
+    /// model a "dead" process whose log survives.
+    pub fn seal(&self) {
+        self.inner.lock().sealed = true;
+    }
+
+    /// Reopen a sealed log (the "restarted process" picks the log back up).
+    pub fn unseal(&self) {
+        self.inner.lock().sealed = false;
+    }
+}
+
+impl Wal for MemWal {
+    fn append(&self, kind: u32, payload: &[u8]) -> Result<Lsn, LogError> {
+        let mut inner = self.inner.lock();
+        if inner.sealed {
+            return Err(LogError::Sealed);
+        }
+        let lsn = Lsn::new(inner.next);
+        inner.next += 1;
+        inner.records.push(LogRecord::new(lsn, kind, payload.to_vec()));
+        Ok(lsn)
+    }
+
+    fn scan(&self, from: Lsn) -> Result<Vec<LogRecord>, LogError> {
+        Ok(self
+            .inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.lsn >= from)
+            .cloned()
+            .collect())
+    }
+
+    fn truncate_prefix(&self, upto: Lsn) -> Result<(), LogError> {
+        self.inner.lock().records.retain(|r| r.lsn >= upto);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<(), LogError> {
+        Ok(())
+    }
+
+    fn next_lsn(&self) -> Lsn {
+        Lsn::new(self.inner.lock().next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_assign_dense_lsns() {
+        let wal = MemWal::new();
+        assert!(wal.is_empty());
+        assert_eq!(wal.append(1, b"a").unwrap(), Lsn::new(1));
+        assert_eq!(wal.append(2, b"b").unwrap(), Lsn::new(2));
+        assert_eq!(wal.next_lsn(), Lsn::new(3));
+        assert_eq!(wal.len(), 2);
+    }
+
+    #[test]
+    fn scan_from_midpoint() {
+        let wal = MemWal::new();
+        for i in 0..5u32 {
+            wal.append(i, &[i as u8]).unwrap();
+        }
+        let tail = wal.scan(Lsn::new(3)).unwrap();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].lsn, Lsn::new(3));
+    }
+
+    #[test]
+    fn truncate_prefix_drops_old_records() {
+        let wal = MemWal::new();
+        for i in 0..5u32 {
+            wal.append(i, b"x").unwrap();
+        }
+        wal.truncate_prefix(Lsn::new(4)).unwrap();
+        let remaining = wal.scan(Lsn::new(0)).unwrap();
+        assert_eq!(remaining.len(), 2);
+        assert_eq!(remaining[0].lsn, Lsn::new(4));
+        // LSNs keep counting even after truncation.
+        assert_eq!(wal.append(9, b"y").unwrap(), Lsn::new(6));
+    }
+
+    #[test]
+    fn sealed_log_rejects_appends_but_still_scans() {
+        let wal = MemWal::new();
+        wal.append(1, b"a").unwrap();
+        wal.seal();
+        assert!(matches!(wal.append(1, b"b"), Err(LogError::Sealed)));
+        assert_eq!(wal.scan(Lsn::new(0)).unwrap().len(), 1);
+        wal.unseal();
+        assert!(wal.append(1, b"b").is_ok());
+    }
+
+    #[test]
+    fn concurrent_appends_never_lose_records() {
+        let wal = std::sync::Arc::new(MemWal::new());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let w = std::sync::Arc::clone(&wal);
+                s.spawn(move || {
+                    for i in 0..250u32 {
+                        w.append(t, &i.to_be_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        let records = wal.scan(Lsn::new(0)).unwrap();
+        assert_eq!(records.len(), 1000);
+        // LSNs are dense and strictly increasing.
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.lsn, Lsn::new(i as u64 + 1));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Extended transaction models mapped onto the Activity Service — the
+//! paper's §4, model by model.
+//!
+//! Each module instantiates the framework's Signals/SignalSets/Actions for
+//! one published extended transaction model, demonstrating the paper's
+//! thesis that a single general-purpose signalling mechanism subsumes them
+//! all:
+//!
+//! | Module | Paper section | Model |
+//! |---|---|---|
+//! | [`two_phase`] | §4.1, fig. 8 | classic two-phase commit |
+//! | [`compensation`] | §4.2, fig. 9 | open nesting with compensations |
+//! | [`sagas`] | §3.2.3 (cited) | Sagas (reverse-order compensation) |
+//! | [`lruow`] | §4.3 | Long Running Unit Of Work (rehearsal/performance) |
+//! | [`workflow_signals`] | §4.4, fig. 10 | workflow coordination |
+//! | [`ca_actions`] | §3.2.3 (cited \[13\]) | CA actions with exception resolution |
+//!
+//! BTP atoms and cohesions (§4.5, figs. 11–12) live in the sibling `btp`
+//! crate.
+
+pub mod ca_actions;
+pub mod common;
+pub mod compensation;
+pub mod lruow;
+pub mod sagas;
+pub mod two_phase;
+pub mod workflow_signals;
+
+pub use ca_actions::{
+    CaActionSignalSet, ExceptionHierarchy, RaisedExceptions, CA_ACTION_SET,
+};
+pub use compensation::{
+    ActivityRegistry, CompensationAction, CompletionSignalSet, InMemoryActivityRegistry,
+    COMPLETION_SET,
+};
+pub use lruow::{
+    enlist_unit_of_work, run_lruow_completion, LruowStore, PredicateViolation, UnitOfWork,
+    UnitOfWorkAction, PERFORMANCE_SET, REHEARSAL_SET,
+};
+pub use sagas::{Saga, SagaOutcome, SagaReport, SagaSignalSet, StepCompensation, SAGA_SET};
+pub use two_phase::{ResourceAction, TwoPhaseCommitSignalSet, TWO_PC_SET};
+pub use workflow_signals::{
+    CompletedSignalSet, OutcomeCollector, TaskAction, TaskStartSignalSet, COMPLETED_SET,
+    TASK_START_SET,
+};

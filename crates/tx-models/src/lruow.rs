@@ -1,0 +1,396 @@
+//! LRUOW — the Long Running Unit Of Work model of Bennett et al.
+//! (Middleware 2000), §4.3 of the paper.
+//!
+//! Work runs in two phases: a **rehearsal** phase "where the work is
+//! performed without recourse to serializability", recording operation
+//! predicates, and a **performance** phase "where the work is confirmed
+//! (committed) only if suitable locks and consistency criteria can be
+//! obtained on the data". The paper maps the model onto the framework with
+//! "a Rehearsal SignalSet and a Performance SignalSet. Each LRUOW resource
+//! could register a suitable Action with each SignalSet which would be
+//! driven when the activity completes" — which is exactly what
+//! [`enlist_unit_of_work`] wires up.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use activity_service::{
+    ActionError, Activity, ActivityError, BroadcastSignalSet, Outcome, Signal,
+};
+use orb::Value;
+use parking_lot::{Mutex, RwLock};
+
+use crate::common::{SIG_END_REHEARSAL, SIG_PERFORM};
+
+/// Conventional name of the rehearsal signal set.
+pub const REHEARSAL_SET: &str = "RehearsalSignalSet";
+/// Conventional name of the performance signal set.
+pub const PERFORMANCE_SET: &str = "PerformanceSignalSet";
+
+/// A versioned store supporting optimistic (predicate-checked) commitment.
+#[derive(Debug, Default)]
+pub struct LruowStore {
+    name: String,
+    // key → (value, version). Version bumps on every committed write.
+    data: RwLock<HashMap<String, (Value, u64)>>,
+}
+
+/// Why a performance phase refused a unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateViolation {
+    /// The key whose version moved under the rehearsal.
+    pub key: String,
+    /// Version the rehearsal observed.
+    pub rehearsed: u64,
+    /// Version found at performance time.
+    pub current: u64,
+}
+
+impl std::fmt::Display for PredicateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "predicate violated on {:?}: rehearsed v{}, now v{}",
+            self.key, self.rehearsed, self.current
+        )
+    }
+}
+
+impl std::error::Error for PredicateViolation {}
+
+impl LruowStore {
+    /// An empty store.
+    pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Arc::new(LruowStore { name: name.into(), data: RwLock::new(HashMap::new()) })
+    }
+
+    /// The store's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Read outside any unit of work.
+    pub fn read(&self, key: &str) -> Option<Value> {
+        self.data.read().get(key).map(|(v, _)| v.clone())
+    }
+
+    /// Current version of `key` (0 when absent).
+    pub fn version(&self, key: &str) -> u64 {
+        self.data.read().get(key).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Write outside any unit of work (bumps the version, so it conflicts
+    /// with concurrent rehearsals that read the key).
+    pub fn write(&self, key: &str, value: Value) {
+        let mut data = self.data.write();
+        let version = data.get(key).map(|(_, v)| *v).unwrap_or(0);
+        data.insert(key.to_owned(), (value, version + 1));
+    }
+
+    /// Begin a unit of work against this store.
+    pub fn begin_unit_of_work(self: &Arc<Self>) -> UnitOfWork {
+        UnitOfWork {
+            store: Arc::clone(self),
+            predicates: Mutex::new(HashMap::new()),
+            writes: Mutex::new(BTreeMap::new()),
+            performed: Mutex::new(false),
+        }
+    }
+
+    /// Validate `predicates` and, when they all hold, apply `writes`
+    /// atomically.
+    fn perform(
+        &self,
+        predicates: &HashMap<String, u64>,
+        writes: &BTreeMap<String, Value>,
+    ) -> Result<(), PredicateViolation> {
+        let mut data = self.data.write();
+        for (key, rehearsed) in predicates {
+            let current = data.get(key).map(|(_, v)| *v).unwrap_or(0);
+            if current != *rehearsed {
+                return Err(PredicateViolation {
+                    key: key.clone(),
+                    rehearsed: *rehearsed,
+                    current,
+                });
+            }
+        }
+        for (key, value) in writes {
+            let version = data.get(key).map(|(_, v)| *v).unwrap_or(0);
+            data.insert(key.clone(), (value.clone(), version + 1));
+        }
+        Ok(())
+    }
+}
+
+/// One long-running unit of work: rehearsed reads record version
+/// predicates; writes buffer locally; [`UnitOfWork::perform`] commits them
+/// only if every predicate still holds.
+pub struct UnitOfWork {
+    store: Arc<LruowStore>,
+    predicates: Mutex<HashMap<String, u64>>,
+    writes: Mutex<BTreeMap<String, Value>>,
+    performed: Mutex<bool>,
+}
+
+impl std::fmt::Debug for UnitOfWork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnitOfWork")
+            .field("store", &self.store.name)
+            .field("predicates", &self.predicates.lock().len())
+            .field("writes", &self.writes.lock().len())
+            .finish()
+    }
+}
+
+impl UnitOfWork {
+    /// Rehearse a read: returns the buffered write if any, else the store
+    /// value, recording the version predicate.
+    pub fn read(&self, key: &str) -> Option<Value> {
+        if let Some(buffered) = self.writes.lock().get(key) {
+            return Some(buffered.clone());
+        }
+        let value = self.store.read(key);
+        self.predicates
+            .lock()
+            .entry(key.to_owned())
+            .or_insert_with(|| self.store.version(key));
+        value
+    }
+
+    /// Rehearse a write: buffered locally, invisible until performance.
+    pub fn write(&self, key: &str, value: Value) {
+        self.writes.lock().insert(key.to_owned(), value);
+    }
+
+    /// Number of recorded predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.lock().len()
+    }
+
+    /// Whether the performance phase has run successfully.
+    pub fn performed(&self) -> bool {
+        *self.performed.lock()
+    }
+
+    /// The performance phase: validate every predicate and commit the
+    /// buffered writes. Idempotent: a second call after success is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`PredicateViolation`] when data moved under the rehearsal; the
+    /// caller typically re-rehearses and retries.
+    pub fn perform(&self) -> Result<(), PredicateViolation> {
+        let mut performed = self.performed.lock();
+        if *performed {
+            return Ok(());
+        }
+        self.store.perform(&self.predicates.lock(), &self.writes.lock())?;
+        *performed = true;
+        Ok(())
+    }
+}
+
+/// Adapts a [`UnitOfWork`] into Actions for the rehearsal/performance sets.
+pub struct UnitOfWorkAction {
+    name: String,
+    uow: Arc<UnitOfWork>,
+}
+
+impl UnitOfWorkAction {
+    /// Wrap `uow` under a diagnostic name.
+    pub fn new(name: impl Into<String>, uow: Arc<UnitOfWork>) -> Arc<Self> {
+        Arc::new(UnitOfWorkAction { name: name.into(), uow })
+    }
+}
+
+impl activity_service::Action for UnitOfWorkAction {
+    fn process_signal(&self, signal: &Signal) -> Result<Outcome, ActionError> {
+        match signal.name() {
+            SIG_END_REHEARSAL => {
+                // Rehearsal freeze: report how many predicates were taken.
+                Ok(Outcome::done().with_data(Value::U64(self.uow.predicate_count() as u64)))
+            }
+            SIG_PERFORM => match self.uow.perform() {
+                Ok(()) => Ok(Outcome::done()),
+                Err(violation) => Ok(Outcome::abort().with_data(Value::from(violation.to_string()))),
+            },
+            other => Err(ActionError::new(format!("unexpected signal {other:?}"))),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Associate the Rehearsal and Performance SignalSets with `activity` (once)
+/// and register `uow`'s action with both — the §4.3 wiring.
+///
+/// # Errors
+///
+/// Propagates coordinator failures.
+pub fn enlist_unit_of_work(
+    activity: &Activity,
+    name: &str,
+    uow: Arc<UnitOfWork>,
+) -> Result<(), ActivityError> {
+    let coordinator = activity.coordinator();
+    if !coordinator.signal_set_names().contains(&REHEARSAL_SET.to_string()) {
+        coordinator.add_signal_set(Box::new(BroadcastSignalSet::new(
+            REHEARSAL_SET,
+            SIG_END_REHEARSAL,
+            Value::Null,
+        )))?;
+        coordinator.add_signal_set(Box::new(BroadcastSignalSet::new(
+            PERFORMANCE_SET,
+            SIG_PERFORM,
+            Value::Null,
+        )))?;
+    }
+    let action = UnitOfWorkAction::new(name, uow);
+    coordinator.register_action(REHEARSAL_SET, Arc::clone(&action) as _);
+    coordinator.register_action(PERFORMANCE_SET, action as _);
+    Ok(())
+}
+
+/// Drive the two LRUOW phases on `activity`: rehearsal freeze, then
+/// performance. Returns the performance outcome (negative when any unit of
+/// work hit a predicate violation).
+///
+/// # Errors
+///
+/// Propagates coordinator failures.
+pub fn run_lruow_completion(activity: &Activity) -> Result<Outcome, ActivityError> {
+    activity.signal(REHEARSAL_SET)?;
+    activity.signal(PERFORMANCE_SET)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orb::SimClock;
+
+    fn store_with(pairs: &[(&str, i64)]) -> Arc<LruowStore> {
+        let s = LruowStore::new("catalog");
+        for (k, v) in pairs {
+            s.write(k, Value::from(*v));
+        }
+        s
+    }
+
+    #[test]
+    fn rehearsal_is_invisible_until_performed() {
+        let store = store_with(&[("price", 10)]);
+        let uow = Arc::new(store.begin_unit_of_work());
+        assert_eq!(uow.read("price"), Some(Value::from(10i64)));
+        uow.write("price", Value::from(12i64));
+        assert_eq!(uow.read("price"), Some(Value::from(12i64)), "own writes visible");
+        assert_eq!(store.read("price"), Some(Value::from(10i64)), "store untouched");
+        uow.perform().unwrap();
+        assert_eq!(store.read("price"), Some(Value::from(12i64)));
+        assert!(uow.performed());
+    }
+
+    #[test]
+    fn conflicting_update_violates_predicate() {
+        let store = store_with(&[("price", 10)]);
+        let uow = Arc::new(store.begin_unit_of_work());
+        let _ = uow.read("price");
+        // Someone else commits in between.
+        store.write("price", Value::from(11i64));
+        let err = uow.perform().unwrap_err();
+        assert_eq!(err.key, "price");
+        assert_eq!(err.rehearsed, 1);
+        assert_eq!(err.current, 2);
+        assert!(!uow.performed());
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn blind_writes_never_conflict() {
+        let store = store_with(&[("price", 10)]);
+        let uow = Arc::new(store.begin_unit_of_work());
+        uow.write("price", Value::from(99i64));
+        // Concurrent committed write — but the uow never READ the key, so
+        // no predicate was recorded (last-writer-wins by design).
+        store.write("price", Value::from(11i64));
+        uow.perform().unwrap();
+        assert_eq!(store.read("price"), Some(Value::from(99i64)));
+    }
+
+    #[test]
+    fn perform_is_idempotent() {
+        let store = store_with(&[]);
+        let uow = Arc::new(store.begin_unit_of_work());
+        uow.write("k", Value::from(1i64));
+        uow.perform().unwrap();
+        store.write("k", Value::from(5i64));
+        // A redelivered perform signal must not overwrite newer data.
+        uow.perform().unwrap();
+        assert_eq!(store.read("k"), Some(Value::from(5i64)));
+    }
+
+    #[test]
+    fn framework_wiring_drives_both_phases() {
+        let store = store_with(&[("stock", 5)]);
+        let activity = Activity::new_root("catalog-update", SimClock::new());
+        let uow = Arc::new(store.begin_unit_of_work());
+        let current = uow.read("stock").unwrap().as_i64().unwrap();
+        uow.write("stock", Value::from(current - 1));
+        enlist_unit_of_work(&activity, "uow-1", Arc::clone(&uow)).unwrap();
+
+        let outcome = run_lruow_completion(&activity).unwrap();
+        assert!(outcome.is_done());
+        assert_eq!(store.read("stock"), Some(Value::from(4i64)));
+    }
+
+    #[test]
+    fn framework_reports_conflicts_as_negative_outcomes() {
+        let store = store_with(&[("stock", 5)]);
+        let activity = Activity::new_root("catalog-update", SimClock::new());
+        let uow = Arc::new(store.begin_unit_of_work());
+        let _ = uow.read("stock");
+        uow.write("stock", Value::from(4i64));
+        enlist_unit_of_work(&activity, "uow-1", Arc::clone(&uow)).unwrap();
+        store.write("stock", Value::from(7i64)); // interloper
+        let outcome = run_lruow_completion(&activity).unwrap();
+        assert!(outcome.is_negative());
+        assert_eq!(store.read("stock"), Some(Value::from(7i64)), "uow not applied");
+    }
+
+    #[test]
+    fn retry_after_conflict_succeeds() {
+        let store = store_with(&[("seats", 100)]);
+        // First attempt conflicts…
+        let uow1 = Arc::new(store.begin_unit_of_work());
+        let seats = uow1.read("seats").unwrap().as_i64().unwrap();
+        uow1.write("seats", Value::from(seats - 2));
+        store.write("seats", Value::from(90i64));
+        assert!(uow1.perform().is_err());
+        // …re-rehearse against fresh data and retry.
+        let uow2 = Arc::new(store.begin_unit_of_work());
+        let seats = uow2.read("seats").unwrap().as_i64().unwrap();
+        uow2.write("seats", Value::from(seats - 2));
+        uow2.perform().unwrap();
+        assert_eq!(store.read("seats"), Some(Value::from(88i64)));
+    }
+
+    #[test]
+    fn multiple_units_of_work_on_one_activity() {
+        let store = store_with(&[("a", 1), ("b", 2)]);
+        let activity = Activity::new_root("multi", SimClock::new());
+        let uow_a = Arc::new(store.begin_unit_of_work());
+        let _ = uow_a.read("a");
+        uow_a.write("a", Value::from(10i64));
+        let uow_b = Arc::new(store.begin_unit_of_work());
+        let _ = uow_b.read("b");
+        uow_b.write("b", Value::from(20i64));
+        enlist_unit_of_work(&activity, "uow-a", Arc::clone(&uow_a)).unwrap();
+        enlist_unit_of_work(&activity, "uow-b", Arc::clone(&uow_b)).unwrap();
+        let outcome = run_lruow_completion(&activity).unwrap();
+        assert!(outcome.is_done());
+        assert_eq!(store.read("a"), Some(Value::from(10i64)));
+        assert_eq!(store.read("b"), Some(Value::from(20i64)));
+    }
+}

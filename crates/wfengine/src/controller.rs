@@ -1,0 +1,230 @@
+//! Task controllers: the OPENflow coordination objects (§4.4).
+//!
+//! "Associated with each task is a transactional task controller object.
+//! The purpose of a task controller is to receive notifications of outputs
+//! of other task controllers and use this information to determine when its
+//! associated task can be started."
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use activity_service::{ActionError, Outcome, Signal};
+use orb::Value;
+use parking_lot::Mutex;
+use tx_models::common::{SIG_OUTCOME, SIG_OUTCOME_ACK};
+
+use crate::graph::{JoinKind, NodeSpec};
+
+/// Collects dependency outcomes for one task and decides when it may start.
+pub struct TaskController {
+    task: String,
+    dependencies: Vec<String>,
+    join: JoinKind,
+    received: Mutex<HashMap<String, (bool, Value)>>,
+}
+
+impl std::fmt::Debug for TaskController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskController")
+            .field("task", &self.task)
+            .field("dependencies", &self.dependencies)
+            .field("received", &self.received.lock().len())
+            .finish()
+    }
+}
+
+impl TaskController {
+    /// A controller for `task` with the given node spec.
+    pub fn new(task: impl Into<String>, spec: &NodeSpec) -> Arc<Self> {
+        Arc::new(TaskController {
+            task: task.into(),
+            dependencies: spec.dependencies.clone(),
+            join: spec.join,
+            received: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The controlled task's name.
+    pub fn task(&self) -> &str {
+        &self.task
+    }
+
+    /// Record a dependency's outcome (idempotent per source: redelivery
+    /// keeps the first notification).
+    pub fn note_outcome(&self, source: &str, success: bool, output: Value) {
+        self.received
+            .lock()
+            .entry(source.to_owned())
+            .or_insert((success, output));
+    }
+
+    /// Whether the task may start now.
+    pub fn is_ready(&self) -> bool {
+        if self.dependencies.is_empty() {
+            return true;
+        }
+        let received = self.received.lock();
+        match self.join {
+            JoinKind::All => self
+                .dependencies
+                .iter()
+                .all(|d| received.get(d).is_some_and(|(ok, _)| *ok)),
+            JoinKind::Any => self
+                .dependencies
+                .iter()
+                .any(|d| received.get(d).is_some_and(|(ok, _)| *ok)),
+        }
+    }
+
+    /// Whether the task can *never* start (a required dependency failed).
+    pub fn is_doomed(&self) -> bool {
+        if self.dependencies.is_empty() {
+            return false;
+        }
+        let received = self.received.lock();
+        match self.join {
+            JoinKind::All => self
+                .dependencies
+                .iter()
+                .any(|d| received.get(d).is_some_and(|(ok, _)| !*ok)),
+            JoinKind::Any => {
+                self.dependencies.len() == received.len()
+                    && received.values().all(|(ok, _)| !*ok)
+            }
+        }
+    }
+
+    /// Successful upstream outputs, keyed by task name.
+    pub fn inputs(&self) -> BTreeMap<String, Value> {
+        self.received
+            .lock()
+            .iter()
+            .filter(|(_, (ok, _))| *ok)
+            .map(|(name, (_, output))| (name.clone(), output.clone()))
+            .collect()
+    }
+}
+
+/// Adapts a controller into an Action registered with ONE dependency's
+/// Completed SignalSet: "whenever a child activity is started the parent
+/// activity registers an Action with it that is used to deliver the
+/// 'outcome' Signal".
+pub struct DependencyWatch {
+    source: String,
+    controller: Arc<TaskController>,
+}
+
+impl DependencyWatch {
+    /// Watch `source` on behalf of `controller`'s task.
+    pub fn new(source: impl Into<String>, controller: Arc<TaskController>) -> Arc<Self> {
+        Arc::new(DependencyWatch { source: source.into(), controller })
+    }
+}
+
+impl activity_service::Action for DependencyWatch {
+    fn process_signal(&self, signal: &Signal) -> Result<Outcome, ActionError> {
+        if signal.name() != SIG_OUTCOME {
+            return Err(ActionError::new(format!("unexpected signal {:?}", signal.name())));
+        }
+        let payload = signal
+            .data()
+            .as_map()
+            .ok_or_else(|| ActionError::new("outcome payload must be a map"))?;
+        let success = payload.get("success").and_then(Value::as_bool).unwrap_or(false);
+        let result = payload.get("result").cloned().unwrap_or(Value::Null);
+        self.controller.note_outcome(&self.source, success, result);
+        Ok(Outcome::new(SIG_OUTCOME_ACK))
+    }
+
+    fn name(&self) -> &str {
+        self.controller.task()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(deps: &[&str], join: JoinKind) -> NodeSpec {
+        NodeSpec {
+            dependencies: deps.iter().map(|d| (*d).to_owned()).collect(),
+            join,
+            compensation: None,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn no_dependencies_means_always_ready() {
+        let c = TaskController::new("root", &spec(&[], JoinKind::All));
+        assert!(c.is_ready());
+        assert!(!c.is_doomed());
+    }
+
+    #[test]
+    fn all_join_waits_for_everyone() {
+        let c = TaskController::new("d", &spec(&["b", "c"], JoinKind::All));
+        assert!(!c.is_ready());
+        c.note_outcome("b", true, Value::from(1i64));
+        assert!(!c.is_ready());
+        c.note_outcome("c", true, Value::from(2i64));
+        assert!(c.is_ready());
+        let inputs = c.inputs();
+        assert_eq!(inputs["b"].as_i64(), Some(1));
+        assert_eq!(inputs["c"].as_i64(), Some(2));
+    }
+
+    #[test]
+    fn all_join_dooms_on_any_failure() {
+        let c = TaskController::new("d", &spec(&["b", "c"], JoinKind::All));
+        c.note_outcome("b", false, Value::Null);
+        assert!(c.is_doomed());
+        assert!(!c.is_ready());
+        // Failed outputs are not offered as inputs.
+        assert!(c.inputs().is_empty());
+    }
+
+    #[test]
+    fn any_join_fires_on_first_success() {
+        let c = TaskController::new("d", &spec(&["b", "c"], JoinKind::Any));
+        c.note_outcome("b", false, Value::Null);
+        assert!(!c.is_ready());
+        assert!(!c.is_doomed(), "c might still succeed");
+        c.note_outcome("c", true, Value::from(5i64));
+        assert!(c.is_ready());
+    }
+
+    #[test]
+    fn any_join_dooms_when_all_fail() {
+        let c = TaskController::new("d", &spec(&["b", "c"], JoinKind::Any));
+        c.note_outcome("b", false, Value::Null);
+        c.note_outcome("c", false, Value::Null);
+        assert!(c.is_doomed());
+    }
+
+    #[test]
+    fn redelivered_notifications_keep_the_first() {
+        let c = TaskController::new("d", &spec(&["b"], JoinKind::All));
+        c.note_outcome("b", true, Value::from(1i64));
+        c.note_outcome("b", false, Value::from(2i64));
+        assert!(c.is_ready());
+        assert_eq!(c.inputs()["b"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn dependency_watch_translates_outcome_signals() {
+        use activity_service::Action;
+        let c = TaskController::new("d", &spec(&["b"], JoinKind::All));
+        let watch = DependencyWatch::new("b", Arc::clone(&c));
+        let mut payload = orb::ValueMap::new();
+        payload.insert("success".into(), Value::Bool(true));
+        payload.insert("result".into(), Value::from("out"));
+        let signal = Signal::new(SIG_OUTCOME, "Completed").with_data(Value::Map(payload));
+        let ack = watch.process_signal(&signal).unwrap();
+        assert_eq!(ack.name(), SIG_OUTCOME_ACK);
+        assert!(c.is_ready());
+        assert!(watch.process_signal(&Signal::new("bogus", "x")).is_err());
+        let malformed = Signal::new(SIG_OUTCOME, "x").with_data(Value::from(1i64));
+        assert!(watch.process_signal(&malformed).is_err());
+    }
+}

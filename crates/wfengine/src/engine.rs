@@ -1,0 +1,747 @@
+//! The workflow engine: schedules tasks over the Activity Service using the
+//! fig. 10 coordination signals, with fig. 2 compensation on failure.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use activity_service::{Activity, ActivityService, CompletionStatus};
+use orb::{Value, ValueMap};
+use tx_models::workflow_signals::{CompletedSignalSet, COMPLETED_SET};
+
+use crate::compensate::{self, CompensationRecord};
+use crate::controller::{DependencyWatch, TaskController};
+use crate::journal::WorkflowJournal;
+use crate::error::WorkflowError;
+use crate::graph::WorkflowGraph;
+use crate::task::{TaskInput, TaskRegistry, TaskResult};
+
+/// What the engine does when a task fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Stop scheduling and compensate every completed task that declares a
+    /// compensation (fig. 2's tc1), newest first.
+    #[default]
+    CompensateAndStop,
+    /// Keep scheduling whatever remains startable (failed dependencies doom
+    /// their All-join dependents); no automatic compensation.
+    ContinuePossible,
+}
+
+/// Run a body, re-executing on failure up to `retries` extra times.
+fn execute_with_retries(
+    body: &dyn crate::task::Task,
+    input: &TaskInput,
+    retries: u32,
+) -> TaskResult {
+    let mut result = body.execute(input);
+    for _ in 0..retries {
+        if result.success {
+            break;
+        }
+        result = body.execute(input);
+    }
+    result
+}
+
+/// Result of one workflow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowReport {
+    /// Tasks that completed successfully, in completion order.
+    pub completed: Vec<String>,
+    /// Their outputs.
+    pub outputs: BTreeMap<String, Value>,
+    /// Tasks whose bodies reported failure.
+    pub failed: Vec<String>,
+    /// Tasks that never became startable.
+    pub skipped: Vec<String>,
+    /// Compensations executed (CompensateAndStop only).
+    pub compensations: Vec<CompensationRecord>,
+}
+
+impl WorkflowReport {
+    /// Whether every task completed successfully.
+    pub fn succeeded(&self) -> bool {
+        self.failed.is_empty() && self.skipped.is_empty()
+    }
+}
+
+/// Executes a [`WorkflowGraph`] whose node names are bound to bodies in a
+/// [`TaskRegistry`].
+pub struct WorkflowEngine {
+    graph: WorkflowGraph,
+    registry: TaskRegistry,
+    policy: FailurePolicy,
+}
+
+impl std::fmt::Debug for WorkflowEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkflowEngine")
+            .field("tasks", &self.graph.len())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl WorkflowEngine {
+    /// Build an engine, validating the graph (acyclic, resolvable) and that
+    /// every task *and declared compensation* has a registered body.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkflowError::Cycle`] / [`WorkflowError::UnknownTask`] from graph
+    /// validation; [`WorkflowError::MissingBody`] for unbound names.
+    pub fn new(graph: WorkflowGraph, registry: TaskRegistry) -> Result<Self, WorkflowError> {
+        graph.validate()?;
+        for task in graph.task_names() {
+            if registry.body(&task).is_none() {
+                return Err(WorkflowError::MissingBody(task));
+            }
+            if let Some(compensation) = &graph.node(&task).expect("listed").compensation {
+                if registry.body(compensation).is_none() {
+                    return Err(WorkflowError::MissingBody(compensation.clone()));
+                }
+            }
+        }
+        Ok(WorkflowEngine { graph, registry, policy: FailurePolicy::default() })
+    }
+
+    /// Override the failure policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The engine's graph.
+    pub fn graph(&self) -> &WorkflowGraph {
+        &self.graph
+    }
+
+    /// Run the workflow single-threaded (deterministic scheduling: ready
+    /// tasks run in name order).
+    ///
+    /// # Errors
+    ///
+    /// Activity-machinery failures only; task failures land in the report.
+    pub fn run(
+        &self,
+        service: &ActivityService,
+        name: &str,
+        params: Value,
+    ) -> Result<WorkflowReport, WorkflowError> {
+        self.run_inner(service, name, params, false, None)
+    }
+
+    /// Run with a durable journal: every task outcome is logged before the
+    /// workflow proceeds, and a crashed run resumed with the SAME journal
+    /// skips already-completed tasks (their journalled outputs feed the
+    /// dependents). Compensation sweeps are not journalled — a resume after
+    /// a failure re-plans them from the journalled completions.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WorkflowEngine::run`], plus journal I/O failures.
+    pub fn run_journaled(
+        &self,
+        service: &ActivityService,
+        name: &str,
+        params: Value,
+        journal: &WorkflowJournal,
+    ) -> Result<WorkflowReport, WorkflowError> {
+        self.run_inner(service, name, params, false, Some(journal))
+    }
+
+    /// Like [`WorkflowEngine::run`] but executes each ready batch of task
+    /// bodies on concurrent threads (batch-synchronous parallelism); all
+    /// activity machinery stays on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WorkflowEngine::run`].
+    pub fn run_parallel(
+        &self,
+        service: &ActivityService,
+        name: &str,
+        params: Value,
+    ) -> Result<WorkflowReport, WorkflowError> {
+        self.run_inner(service, name, params, true, None)
+    }
+
+    fn run_inner(
+        &self,
+        service: &ActivityService,
+        name: &str,
+        params: Value,
+        parallel: bool,
+        journal: Option<&WorkflowJournal>,
+    ) -> Result<WorkflowReport, WorkflowError> {
+        let workflow = service.begin(name)?;
+        let mut controllers: BTreeMap<String, Arc<TaskController>> = BTreeMap::new();
+        for task in self.graph.task_names() {
+            let spec = self.graph.node(&task).expect("listed");
+            controllers.insert(task.clone(), TaskController::new(task, spec));
+        }
+
+        let mut pending: BTreeSet<String> = self.graph.task_names().into_iter().collect();
+        let mut report = WorkflowReport {
+            completed: Vec::new(),
+            outputs: BTreeMap::new(),
+            failed: Vec::new(),
+            skipped: Vec::new(),
+            compensations: Vec::new(),
+        };
+
+        // Resume: journalled outcomes count as already executed — feed the
+        // dependents' controllers and skip re-execution.
+        let mut prior_failure = false;
+        if let Some(journal) = journal {
+            for outcome in journal.replay()? {
+                if !pending.remove(&outcome.task) {
+                    continue; // stale entry for a task no longer defined
+                }
+                for dependent in self.graph.dependents(&outcome.task) {
+                    controllers[&dependent].note_outcome(
+                        &outcome.task,
+                        outcome.success,
+                        outcome.output.clone(),
+                    );
+                }
+                if outcome.success {
+                    report.outputs.insert(outcome.task.clone(), outcome.output);
+                    report.completed.push(outcome.task);
+                } else {
+                    report.failed.push(outcome.task);
+                    prior_failure = true;
+                }
+            }
+        }
+
+        'schedule: loop {
+            if prior_failure && self.policy == FailurePolicy::CompensateAndStop {
+                break;
+            }
+            let ready: Vec<String> = pending
+                .iter()
+                .filter(|t| controllers[*t].is_ready())
+                .cloned()
+                .collect();
+            if ready.is_empty() {
+                break;
+            }
+            for task in &ready {
+                pending.remove(task);
+            }
+
+            // Execute the batch's bodies (concurrently when asked); the
+            // signalling below stays on this thread.
+            let results: Vec<(String, TaskResult)> = if parallel && ready.len() > 1 {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = ready
+                        .iter()
+                        .map(|task| {
+                            let body = self.registry.body(task).expect("validated");
+                            let retries = self.graph.node(task).expect("listed").retries;
+                            let input = TaskInput {
+                                params: params.clone(),
+                                upstream: controllers[task].inputs(),
+                            };
+                            let task = task.clone();
+                            scope.spawn(move || {
+                                let result = execute_with_retries(&*body, &input, retries);
+                                (task, result)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("task body panicked")).collect()
+                })
+            } else {
+                ready
+                    .iter()
+                    .map(|task| {
+                        let body = self.registry.body(task).expect("validated");
+                        let retries = self.graph.node(task).expect("listed").retries;
+                        let input = TaskInput {
+                            params: params.clone(),
+                            upstream: controllers[task].inputs(),
+                        };
+                        (task.clone(), execute_with_retries(&*body, &input, retries))
+                    })
+                    .collect()
+            };
+
+            for (task, result) in results {
+                if let Some(journal) = journal {
+                    journal.record(&task, result.success, &result.output)?;
+                }
+                self.notify_completion(&workflow, &task, &result, &controllers)?;
+                if result.success {
+                    report.outputs.insert(task.clone(), result.output);
+                    report.completed.push(task);
+                } else {
+                    report.failed.push(task);
+                    if self.policy == FailurePolicy::CompensateAndStop {
+                        break 'schedule;
+                    }
+                }
+            }
+
+            // Doomed tasks (a required dependency failed) are skipped.
+            let doomed: Vec<String> = pending
+                .iter()
+                .filter(|t| controllers[*t].is_doomed())
+                .cloned()
+                .collect();
+            for task in doomed {
+                pending.remove(&task);
+                report.skipped.push(task);
+            }
+        }
+
+        report.skipped.extend(pending);
+        report.skipped.sort();
+
+        if !report.failed.is_empty() && self.policy == FailurePolicy::CompensateAndStop {
+            let plan = compensate::plan(&self.graph, &report.completed);
+            report.compensations =
+                compensate::execute(&plan, &self.registry, &params, &report.outputs)?;
+        }
+
+        if report.failed.is_empty() {
+            service.complete()?;
+        } else {
+            service.complete_with_status(CompletionStatus::FailOnly)?;
+        }
+        Ok(report)
+    }
+
+    /// Drive the fig. 10 outcome exchange for one finished task: a child
+    /// activity whose Completed SignalSet notifies every dependent's
+    /// controller.
+    fn notify_completion(
+        &self,
+        workflow: &Activity,
+        task: &str,
+        result: &TaskResult,
+        controllers: &BTreeMap<String, Arc<TaskController>>,
+    ) -> Result<(), WorkflowError> {
+        let child = workflow.begin_child(task)?;
+        let mut payload = ValueMap::new();
+        payload.insert("task".into(), Value::from(task));
+        child
+            .coordinator()
+            .add_signal_set(Box::new(CompletedSignalSet::new(result.output.clone())))?;
+        child.set_completion_signal_set(COMPLETED_SET);
+        for dependent in self.graph.dependents(task) {
+            let controller = Arc::clone(&controllers[&dependent]);
+            child
+                .coordinator()
+                .register_action(COMPLETED_SET, DependencyWatch::new(task, controller) as _);
+        }
+        let status = if result.success {
+            CompletionStatus::Success
+        } else {
+            CompletionStatus::FailOnly
+        };
+        child.complete_with_status(status)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::JoinKind;
+    use crate::script;
+    use parking_lot::Mutex;
+
+    fn diamond_graph() -> WorkflowGraph {
+        script::parse(
+            "task a;
+             task b after a;
+             task c after a;
+             task d after b, c;",
+        )
+        .unwrap()
+    }
+
+    fn recording_registry(
+        names: &[&str],
+        log: &Arc<Mutex<Vec<String>>>,
+    ) -> TaskRegistry {
+        let mut registry = TaskRegistry::new();
+        for name in names {
+            let log = Arc::clone(log);
+            let name_owned = (*name).to_owned();
+            registry.register(*name, move |_i: &TaskInput| {
+                log.lock().push(name_owned.clone());
+                TaskResult::ok(Value::from(name_owned.as_str()))
+            });
+        }
+        registry
+    }
+
+    #[test]
+    fn diamond_runs_in_dependency_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let registry = recording_registry(&["a", "b", "c", "d"], &log);
+        let engine = WorkflowEngine::new(diamond_graph(), registry).unwrap();
+        let service = ActivityService::new();
+        let report = engine.run(&service, "diamond", Value::Null).unwrap();
+        assert!(report.succeeded());
+        assert_eq!(report.completed, vec!["a", "b", "c", "d"]);
+        let order = log.lock().clone();
+        let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+        assert!(pos("a") < pos("b") && pos("a") < pos("c") && pos("b") < pos("d"));
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_results() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let registry = recording_registry(&["a", "b", "c", "d"], &log);
+        let engine = WorkflowEngine::new(diamond_graph(), registry).unwrap();
+        let service = ActivityService::new();
+        let report = engine.run_parallel(&service, "diamond", Value::Null).unwrap();
+        assert!(report.succeeded());
+        assert_eq!(report.outputs.len(), 4);
+    }
+
+    #[test]
+    fn upstream_outputs_flow_downstream() {
+        let graph = script::parse("task price;\ntask invoice after price;").unwrap();
+        let mut registry = TaskRegistry::new();
+        registry.register("price", |_i: &TaskInput| TaskResult::ok(Value::from(42i64)));
+        registry.register("invoice", |input: &TaskInput| {
+            let price = input.upstream.get("price").and_then(Value::as_i64).unwrap();
+            TaskResult::ok(Value::from(price * 2))
+        });
+        let engine = WorkflowEngine::new(graph, registry).unwrap();
+        let service = ActivityService::new();
+        let report = engine.run(&service, "billing", Value::Null).unwrap();
+        assert_eq!(report.outputs["invoice"].as_i64(), Some(84));
+    }
+
+    #[test]
+    fn fig2_failure_compensates_completed_tasks_in_reverse() {
+        // t1 → t2 → t3 → t4; t4 fails; tc compensates t2 and t3 newest-first.
+        let graph = script::parse(
+            "task t1;
+             task t2 after t1;
+             task t3 after t2;
+             task t4 after t3;
+             compensate t2 with undo_t2;
+             compensate t3 with undo_t3;",
+        )
+        .unwrap();
+        let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut registry = recording_registry(&["t1", "t2", "t3"], &log);
+        registry.register("t4", |_i: &TaskInput| TaskResult::failed("hotel full"));
+        for undo in ["undo_t2", "undo_t3"] {
+            let log = Arc::clone(&log);
+            let undo_owned = undo.to_owned();
+            registry.register(undo, move |_i: &TaskInput| {
+                log.lock().push(undo_owned.clone());
+                TaskResult::ok(Value::Null)
+            });
+        }
+        let engine = WorkflowEngine::new(graph, registry).unwrap();
+        let service = ActivityService::new();
+        let report = engine.run(&service, "trip", Value::Null).unwrap();
+        assert_eq!(report.failed, vec!["t4"]);
+        assert_eq!(report.completed, vec!["t1", "t2", "t3"]);
+        assert_eq!(report.compensations.len(), 2);
+        assert_eq!(report.compensations[0].step.task, "t3");
+        assert_eq!(report.compensations[1].step.task, "t2");
+        assert_eq!(
+            *log.lock(),
+            vec!["t1", "t2", "t3", "undo_t3", "undo_t2"],
+            "compensation is newest-first after the forward path"
+        );
+        assert!(!report.succeeded());
+    }
+
+    #[test]
+    fn continue_policy_skips_doomed_branches_only() {
+        //      a
+        //    /   \
+        //  bad    ok
+        //   |      |
+        // child   tail
+        let graph = script::parse(
+            "task a;
+             task bad after a;
+             task ok after a;
+             task child after bad;
+             task tail after ok;",
+        )
+        .unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut registry = recording_registry(&["a", "ok", "tail", "child"], &log);
+        registry.register("bad", |_i: &TaskInput| TaskResult::failed("nope"));
+        let engine = WorkflowEngine::new(graph, registry)
+            .unwrap()
+            .with_policy(FailurePolicy::ContinuePossible);
+        let service = ActivityService::new();
+        let report = engine.run(&service, "partial", Value::Null).unwrap();
+        assert_eq!(report.failed, vec!["bad"]);
+        assert_eq!(report.skipped, vec!["child"]);
+        assert!(report.completed.contains(&"tail".to_string()));
+        assert!(report.compensations.is_empty());
+    }
+
+    #[test]
+    fn any_join_proceeds_past_a_failed_alternative() {
+        let mut graph = script::parse(
+            "task theatre;
+             task cinema;
+             task dinner after theatre, cinema any;",
+        )
+        .unwrap();
+        graph.set_join("dinner", JoinKind::Any).unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut registry = recording_registry(&["cinema", "dinner"], &log);
+        registry.register("theatre", |_i: &TaskInput| TaskResult::failed("sold out"));
+        let engine = WorkflowEngine::new(graph, registry)
+            .unwrap()
+            .with_policy(FailurePolicy::ContinuePossible);
+        let service = ActivityService::new();
+        let report = engine.run(&service, "evening", Value::Null).unwrap();
+        assert!(report.completed.contains(&"dinner".to_string()));
+        assert_eq!(report.failed, vec!["theatre"]);
+    }
+
+    #[test]
+    fn missing_bodies_rejected_eagerly() {
+        let graph = script::parse("task a;\ncompensate a with undo_a;").unwrap();
+        let mut registry = TaskRegistry::new();
+        registry.register("a", |_i: &TaskInput| TaskResult::ok(Value::Null));
+        // undo_a unbound.
+        assert!(matches!(
+            WorkflowEngine::new(graph, registry),
+            Err(WorkflowError::MissingBody(name)) if name == "undo_a"
+        ));
+
+        let graph = script::parse("task a;").unwrap();
+        assert!(matches!(
+            WorkflowEngine::new(graph, TaskRegistry::new()),
+            Err(WorkflowError::MissingBody(_))
+        ));
+    }
+
+    #[test]
+    fn empty_workflow_succeeds_trivially() {
+        let engine = WorkflowEngine::new(WorkflowGraph::new(), TaskRegistry::new()).unwrap();
+        let service = ActivityService::new();
+        let report = engine.run(&service, "empty", Value::Null).unwrap();
+        assert!(report.succeeded());
+        assert!(report.completed.is_empty());
+    }
+
+    #[test]
+    fn workflow_activity_tree_mirrors_execution() {
+        let graph = script::parse("task a;\ntask b after a;").unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let registry = recording_registry(&["a", "b"], &log);
+        let engine = WorkflowEngine::new(graph, registry).unwrap();
+        let service = ActivityService::new();
+        engine.run(&service, "wf", Value::Null).unwrap();
+        let roots = service.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name(), "wf");
+        let child_names: Vec<String> =
+            roots[0].children().iter().map(|c| c.name().to_owned()).collect();
+        assert_eq!(child_names, vec!["a", "b"]);
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+    use crate::script;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn flaky_task_recovers_within_its_retry_budget() {
+        let graph = script::parse(
+            "task flaky;
+             retry flaky 3;",
+        )
+        .unwrap();
+        let attempts = Arc::new(Mutex::new(0u32));
+        let attempts2 = Arc::clone(&attempts);
+        let mut registry = TaskRegistry::new();
+        registry.register("flaky", move |_i: &TaskInput| {
+            let mut a = attempts2.lock();
+            *a += 1;
+            if *a < 3 {
+                TaskResult::failed("transient")
+            } else {
+                TaskResult::ok(Value::Null)
+            }
+        });
+        let engine = WorkflowEngine::new(graph, registry).unwrap();
+        let service = ActivityService::new();
+        let report = engine.run(&service, "retry-wf", Value::Null).unwrap();
+        assert!(report.succeeded());
+        assert_eq!(*attempts.lock(), 3, "two retries after the first failure");
+    }
+
+    #[test]
+    fn exhausted_retries_still_fail() {
+        let graph = script::parse(
+            "task hopeless;
+             retry hopeless 2;",
+        )
+        .unwrap();
+        let attempts = Arc::new(Mutex::new(0u32));
+        let attempts2 = Arc::clone(&attempts);
+        let mut registry = TaskRegistry::new();
+        registry.register("hopeless", move |_i: &TaskInput| {
+            *attempts2.lock() += 1;
+            TaskResult::failed("permanent")
+        });
+        let engine = WorkflowEngine::new(graph, registry).unwrap();
+        let service = ActivityService::new();
+        let report = engine.run(&service, "retry-wf", Value::Null).unwrap();
+        assert_eq!(report.failed, vec!["hopeless"]);
+        assert_eq!(*attempts.lock(), 3, "initial attempt + 2 retries");
+    }
+
+    #[test]
+    fn retry_statement_parse_errors() {
+        assert!(script::parse("task a;\nretry a;").is_err());
+        assert!(script::parse("task a;\nretry a lots;").is_err());
+        assert!(script::parse("task a;\nretry a 2 extra;").is_err());
+        assert!(script::parse("retry ghost 2;\ntask a;").is_err());
+        let graph = script::parse("task a;\nretry a 4;").unwrap();
+        assert_eq!(graph.node("a").unwrap().retries, 4);
+    }
+}
+
+#[cfg(test)]
+mod journal_tests {
+    use super::*;
+    use crate::journal::WorkflowJournal;
+    use crate::script;
+    use parking_lot::Mutex;
+    use recovery_log::{MemWal, Wal};
+    use std::sync::Arc;
+
+    /// A registry whose `crash_at` task panics the first time (simulating a
+    /// dying engine) and works thereafter.
+    fn crashy_registry(
+        executed: &Arc<Mutex<Vec<String>>>,
+        crash_armed: &Arc<Mutex<bool>>,
+    ) -> TaskRegistry {
+        let mut registry = TaskRegistry::new();
+        for name in ["extract", "transform", "load"] {
+            let executed = Arc::clone(executed);
+            let crash_armed = Arc::clone(crash_armed);
+            let name_owned = name.to_owned();
+            registry.register(name, move |input: &TaskInput| {
+                if name_owned == "transform" && *crash_armed.lock() {
+                    // The "crash": engine thread dies mid-workflow.
+                    panic!("engine crash injected");
+                }
+                executed.lock().push(name_owned.clone());
+                let upstream_sum: i64 = input
+                    .upstream
+                    .values()
+                    .filter_map(Value::as_i64)
+                    .sum();
+                TaskResult::ok(Value::I64(upstream_sum + 1))
+            });
+        }
+        registry
+    }
+
+    #[test]
+    fn journaled_run_resumes_after_a_crash() {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        let graph = script::parse(
+            "task extract;
+             task transform after extract;
+             task load after transform;",
+        )
+        .unwrap();
+        let executed = Arc::new(Mutex::new(Vec::new()));
+        let crash_armed = Arc::new(Mutex::new(true));
+
+        // --- run 1: crashes inside `transform`. ---
+        {
+            let registry = crashy_registry(&executed, &crash_armed);
+            let engine = WorkflowEngine::new(graph.clone(), registry).unwrap();
+            let journal = WorkflowJournal::new("etl-1", Arc::clone(&wal));
+            let service = ActivityService::new();
+            let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = engine.run_journaled(&service, "etl-1", Value::Null, &journal);
+            }));
+            assert!(crashed.is_err(), "the injected crash must fire");
+        }
+        assert_eq!(*executed.lock(), vec!["extract"], "only extract ran before the crash");
+
+        // --- run 2: same journal; extract is NOT re-executed. ---
+        *crash_armed.lock() = false;
+        let registry = crashy_registry(&executed, &crash_armed);
+        let engine = WorkflowEngine::new(graph, registry).unwrap();
+        let journal = WorkflowJournal::new("etl-1", Arc::clone(&wal));
+        let service = ActivityService::new();
+        let report = engine.run_journaled(&service, "etl-1", Value::Null, &journal).unwrap();
+        assert!(report.succeeded());
+        assert_eq!(
+            *executed.lock(),
+            vec!["extract", "transform", "load"],
+            "each task executed exactly once across both incarnations"
+        );
+        // The journalled extract output flowed into transform on resume.
+        assert_eq!(report.outputs["transform"].as_i64(), Some(2));
+        assert_eq!(report.outputs["load"].as_i64(), Some(3));
+    }
+
+    #[test]
+    fn resumed_failure_is_not_rerun_under_compensate_policy() {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        let graph = script::parse(
+            "task a;
+             task b after a;
+             compensate a with undo_a;",
+        )
+        .unwrap();
+        let journal = WorkflowJournal::new("wf", Arc::clone(&wal));
+        // Pre-populate the journal as if a previous run completed `a` and
+        // failed `b`.
+        journal.record("a", true, &Value::from(1i64)).unwrap();
+        journal.record("b", false, &Value::from("boom")).unwrap();
+
+        let undone = Arc::new(Mutex::new(0u32));
+        let undone2 = Arc::clone(&undone);
+        let mut registry = TaskRegistry::new();
+        registry.register("a", |_i: &TaskInput| panic!("a must not re-run"));
+        registry.register("b", |_i: &TaskInput| panic!("b must not re-run"));
+        registry.register("undo_a", move |_i: &TaskInput| {
+            *undone2.lock() += 1;
+            TaskResult::ok(Value::Null)
+        });
+        let engine = WorkflowEngine::new(graph, registry).unwrap();
+        let service = ActivityService::new();
+        let report = engine.run_journaled(&service, "wf", Value::Null, &journal).unwrap();
+        assert_eq!(report.failed, vec!["b"]);
+        assert_eq!(report.completed, vec!["a"]);
+        assert_eq!(*undone.lock(), 1, "compensation re-planned from the journal");
+    }
+
+    #[test]
+    fn fresh_journal_behaves_like_plain_run() {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        let graph = script::parse("task only;").unwrap();
+        let mut registry = TaskRegistry::new();
+        registry.register("only", |_i: &TaskInput| TaskResult::ok(Value::from(7i64)));
+        let engine = WorkflowEngine::new(graph, registry).unwrap();
+        let journal = WorkflowJournal::new("wf-x", Arc::clone(&wal));
+        let service = ActivityService::new();
+        let report = engine.run_journaled(&service, "wf-x", Value::Null, &journal).unwrap();
+        assert!(report.succeeded());
+        // The outcome is durable.
+        assert_eq!(journal.replay().unwrap().len(), 1);
+    }
+}

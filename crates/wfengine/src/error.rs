@@ -1,0 +1,70 @@
+//! Error type for workflow definition and execution.
+
+use std::fmt;
+
+/// Errors raised while building, parsing or running a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkflowError {
+    /// A task name appears twice in the definition.
+    DuplicateTask(String),
+    /// A dependency references an undefined task.
+    UnknownTask(String),
+    /// The dependency graph contains a cycle through this task.
+    Cycle(String),
+    /// The script failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// No executable body was registered for a defined task.
+    MissingBody(String),
+    /// The underlying activity machinery failed.
+    Activity(String),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::DuplicateTask(name) => write!(f, "duplicate task {name:?}"),
+            WorkflowError::UnknownTask(name) => write!(f, "unknown task {name:?}"),
+            WorkflowError::Cycle(name) => write!(f, "dependency cycle through {name:?}"),
+            WorkflowError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            WorkflowError::MissingBody(name) => {
+                write!(f, "no body registered for task {name:?}")
+            }
+            WorkflowError::Activity(msg) => write!(f, "activity failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<activity_service::ActivityError> for WorkflowError {
+    fn from(e: activity_service::ActivityError) -> Self {
+        WorkflowError::Activity(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            WorkflowError::DuplicateTask("a".into()),
+            WorkflowError::UnknownTask("a".into()),
+            WorkflowError::Cycle("a".into()),
+            WorkflowError::Parse { line: 3, message: "bad".into() },
+            WorkflowError::MissingBody("a".into()),
+            WorkflowError::Activity("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

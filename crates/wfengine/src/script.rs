@@ -1,0 +1,276 @@
+//! A small scripting DSL for workflow composition.
+//!
+//! The paper motivates workflow systems "with scripting facilities for
+//! expressing the composition of the activity with compensation"; this is
+//! that facility. Grammar (one statement per line, `#` comments):
+//!
+//! ```text
+//! task <name>;
+//! task <name> after <dep>[, <dep>...] [any];
+//! compensate <name> with <compensation-task>;
+//! retry <name> <attempts>;
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! let graph = wfengine::script::parse(
+//!     "task taxi;\n\
+//!      task restaurant after taxi;\n\
+//!      task theatre after taxi;\n\
+//!      task hotel after restaurant, theatre;\n\
+//!      compensate restaurant with unbook_restaurant;",
+//! )?;
+//! assert_eq!(graph.roots(), vec!["taxi"]);
+//! # Ok::<(), wfengine::WorkflowError>(())
+//! ```
+
+use crate::error::WorkflowError;
+use crate::graph::{JoinKind, WorkflowGraph};
+
+/// Parse a workflow script into a validated [`WorkflowGraph`].
+///
+/// # Errors
+///
+/// [`WorkflowError::Parse`] with the offending line number, or any graph
+/// validation error (duplicates, unknown names, cycles).
+pub fn parse(script: &str) -> Result<WorkflowGraph, WorkflowError> {
+    let mut graph = WorkflowGraph::new();
+    // (line, task, deps, any) resolved after all tasks are declared.
+    let mut edges: Vec<(usize, String, Vec<String>, bool)> = Vec::new();
+    let mut compensations: Vec<(usize, String, String)> = Vec::new();
+    let mut retries: Vec<(usize, String, u32)> = Vec::new();
+
+    for (idx, raw_line) in script.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let statement = line.strip_suffix(';').ok_or_else(|| WorkflowError::Parse {
+            line: line_no,
+            message: "statement must end with ';'".into(),
+        })?;
+        let mut words = statement.split_whitespace();
+        match words.next() {
+            Some("task") => {
+                let name = words.next().ok_or_else(|| WorkflowError::Parse {
+                    line: line_no,
+                    message: "task needs a name".into(),
+                })?;
+                validate_name(name, line_no)?;
+                graph.add_task(name)?;
+                let rest: Vec<&str> = words.collect();
+                if rest.is_empty() {
+                    continue;
+                }
+                if rest[0] != "after" {
+                    return Err(WorkflowError::Parse {
+                        line: line_no,
+                        message: format!("expected 'after', found {:?}", rest[0]),
+                    });
+                }
+                let mut deps_part = rest[1..].join(" ");
+                let any = deps_part.ends_with(" any") || deps_part == "any";
+                if any {
+                    deps_part = deps_part.trim_end_matches("any").trim().to_owned();
+                }
+                let deps: Vec<String> = deps_part
+                    .split(',')
+                    .map(|d| d.trim().to_owned())
+                    .filter(|d| !d.is_empty())
+                    .collect();
+                if deps.is_empty() {
+                    return Err(WorkflowError::Parse {
+                        line: line_no,
+                        message: "'after' needs at least one dependency".into(),
+                    });
+                }
+                for dep in &deps {
+                    validate_name(dep, line_no)?;
+                }
+                edges.push((line_no, name.to_owned(), deps, any));
+            }
+            Some("compensate") => {
+                let task = words.next().ok_or_else(|| WorkflowError::Parse {
+                    line: line_no,
+                    message: "compensate needs a task name".into(),
+                })?;
+                match (words.next(), words.next(), words.next()) {
+                    (Some("with"), Some(compensation), None) => {
+                        validate_name(task, line_no)?;
+                        validate_name(compensation, line_no)?;
+                        compensations.push((line_no, task.to_owned(), compensation.to_owned()));
+                    }
+                    _ => {
+                        return Err(WorkflowError::Parse {
+                            line: line_no,
+                            message: "expected 'compensate <task> with <compensation>'".into(),
+                        })
+                    }
+                }
+            }
+            Some("retry") => {
+                let task = words.next().ok_or_else(|| WorkflowError::Parse {
+                    line: line_no,
+                    message: "retry needs a task name".into(),
+                })?;
+                let count = words
+                    .next()
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .ok_or_else(|| WorkflowError::Parse {
+                        line: line_no,
+                        message: "retry needs a numeric attempt count".into(),
+                    })?;
+                if words.next().is_some() {
+                    return Err(WorkflowError::Parse {
+                        line: line_no,
+                        message: "expected 'retry <task> <attempts>'".into(),
+                    });
+                }
+                validate_name(task, line_no)?;
+                retries.push((line_no, task.to_owned(), count));
+            }
+            Some(other) => {
+                return Err(WorkflowError::Parse {
+                    line: line_no,
+                    message: format!("unknown statement {other:?}"),
+                })
+            }
+            None => unreachable!("blank lines were skipped"),
+        }
+    }
+
+    for (line, task, deps, any) in edges {
+        for dep in deps {
+            graph.add_dependency(&task, &dep).map_err(|e| match e {
+                WorkflowError::UnknownTask(name) => WorkflowError::Parse {
+                    line,
+                    message: format!("unknown task {name:?}"),
+                },
+                other => other,
+            })?;
+        }
+        if any {
+            graph.set_join(&task, JoinKind::Any)?;
+        }
+    }
+    for (line, task, count) in retries {
+        graph.set_retries(&task, count).map_err(|e| match e {
+            WorkflowError::UnknownTask(name) => WorkflowError::Parse {
+                line,
+                message: format!("unknown task {name:?}"),
+            },
+            other => other,
+        })?;
+    }
+    for (line, task, compensation) in compensations {
+        graph.set_compensation(&task, compensation).map_err(|e| match e {
+            WorkflowError::UnknownTask(name) => WorkflowError::Parse {
+                line,
+                message: format!("unknown task {name:?}"),
+            },
+            other => other,
+        })?;
+    }
+
+    graph.validate()?;
+    Ok(graph)
+}
+
+fn validate_name(name: &str, line: usize) -> Result<(), WorkflowError> {
+    let valid = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if valid {
+        Ok(())
+    } else {
+        Err(WorkflowError::Parse { line, message: format!("invalid name {name:?}") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_travel_workflow() {
+        let graph = parse(
+            "# The fig. 1 booking pipeline
+             task taxi;
+             task restaurant after taxi;
+             task theatre after taxi;
+             task hotel after restaurant, theatre;
+             compensate restaurant with unbook_restaurant;
+             compensate theatre with unbook_theatre;",
+        )
+        .unwrap();
+        assert_eq!(graph.len(), 4);
+        assert_eq!(graph.roots(), vec!["taxi"]);
+        assert_eq!(graph.node("hotel").unwrap().dependencies, vec!["restaurant", "theatre"]);
+        assert_eq!(
+            graph.node("restaurant").unwrap().compensation.as_deref(),
+            Some("unbook_restaurant")
+        );
+    }
+
+    #[test]
+    fn any_join_parses() {
+        let graph = parse(
+            "task a;
+             task b;
+             task c after a, b any;",
+        )
+        .unwrap();
+        assert_eq!(graph.node("c").unwrap().join, JoinKind::Any);
+    }
+
+    #[test]
+    fn forward_references_are_fine() {
+        // Dependencies may name tasks declared later.
+        let graph = parse(
+            "task second after first;
+             task first;",
+        )
+        .unwrap();
+        assert_eq!(graph.roots(), vec!["first"]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse("task a;\nbanana b;").unwrap_err();
+        assert_eq!(err, WorkflowError::Parse { line: 2, message: "unknown statement \"banana\"".into() });
+
+        let err = parse("task a").unwrap_err();
+        assert!(matches!(err, WorkflowError::Parse { line: 1, .. }));
+
+        let err = parse("task a;\ntask b after ;").unwrap_err();
+        assert!(matches!(err, WorkflowError::Parse { line: 2, .. }));
+
+        let err = parse("task a;\ncompensate a;").unwrap_err();
+        assert!(matches!(err, WorkflowError::Parse { line: 2, .. }));
+
+        let err = parse("task b after ghost;\ntask a;").unwrap_err();
+        assert!(matches!(err, WorkflowError::Parse { line: 1, .. }));
+
+        let err = parse("task spaced name;").unwrap_err();
+        assert!(matches!(err, WorkflowError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn cycles_rejected_after_parse() {
+        let err = parse(
+            "task a after b;
+             task b after a;",
+        )
+        .unwrap_err();
+        assert!(matches!(err, WorkflowError::Cycle(_)));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let graph = parse("\n# comment only\n\ntask a; # trailing\n").unwrap();
+        assert_eq!(graph.len(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Tasks: the executable bodies of workflow nodes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use orb::Value;
+
+/// What a task receives when started: the workflow's launch parameters plus
+/// each upstream dependency's output (keyed by task name) — the
+/// `application_specific_data` of the paper's `start` signal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskInput {
+    /// Workflow-wide launch parameters.
+    pub params: Value,
+    /// Outputs of completed upstream tasks.
+    pub upstream: BTreeMap<String, Value>,
+}
+
+/// What a task produces — the `application_specific_data` of the paper's
+/// `outcome` signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskResult {
+    /// Whether the task succeeded.
+    pub success: bool,
+    /// The task's output (available to downstream tasks).
+    pub output: Value,
+}
+
+impl TaskResult {
+    /// A successful result carrying `output`.
+    pub fn ok(output: Value) -> Self {
+        TaskResult { success: true, output }
+    }
+
+    /// A failed result carrying a reason.
+    pub fn failed(reason: impl Into<String>) -> Self {
+        TaskResult { success: false, output: Value::Str(reason.into()) }
+    }
+}
+
+/// An executable workflow step.
+pub trait Task: Send + Sync {
+    /// Run the step. Infallible at the Rust level: domain failures are
+    /// expressed through [`TaskResult::success`], which is what drives the
+    /// workflow's failure/compensation paths.
+    fn execute(&self, input: &TaskInput) -> TaskResult;
+}
+
+impl<F> Task for F
+where
+    F: Fn(&TaskInput) -> TaskResult + Send + Sync,
+{
+    fn execute(&self, input: &TaskInput) -> TaskResult {
+        self(input)
+    }
+}
+
+/// A registry of task bodies, keyed by the names a
+/// [`crate::graph::WorkflowGraph`] or script uses.
+#[derive(Clone, Default)]
+pub struct TaskRegistry {
+    bodies: BTreeMap<String, Arc<dyn Task>>,
+}
+
+impl std::fmt::Debug for TaskRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskRegistry").field("tasks", &self.names()).finish()
+    }
+}
+
+impl TaskRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `body` under `name`, replacing any previous binding.
+    pub fn register<T: Task + 'static>(&mut self, name: impl Into<String>, body: T) {
+        self.bodies.insert(name.into(), Arc::new(body));
+    }
+
+    /// Look up a body.
+    pub fn body(&self, name: &str) -> Option<Arc<dyn Task>> {
+        self.bodies.get(name).cloned()
+    }
+
+    /// Sorted names of registered bodies.
+    pub fn names(&self) -> Vec<String> {
+        self.bodies.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_tasks() {
+        let t = |input: &TaskInput| TaskResult::ok(input.params.clone());
+        let result = t.execute(&TaskInput { params: Value::from(3i64), upstream: BTreeMap::new() });
+        assert!(result.success);
+        assert_eq!(result.output.as_i64(), Some(3));
+    }
+
+    #[test]
+    fn result_constructors() {
+        assert!(TaskResult::ok(Value::Null).success);
+        let failed = TaskResult::failed("no capacity");
+        assert!(!failed.success);
+        assert_eq!(failed.output.as_str(), Some("no capacity"));
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let mut reg = TaskRegistry::new();
+        reg.register("a", |_: &TaskInput| TaskResult::ok(Value::Null));
+        assert!(reg.body("a").is_some());
+        assert!(reg.body("b").is_none());
+        assert_eq!(reg.names(), vec!["a"]);
+    }
+}

@@ -1,0 +1,399 @@
+//! ACID transactions built **purely on the framework** — no OTS below.
+//!
+//! §5.2: "the only noticeable difference between the Web Services version
+//! of the Activity Service and its CORBA original is that the former does
+//! not assume an underlying OTS implementation: **all coordination services
+//! (including transactions) must be constructed on top of the framework**."
+//!
+//! This module is that construction: [`AtomicTransaction`] drives the
+//! `tx-models` two-phase SignalSet over [`WsAtomicParticipant`]s that are
+//! plain web-service endpoints adapted into Actions — the OTS never
+//! appears.
+
+use std::sync::Arc;
+
+use activity_service::{ActionError, Activity, CompletionStatus, Outcome, Signal};
+use orb::Value;
+use parking_lot::Mutex;
+use tx_models::common::{
+    OUT_COMMITTED, OUT_READ_ONLY, SIG_COMMIT, SIG_PREPARE, SIG_ROLLBACK,
+};
+use tx_models::{TwoPhaseCommitSignalSet, TWO_PC_SET};
+
+use crate::error::WscfError;
+
+/// A participant's phase-one answer at the web-service level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WsVote {
+    /// Prepared: will commit or roll back on request.
+    Prepared,
+    /// Nothing to commit; drops out of phase two.
+    ReadOnly,
+    /// Refuses; the transaction must roll back.
+    Aborted,
+}
+
+/// A web service taking part in an atomic transaction. No locking or
+/// isolation model is imposed — each service keeps its own discipline,
+/// exactly as in BTP and WS-AT.
+pub trait WsAtomicParticipant: Send + Sync {
+    /// Phase one.
+    ///
+    /// # Errors
+    ///
+    /// A failure counts as an [`WsVote::Aborted`] vote.
+    fn prepare(&self) -> Result<WsVote, String>;
+
+    /// Phase two, forward. Must be idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Reported as a heuristic-style contradiction.
+    fn commit(&self) -> Result<(), String>;
+
+    /// Phase two, backward. Must be idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Reported but presumed to eventually succeed.
+    fn rollback(&self) -> Result<(), String>;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+}
+
+/// Adapts a [`WsAtomicParticipant`] into an Action for the 2PC SignalSet.
+pub struct WsParticipantAction {
+    participant: Arc<dyn WsAtomicParticipant>,
+}
+
+impl WsParticipantAction {
+    /// Wrap `participant`.
+    pub fn new(participant: Arc<dyn WsAtomicParticipant>) -> Arc<Self> {
+        Arc::new(WsParticipantAction { participant })
+    }
+}
+
+impl activity_service::Action for WsParticipantAction {
+    fn process_signal(&self, signal: &Signal) -> Result<Outcome, ActionError> {
+        match signal.name() {
+            SIG_PREPARE => match self.participant.prepare() {
+                Ok(WsVote::Prepared) => Ok(Outcome::done()),
+                Ok(WsVote::ReadOnly) => Ok(Outcome::new(OUT_READ_ONLY)),
+                Ok(WsVote::Aborted) | Err(_) => Ok(Outcome::abort()),
+            },
+            SIG_COMMIT => match self.participant.commit() {
+                Ok(()) => Ok(Outcome::done()),
+                Err(e) => Ok(Outcome::from_error(e)),
+            },
+            SIG_ROLLBACK => match self.participant.rollback() {
+                Ok(()) => Ok(Outcome::done()),
+                Err(e) => Ok(Outcome::from_error(e)),
+            },
+            other => Err(ActionError::new(format!("unexpected signal {other:?}"))),
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.participant.name()
+    }
+}
+
+/// State of an [`AtomicTransaction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicState {
+    /// Accepting enrolments and work.
+    Active,
+    /// Terminal: committed.
+    Committed,
+    /// Terminal: rolled back.
+    Aborted,
+}
+
+impl std::fmt::Display for AtomicState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AtomicState::Active => "active",
+            AtomicState::Committed => "committed",
+            AtomicState::Aborted => "aborted",
+        })
+    }
+}
+
+/// An ACID transaction whose whole coordinator is the signal framework.
+pub struct AtomicTransaction {
+    activity: Activity,
+    state: Mutex<AtomicState>,
+}
+
+impl std::fmt::Debug for AtomicTransaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicTransaction")
+            .field("activity", &self.activity.id())
+            .field("state", &*self.state.lock())
+            .finish()
+    }
+}
+
+impl AtomicTransaction {
+    /// Bind a transaction to `activity`, associating the 2PC SignalSet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinator failures.
+    pub fn new(activity: Activity) -> Result<Arc<Self>, WscfError> {
+        activity
+            .coordinator()
+            .add_signal_set(Box::new(TwoPhaseCommitSignalSet::new()))?;
+        activity.set_completion_signal_set(TWO_PC_SET);
+        Ok(Arc::new(AtomicTransaction { activity, state: Mutex::new(AtomicState::Active) }))
+    }
+
+    /// The bound activity.
+    pub fn activity(&self) -> &Activity {
+        &self.activity
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AtomicState {
+        *self.state.lock()
+    }
+
+    /// Enrol a participant.
+    ///
+    /// # Errors
+    ///
+    /// [`WscfError::InvalidState`] once terminated.
+    pub fn enroll(&self, participant: Arc<dyn WsAtomicParticipant>) -> Result<(), WscfError> {
+        let state = self.state.lock();
+        if *state != AtomicState::Active {
+            return Err(WscfError::InvalidState {
+                operation: "enroll".into(),
+                state: state.to_string(),
+            });
+        }
+        self.activity
+            .coordinator()
+            .register_action(TWO_PC_SET, WsParticipantAction::new(participant) as _);
+        Ok(())
+    }
+
+    /// Commit: runs the full prepare/commit protocol through the framework.
+    ///
+    /// # Errors
+    ///
+    /// [`WscfError::Aborted`] when any participant voted to abort (all
+    /// participants have then been rolled back); [`WscfError::InvalidState`]
+    /// when already terminated.
+    pub fn commit(&self) -> Result<(), WscfError> {
+        {
+            let state = self.state.lock();
+            if *state != AtomicState::Active {
+                return Err(WscfError::InvalidState {
+                    operation: "commit".into(),
+                    state: state.to_string(),
+                });
+            }
+        }
+        let outcome = self.activity.complete()?;
+        if outcome.name() == OUT_COMMITTED {
+            *self.state.lock() = AtomicState::Committed;
+            Ok(())
+        } else {
+            *self.state.lock() = AtomicState::Aborted;
+            Err(WscfError::Aborted("a participant voted to roll back".into()))
+        }
+    }
+
+    /// Roll everything back.
+    ///
+    /// # Errors
+    ///
+    /// [`WscfError::InvalidState`] when already terminated.
+    pub fn rollback(&self) -> Result<(), WscfError> {
+        {
+            let state = self.state.lock();
+            if *state != AtomicState::Active {
+                return Err(WscfError::InvalidState {
+                    operation: "rollback".into(),
+                    state: state.to_string(),
+                });
+            }
+        }
+        self.activity.set_completion_status(CompletionStatus::FailOnly)?;
+        let _ = self.activity.complete()?;
+        *self.state.lock() = AtomicState::Aborted;
+        Ok(())
+    }
+}
+
+/// A ready-made participant: an in-memory staged ledger. Writes buffer
+/// until `prepare` moves them to a prepared buffer; `commit` applies them;
+/// `rollback` discards. Idempotent throughout.
+pub struct StagedLedger {
+    name: String,
+    committed: Mutex<std::collections::BTreeMap<String, Value>>,
+    staged: Mutex<std::collections::BTreeMap<String, Value>>,
+    prepared: Mutex<Option<std::collections::BTreeMap<String, Value>>>,
+    refuse_prepare: bool,
+}
+
+impl std::fmt::Debug for StagedLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagedLedger").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl StagedLedger {
+    /// A cooperative ledger.
+    pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Arc::new(StagedLedger {
+            name: name.into(),
+            committed: Mutex::new(Default::default()),
+            staged: Mutex::new(Default::default()),
+            prepared: Mutex::new(None),
+            refuse_prepare: false,
+        })
+    }
+
+    /// A ledger that votes to abort at prepare time (for tests/demos).
+    pub fn refusing(name: impl Into<String>) -> Arc<Self> {
+        Arc::new(StagedLedger {
+            name: name.into(),
+            committed: Mutex::new(Default::default()),
+            staged: Mutex::new(Default::default()),
+            prepared: Mutex::new(None),
+            refuse_prepare: true,
+        })
+    }
+
+    /// Stage a write (invisible until commit).
+    pub fn stage(&self, key: impl Into<String>, value: Value) {
+        self.staged.lock().insert(key.into(), value);
+    }
+
+    /// Read the committed value.
+    pub fn read(&self, key: &str) -> Option<Value> {
+        self.committed.lock().get(key).cloned()
+    }
+}
+
+impl WsAtomicParticipant for StagedLedger {
+    fn prepare(&self) -> Result<WsVote, String> {
+        if self.refuse_prepare {
+            return Ok(WsVote::Aborted);
+        }
+        let staged = std::mem::take(&mut *self.staged.lock());
+        if staged.is_empty() && self.prepared.lock().is_none() {
+            return Ok(WsVote::ReadOnly);
+        }
+        let mut prepared = self.prepared.lock();
+        if prepared.is_none() {
+            *prepared = Some(staged);
+        }
+        Ok(WsVote::Prepared)
+    }
+
+    fn commit(&self) -> Result<(), String> {
+        if let Some(prepared) = self.prepared.lock().take() {
+            self.committed.lock().extend(prepared);
+        }
+        Ok(())
+    }
+
+    fn rollback(&self) -> Result<(), String> {
+        self.staged.lock().clear();
+        *self.prepared.lock() = None;
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orb::SimClock;
+
+    fn tx_with(ledgers: &[Arc<StagedLedger>]) -> Arc<AtomicTransaction> {
+        let activity = Activity::new_root("ws-tx", SimClock::new());
+        let tx = AtomicTransaction::new(activity).unwrap();
+        for l in ledgers {
+            tx.enroll(Arc::clone(l) as Arc<dyn WsAtomicParticipant>).unwrap();
+        }
+        tx
+    }
+
+    #[test]
+    fn commit_applies_staged_writes_without_any_ots() {
+        let a = StagedLedger::new("a");
+        let b = StagedLedger::new("b");
+        a.stage("x", Value::I64(1));
+        b.stage("y", Value::I64(2));
+        let tx = tx_with(&[Arc::clone(&a), Arc::clone(&b)]);
+        tx.commit().unwrap();
+        assert_eq!(tx.state(), AtomicState::Committed);
+        assert_eq!(a.read("x"), Some(Value::I64(1)));
+        assert_eq!(b.read("y"), Some(Value::I64(2)));
+    }
+
+    #[test]
+    fn abort_vote_rolls_everyone_back() {
+        let good = StagedLedger::new("good");
+        let bad = StagedLedger::refusing("bad");
+        good.stage("x", Value::I64(1));
+        bad.stage("y", Value::I64(2));
+        let tx = tx_with(&[Arc::clone(&good), Arc::clone(&bad)]);
+        assert!(matches!(tx.commit(), Err(WscfError::Aborted(_))));
+        assert_eq!(tx.state(), AtomicState::Aborted);
+        assert_eq!(good.read("x"), None);
+        assert_eq!(bad.read("y"), None);
+    }
+
+    #[test]
+    fn explicit_rollback_discards() {
+        let a = StagedLedger::new("a");
+        a.stage("x", Value::I64(1));
+        let tx = tx_with(&[Arc::clone(&a)]);
+        tx.rollback().unwrap();
+        assert_eq!(tx.state(), AtomicState::Aborted);
+        assert_eq!(a.read("x"), None);
+        assert!(matches!(tx.commit(), Err(WscfError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn read_only_participants_skip_phase_two() {
+        let writer = StagedLedger::new("writer");
+        let reader = StagedLedger::new("reader");
+        writer.stage("x", Value::I64(1));
+        let tx = tx_with(&[Arc::clone(&writer), Arc::clone(&reader)]);
+        tx.commit().unwrap();
+        assert_eq!(writer.read("x"), Some(Value::I64(1)));
+    }
+
+    #[test]
+    fn terminated_transactions_reject_enrolment() {
+        let tx = tx_with(&[]);
+        tx.commit().unwrap();
+        assert!(matches!(
+            tx.enroll(StagedLedger::new("late") as _),
+            Err(WscfError::InvalidState { .. })
+        ));
+        assert!(matches!(tx.rollback(), Err(WscfError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn participant_operations_are_idempotent() {
+        let a = StagedLedger::new("a");
+        a.stage("x", Value::I64(7));
+        assert_eq!(a.prepare().unwrap(), WsVote::Prepared);
+        assert_eq!(a.prepare().unwrap(), WsVote::Prepared, "redelivered prepare");
+        a.commit().unwrap();
+        a.commit().unwrap();
+        assert_eq!(a.read("x"), Some(Value::I64(7)));
+        a.rollback().unwrap();
+        assert_eq!(a.read("x"), Some(Value::I64(7)), "late rollback is a no-op");
+    }
+}

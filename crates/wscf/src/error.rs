@@ -1,0 +1,93 @@
+//! Error type for the coordination framework.
+
+use std::fmt;
+
+/// Errors raised by the coordination service and its protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WscfError {
+    /// No protocol suite is registered for this coordination type.
+    UnknownCoordinationType(String),
+    /// The referenced coordination context does not exist (or has
+    /// terminated).
+    UnknownContext(String),
+    /// The named protocol is not part of the context's coordination type.
+    UnknownProtocol {
+        /// Coordination type consulted.
+        coordination_type: String,
+        /// Protocol asked for.
+        protocol: String,
+    },
+    /// The operation is illegal in the coordination's current state.
+    InvalidState {
+        /// What was attempted.
+        operation: String,
+        /// Current state.
+        state: String,
+    },
+    /// The transaction/agreement had to abort.
+    Aborted(String),
+    /// The underlying activity machinery failed.
+    Activity(String),
+    /// A remote registration failed.
+    Remote(String),
+    /// A context failed to (de)serialise.
+    Codec(String),
+}
+
+impl fmt::Display for WscfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WscfError::UnknownCoordinationType(t) => {
+                write!(f, "unknown coordination type {t:?}")
+            }
+            WscfError::UnknownContext(id) => write!(f, "unknown coordination context {id:?}"),
+            WscfError::UnknownProtocol { coordination_type, protocol } => write!(
+                f,
+                "coordination type {coordination_type:?} has no protocol {protocol:?}"
+            ),
+            WscfError::InvalidState { operation, state } => {
+                write!(f, "cannot {operation} while {state}")
+            }
+            WscfError::Aborted(reason) => write!(f, "coordination aborted: {reason}"),
+            WscfError::Activity(msg) => write!(f, "activity failure: {msg}"),
+            WscfError::Remote(msg) => write!(f, "remote registration failure: {msg}"),
+            WscfError::Codec(msg) => write!(f, "context codec failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WscfError {}
+
+impl From<activity_service::ActivityError> for WscfError {
+    fn from(e: activity_service::ActivityError) -> Self {
+        WscfError::Activity(e.to_string())
+    }
+}
+
+impl From<orb::OrbError> for WscfError {
+    fn from(e: orb::OrbError) -> Self {
+        WscfError::Remote(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            WscfError::UnknownCoordinationType("t".into()),
+            WscfError::UnknownContext("c".into()),
+            WscfError::UnknownProtocol { coordination_type: "t".into(), protocol: "p".into() },
+            WscfError::InvalidState { operation: "o".into(), state: "s".into() },
+            WscfError::Aborted("r".into()),
+            WscfError::Activity("a".into()),
+            WscfError::Remote("r".into()),
+            WscfError::Codec("c".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! WSCF — the Web Services Coordination Framework of the paper's §5.2,
+//! built on the Activity Service.
+//!
+//! "The Activity Service can be used as a basis of supporting a family of
+//! extended transaction models for Web Services. … the only noticeable
+//! difference between the Web Services version of the Activity Service and
+//! its CORBA original is that the former does not assume an underlying OTS
+//! implementation: **all coordination services (including transactions)
+//! must be constructed on top of the framework.**"
+//!
+//! Accordingly this crate has **no dependency on the `ots` crate**:
+//!
+//! * [`context::CoordinationContext`] — the token identifying coordinated
+//!   work (id, coordination type, registration endpoint) that rides inside
+//!   application messages;
+//! * [`service::CoordinationService`] — activation (context creation per
+//!   registered coordination type), registration (local and, through an
+//!   ORB servant, remote), and protocol driving;
+//! * [`acid::AtomicTransaction`] — ACID transactions whose *entire*
+//!   coordinator is the signal framework (the §5.2(i) use);
+//! * [`business::BusinessAgreement`] — the close/compensate long-running
+//!   protocol (the §5.2(ii)/BTP-flavoured use; full BTP atoms and
+//!   cohesions live in the sibling `btp` crate, equally OTS-free).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wscf::{AtomicTransaction, StagedLedger, WsAtomicParticipant};
+//! use activity_service::Activity;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let activity = Activity::new_root("ws-tx", orb::SimClock::new());
+//! let tx = AtomicTransaction::new(activity)?;
+//! let ledger = StagedLedger::new("inventory");
+//! ledger.stage("widgets", orb::Value::I64(5));
+//! tx.enroll(Arc::clone(&ledger) as Arc<dyn WsAtomicParticipant>)?;
+//! tx.commit()?;
+//! assert_eq!(ledger.read("widgets"), Some(orb::Value::I64(5)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod acid;
+pub mod business;
+pub mod context;
+pub mod error;
+pub mod service;
+
+pub use acid::{AtomicState, AtomicTransaction, StagedLedger, WsAtomicParticipant, WsParticipantAction, WsVote};
+pub use business::{
+    BusinessAgreement, BusinessAgreementSignalSet, BusinessParticipant, BUSINESS_AGREEMENT_SET,
+    SIG_CLOSE, SIG_COMPENSATE,
+};
+pub use context::{CoordinationContext, TYPE_ATOMIC_TRANSACTION, TYPE_BUSINESS_AGREEMENT};
+pub use error::WscfError;
+pub use service::{register_remote, CoordinationService, ProtocolSuite, REGISTER_OP};

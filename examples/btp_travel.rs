@@ -1,0 +1,66 @@
+//! §4.5 / figs. 11–12: the travel booking as a BTP **cohesion** of atoms
+//! over composite web services — reserve everything tentatively, then
+//! decide what to actually confirm.
+//!
+//! Run with: `cargo run --example btp_travel`
+
+use std::sync::Arc;
+
+use activity_service::{Activity, ActivityService};
+use btp::{BtpError, BtpParticipant, BtpVote, Cohesion, Reservation};
+use orb::SimClock;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- An atom by itself: prepare now, confirm much later (fig. 11/12).
+    println!("== a single atom: user-driven two-phase ==");
+    let atom_activity = Activity::new_root("taxi-booking", SimClock::new());
+    let atom = btp::Atom::new("taxi-booking", atom_activity)?;
+    let taxi = Reservation::new("taxi");
+    atom.enroll(Arc::clone(&taxi) as Arc<dyn BtpParticipant>)?;
+    atom.prepare()?;
+    println!("  taxi is {:?} — reserved, not booked", taxi.state());
+    // ... hours pass ...
+    atom.confirm()?;
+    println!("  taxi is {:?}", taxi.state());
+
+    // ---- The fig. 1 dotted ellipse as a cohesion. ------------------------
+    println!("\n== the trip cohesion ==");
+    let service = ActivityService::new();
+    let trip = service.begin("trip")?;
+    service.suspend()?; // the cohesion owns completion
+    let cohesion = Cohesion::new("trip", trip);
+
+    let mut reservations = Vec::new();
+    for name in ["taxi", "restaurant", "theatre"] {
+        let a = cohesion.enroll_atom(name)?;
+        let r = Reservation::new(name);
+        a.enroll(Arc::clone(&r) as Arc<dyn BtpParticipant>)?;
+        cohesion.prepare(name)?;
+        println!("  prepared {name}");
+        reservations.push(r);
+    }
+
+    // The hotel refuses (fig. 2's t4).
+    let hotel_atom = cohesion.enroll_atom("hotel")?;
+    hotel_atom.enroll(Reservation::voting("hotel", BtpVote::Cancelled) as _)?;
+    match cohesion.prepare("hotel") {
+        Err(BtpError::Cancelled) => println!("  hotel refused — cohesion still alive"),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+
+    // Business decision: drop the theatre plan, book the cinema instead.
+    let cinema_atom = cohesion.enroll_atom("cinema")?;
+    let cinema = Reservation::new("cinema");
+    cinema_atom.enroll(Arc::clone(&cinema) as _)?;
+    cohesion.prepare("cinema")?;
+    println!("  prepared cinema as the alternative");
+
+    // Arrive at the confirm-set; the cohesion collapses to an atom.
+    let report = cohesion.confirm(&["taxi", "restaurant", "cinema"])?;
+    println!("  confirmed: {:?}", report.confirmed);
+    println!("  cancelled: {:?}", report.cancelled);
+    assert_eq!(report.confirmed, vec!["cinema", "restaurant", "taxi"]);
+    assert_eq!(report.cancelled, vec!["theatre"]);
+    println!("  final states: taxi={:?} cinema={:?}", reservations[0].state(), cinema.state());
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! §2.1(i) + §4.2 + fig. 9: the bulletin board with open nesting.
+//!
+//! Posting to a bulletin board inside a long application transaction should
+//! not lock the board for the transaction's whole life. So the post runs as
+//! an independent top-level transaction B inside the application's A, and a
+//! CompensationAction stands by to run !B if A ultimately fails.
+//!
+//! Run with: `cargo run --example bulletin_board`
+
+use std::sync::Arc;
+
+use activity_service::{ActivityService, CompletionStatus};
+use orb::Value;
+use ots::{TransactionFactory, TransactionalKv};
+use tx_models::{
+    ActivityRegistry, CompensationAction, CompletionSignalSet, InMemoryActivityRegistry,
+    COMPLETION_SET,
+};
+
+fn run_scenario(application_succeeds: bool) -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "\n== scenario: application transaction {} ==",
+        if application_succeeds { "commits" } else { "aborts" }
+    );
+    let service = ActivityService::new();
+    let factory = Arc::new(TransactionFactory::new());
+    let board = Arc::new(TransactionalKv::new("bulletin-board"));
+    let registry = InMemoryActivityRegistry::new();
+
+    // A: the enclosing application activity with its completion set.
+    let a = service.begin("application")?;
+    a.coordinator().add_signal_set(Box::new(CompletionSignalSet::new()))?;
+    a.set_completion_signal_set(COMPLETION_SET);
+    registry.register(&a);
+
+    // B: post the notice NOW, in its own top-level transaction.
+    let b = a.begin_child("post-notice")?;
+    b.coordinator()
+        .add_signal_set(Box::new(CompletionSignalSet::propagating_to(a.id())))?;
+    b.set_completion_signal_set(COMPLETION_SET);
+    let tb = factory.create()?;
+    board.enlist(&tb)?;
+    board.write(tb.id(), "notice-7", Value::from("office party friday"))?;
+    tb.terminator().commit()?;
+    println!("  B committed: notice visible, board lock released");
+    assert!(board.read_committed("notice-7").is_some());
+
+    // !B: ready in a CompensationAction, armed only if B's success
+    // propagates into A and A later fails.
+    let undo_board = Arc::clone(&board);
+    let undo_factory = Arc::clone(&factory);
+    let undo = CompensationAction::new(
+        "retract-notice",
+        Arc::clone(&registry) as Arc<dyn ActivityRegistry>,
+        move || {
+            println!("  !B running: retracting the notice");
+            let t = undo_factory.create().map_err(|e| e.to_string())?;
+            undo_board.enlist(&t).map_err(|e| e.to_string())?;
+            undo_board.delete(t.id(), "notice-7").map_err(|e| e.to_string())?;
+            t.terminator().commit().map_err(|e| e.to_string())?;
+            Ok(())
+        },
+    );
+    b.coordinator().register_action(COMPLETION_SET, Arc::clone(&undo) as _);
+    b.complete()?; // propagate → undo enlists with A
+    println!("  compensation action propagated from B to A");
+
+    // …the application does a lot more work, then finishes.
+    if application_succeeds {
+        service.complete()?;
+    } else {
+        a.set_completion_status(CompletionStatus::FailOnly)?;
+        service.complete()?;
+    }
+
+    let still_posted = board.read_committed("notice-7").is_some();
+    println!(
+        "  result: notice {} (compensation ran: {})",
+        if still_posted { "still posted" } else { "retracted" },
+        undo.compensated()
+    );
+    assert_eq!(still_posted, application_succeeds);
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run_scenario(true)?;
+    run_scenario(false)?;
+    Ok(())
+}

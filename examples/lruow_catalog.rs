@@ -1,0 +1,74 @@
+//! §4.3: the LRUOW (Long Running Unit Of Work) model — a product-catalog
+//! update rehearsed for a long time without locks, then performed only if
+//! its operation predicates still hold, via the Rehearsal and Performance
+//! SignalSets.
+//!
+//! Run with: `cargo run --example lruow_catalog`
+
+use std::sync::Arc;
+
+use activity_service::Activity;
+use orb::{SimClock, Value};
+use tx_models::{enlist_unit_of_work, run_lruow_completion, LruowStore};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store = LruowStore::new("catalog");
+    store.write("widget/price", Value::F64(10.0));
+    store.write("widget/stock", Value::I64(500));
+    store.write("gadget/price", Value::F64(25.0));
+
+    // ---- Attempt 1: a long rehearsal that gets invalidated. -------------
+    println!("== rehearsal invalidated by a concurrent update ==");
+    let activity = Activity::new_root("price-review", SimClock::new());
+    let uow = Arc::new(store.begin_unit_of_work());
+    let price = uow.read("widget/price").unwrap().as_f64().unwrap();
+    uow.write("widget/price", Value::F64(price * 1.10)); // +10%
+    println!("  rehearsed: widget/price {price} -> {}", price * 1.10);
+
+    // Meanwhile a flash sale commits a different price.
+    store.write("widget/price", Value::F64(8.0));
+    println!("  interloper committed widget/price = 8.0");
+
+    enlist_unit_of_work(&activity, "price-review-uow", Arc::clone(&uow))?;
+    let outcome = run_lruow_completion(&activity)?;
+    println!("  performance outcome: {outcome} ({})", outcome.data());
+    assert!(outcome.is_negative(), "predicate violation must be reported");
+    assert_eq!(store.read("widget/price"), Some(Value::F64(8.0)), "uow not applied");
+
+    // ---- Attempt 2: re-rehearse against fresh data; succeeds. -----------
+    println!("\n== re-rehearse and perform ==");
+    let activity = Activity::new_root("price-review-retry", SimClock::new());
+    let uow = Arc::new(store.begin_unit_of_work());
+    let price = uow.read("widget/price").unwrap().as_f64().unwrap();
+    uow.write("widget/price", Value::F64(price * 1.10));
+    // This round also touches a second item — one activity, several
+    // predicates.
+    let gadget = uow.read("gadget/price").unwrap().as_f64().unwrap();
+    uow.write("gadget/price", Value::F64(gadget * 1.10));
+    enlist_unit_of_work(&activity, "price-review-uow-2", Arc::clone(&uow))?;
+    let outcome = run_lruow_completion(&activity)?;
+    println!("  performance outcome: {outcome}");
+    assert!(outcome.is_done());
+    println!(
+        "  committed: widget/price = {}, gadget/price = {}",
+        store.read("widget/price").unwrap(),
+        store.read("gadget/price").unwrap()
+    );
+    assert_eq!(store.read("widget/price"), Some(Value::F64(8.0 * 1.10)));
+
+    // ---- The headline property: rehearsals never block anyone. ----------
+    println!("\n== rehearsals are lock-free ==");
+    let slow = Arc::new(store.begin_unit_of_work());
+    let _ = slow.read("widget/stock");
+    // A hundred other clients read and write the same key while the slow
+    // rehearsal is open; nobody waits.
+    for i in 0..100 {
+        store.write("widget/stock", Value::I64(500 - i));
+    }
+    println!("  100 concurrent committed writes while a rehearsal was open");
+    // The slow unit of work pays for it at performance time — exactly the
+    // LRUOW trade.
+    assert!(slow.perform().is_err());
+    println!("  slow rehearsal correctly refused at performance time");
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Umbrella crate for the CORBA Activity Service reproduction.
+//!
+//! This crate exists to host the workspace-wide integration tests
+//! (`tests/`) and runnable examples (`examples/`); the substance lives in
+//! the member crates, re-exported here for convenience:
+//!
+//! * [`activity_service`] — the paper's contribution: Activities,
+//!   Coordinators, Signals, SignalSets, Actions, PropertyGroups.
+//! * [`ots`] — an Object Transaction Service (flat + nested transactions,
+//!   two-phase commit).
+//! * [`orb`] — the simulated distribution infrastructure.
+//! * [`recovery_log`] — write-ahead logging and crash/replay machinery.
+//! * [`tx_models`] — the extended transaction models of §4 mapped onto the
+//!   framework.
+//! * [`wfengine`] — an OPENflow-style transactional workflow engine (§4.4).
+//! * [`btp`] — OASIS BTP atoms and cohesions (§4.5).
+//! * [`wscf`] — the Web Services Coordination Framework (§5.2).
+
+pub use activity_service;
+pub use btp;
+pub use orb;
+pub use ots;
+pub use recovery_log;
+pub use tx_models;
+pub use wfengine;
+pub use wscf;

@@ -1,0 +1,116 @@
+//! Property tests over BTP cohesions: for any interleaving of enrol /
+//! prepare / cancel and any confirm-set choice, the cohesion's outcome
+//! partitions its inferiors correctly and participants end in states
+//! consistent with the decision.
+
+use std::sync::Arc;
+
+use activity_service::Activity;
+use btp::{BtpError, BtpParticipant, BtpVote, Cohesion, Reservation, ReservationState};
+use orb::SimClock;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cohesion_confirm_partitions_inferiors(
+        // Per inferior: (participant refuses prepare?, do we prepare it?,
+        // is it wanted in the confirm-set?)
+        spec in proptest::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 1..7),
+    ) {
+        let activity = Activity::new_root("prop-trip", SimClock::new());
+        let cohesion = Cohesion::new("prop-trip", activity);
+
+        let mut reservations = Vec::new();
+        let mut prepared_ok = Vec::new();
+        for (i, (refuses, do_prepare, _)) in spec.iter().enumerate() {
+            let name = format!("atom-{i}");
+            let atom = cohesion.enroll_atom(&name).unwrap();
+            let vote = if *refuses { BtpVote::Cancelled } else { BtpVote::Prepared };
+            let r = Reservation::voting(format!("res-{i}"), vote);
+            atom.enroll(Arc::clone(&r) as Arc<dyn BtpParticipant>).unwrap();
+            if *do_prepare {
+                match cohesion.prepare(&name) {
+                    Ok(()) => {
+                        prop_assert!(!refuses);
+                        prepared_ok.push(name.clone());
+                    }
+                    Err(BtpError::Cancelled) => prop_assert!(refuses),
+                    Err(other) => prop_assert!(false, "unexpected {other}"),
+                }
+            }
+            reservations.push((name, r, *refuses, *do_prepare));
+        }
+
+        // Desired confirm-set: the wanted ∩ actually-prepared inferiors.
+        let confirm_set: Vec<&str> = reservations
+            .iter()
+            .zip(spec.iter())
+            .filter(|((name, _, _, _), (_, _, wanted))| {
+                *wanted && prepared_ok.contains(name)
+            })
+            .map(|((name, _, _, _), _)| name.as_str())
+            .collect();
+
+        let report = cohesion.confirm(&confirm_set).unwrap();
+
+        // Partition invariants.
+        for name in &report.confirmed {
+            prop_assert!(confirm_set.contains(&name.as_str()));
+            prop_assert!(!report.cancelled.contains(name));
+        }
+        prop_assert_eq!(report.confirmed.len(), confirm_set.len());
+
+        // Participant end states match the decision.
+        for (name, r, refused, _prepared) in &reservations {
+            if report.confirmed.contains(name) {
+                prop_assert_eq!(r.state(), ReservationState::Confirmed);
+            } else if *refused {
+                // Its own refusal already cancelled it (when prepared), or
+                // the sweep cancelled it.
+                prop_assert_ne!(r.state(), ReservationState::Confirmed);
+            } else {
+                prop_assert_ne!(r.state(), ReservationState::Confirmed);
+            }
+        }
+    }
+
+    /// Confirming a set containing any unprepared inferior must change
+    /// NOTHING (decision atomicity).
+    #[test]
+    fn invalid_confirm_sets_are_all_or_nothing(size in 2usize..6) {
+        let activity = Activity::new_root("prop-trip", SimClock::new());
+        let cohesion = Cohesion::new("prop-trip", activity);
+        let mut reservations = Vec::new();
+        for i in 0..size {
+            let name = format!("atom-{i}");
+            let atom = cohesion.enroll_atom(&name).unwrap();
+            let r = Reservation::new(format!("res-{i}"));
+            atom.enroll(Arc::clone(&r) as Arc<dyn BtpParticipant>).unwrap();
+            // Prepare all but the last.
+            if i + 1 < size {
+                cohesion.prepare(&name).unwrap();
+            }
+            reservations.push(r);
+        }
+        let all: Vec<String> = (0..size).map(|i| format!("atom-{i}")).collect();
+        let all_refs: Vec<&str> = all.iter().map(String::as_str).collect();
+        let err = cohesion.confirm(&all_refs).unwrap_err();
+        prop_assert!(matches!(err, BtpError::NotPrepared(_)));
+        // Nothing was confirmed or swept.
+        for (i, r) in reservations.iter().enumerate() {
+            if i + 1 < size {
+                prop_assert_eq!(r.state(), ReservationState::Prepared);
+            } else {
+                prop_assert_eq!(r.state(), ReservationState::Pending);
+            }
+        }
+        // And the cohesion is still usable.
+        cohesion.prepare(&all[size - 1]).unwrap();
+        cohesion.confirm(&all_refs).unwrap();
+        for r in &reservations {
+            prop_assert_eq!(r.state(), ReservationState::Confirmed);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Fig. 9 / §4.2 end-to-end with real stores: nested top-level transactions
+//! ("open nesting") where B commits early inside A and is undone by !B only
+//! if A later rolls back. This is the paper's §2.1(i) bulletin-board
+//! requirement: release resources early, compensate on failure.
+
+use std::sync::Arc;
+
+use activity_service::{Activity, ActivityService, CompletionStatus};
+use orb::Value;
+use ots::{TransactionFactory, TransactionalKv, TxError};
+use tx_models::{
+    ActivityRegistry, CompensationAction, CompletionSignalSet, InMemoryActivityRegistry,
+    COMPLETION_SET,
+};
+
+struct OpenNested {
+    service: ActivityService,
+    factory: TransactionFactory,
+    board: Arc<TransactionalKv>,
+    registry: Arc<InMemoryActivityRegistry>,
+}
+
+impl OpenNested {
+    fn new() -> Self {
+        OpenNested {
+            service: ActivityService::new(),
+            factory: TransactionFactory::new(),
+            board: Arc::new(TransactionalKv::new("bulletin-board")),
+            registry: InMemoryActivityRegistry::new(),
+        }
+    }
+
+    /// Start enclosing activity A with its CompletionSignalSet.
+    fn begin_a(&self) -> Activity {
+        let a = self.service.begin("A").unwrap();
+        a.coordinator().add_signal_set(Box::new(CompletionSignalSet::new())).unwrap();
+        a.set_completion_signal_set(COMPLETION_SET);
+        self.registry.register(&a);
+        a
+    }
+
+    /// Run B: an independent top-level transaction that posts to the board
+    /// and commits immediately, protected by a CompensationAction that will
+    /// delete the post if A ultimately fails.
+    fn run_b(&self, a: &Activity) -> Arc<CompensationAction> {
+        let b_activity = a.begin_child("B").unwrap();
+        b_activity
+            .coordinator()
+            .add_signal_set(Box::new(CompletionSignalSet::propagating_to(a.id())))
+            .unwrap();
+        b_activity.set_completion_signal_set(COMPLETION_SET);
+
+        // B is a REAL top-level transaction: it commits now, releasing its
+        // locks long before A finishes.
+        let tb = self.factory.create().unwrap();
+        self.board.enlist(&tb).unwrap();
+        self.board
+            .write(tb.id(), "post-1", Value::from("selling bicycle"))
+            .unwrap();
+        tb.terminator().commit().unwrap();
+
+        // !B: the compensating transaction, kept ready in an Action.
+        let board = Arc::clone(&self.board);
+        let factory_undo = TransactionFactory::new();
+        let undo = CompensationAction::new(
+            "undo-B",
+            Arc::clone(&self.registry) as Arc<dyn ActivityRegistry>,
+            move || {
+                let t = factory_undo.create().map_err(|e| e.to_string())?;
+                board.enlist(&t).map_err(|e| e.to_string())?;
+                board.delete(t.id(), "post-1").map_err(|e| e.to_string())?;
+                t.terminator().commit().map_err(|e| e.to_string())?;
+                Ok(())
+            },
+        );
+        b_activity
+            .coordinator()
+            .register_action(COMPLETION_SET, Arc::clone(&undo) as _);
+        b_activity.complete().unwrap(); // propagate → undo enlists with A
+        undo
+    }
+}
+
+#[test]
+fn b_released_resources_early() {
+    let fixture = OpenNested::new();
+    let a = fixture.begin_a();
+
+    // A holds its own lock on "audit".
+    let ta = fixture.factory.create().unwrap();
+    fixture.board.enlist(&ta).unwrap();
+    fixture.board.write(ta.id(), "audit", Value::from("A-was-here")).unwrap();
+
+    let _undo = fixture.run_b(&a);
+    // B's post is already visible and its lock released — a third party can
+    // read AND write it while A is still running. That is the whole point
+    // of open nesting (§2.1(i)).
+    assert_eq!(
+        fixture.board.read_committed("post-1"),
+        Some(Value::from("selling bicycle"))
+    );
+    let t_other = fixture.factory.create().unwrap();
+    fixture.board.enlist(&t_other).unwrap();
+    fixture
+        .board
+        .write(t_other.id(), "post-2", Value::from("another post"))
+        .unwrap();
+    t_other.terminator().commit().unwrap();
+    // But A's own lock is still held.
+    let t_blocked = fixture.factory.create().unwrap();
+    fixture.board.enlist(&t_blocked).unwrap();
+    assert!(matches!(
+        fixture.board.write(t_blocked.id(), "audit", Value::from("x")),
+        Err(TxError::LockConflict { .. })
+    ));
+    t_blocked.terminator().rollback().unwrap();
+
+    ta.terminator().commit().unwrap();
+    fixture.service.complete().unwrap();
+}
+
+#[test]
+fn a_commits_b_stays() {
+    let fixture = OpenNested::new();
+    let a = fixture.begin_a();
+    let undo = fixture.run_b(&a);
+    fixture.service.complete().unwrap(); // A succeeds → Success signal
+    assert!(!undo.compensated());
+    assert_eq!(
+        fixture.board.read_committed("post-1"),
+        Some(Value::from("selling bicycle"))
+    );
+}
+
+#[test]
+fn a_aborts_b_compensated() {
+    let fixture = OpenNested::new();
+    let a = fixture.begin_a();
+    let undo = fixture.run_b(&a);
+    // A's own transactional work fails, so A completes in failure…
+    a.set_completion_status(CompletionStatus::FailOnly).unwrap();
+    fixture.service.complete().unwrap();
+    // …and !B ran: the early-committed post is gone again.
+    assert!(undo.compensated());
+    assert_eq!(fixture.board.read_committed("post-1"), None);
+}
+
+#[test]
+fn b_rolls_back_no_compensation_needed() {
+    let fixture = OpenNested::new();
+    let a = fixture.begin_a();
+
+    // B aborts on its own: nothing to protect.
+    let b_activity = a.begin_child("B").unwrap();
+    b_activity
+        .coordinator()
+        .add_signal_set(Box::new(CompletionSignalSet::propagating_to(a.id())))
+        .unwrap();
+    b_activity.set_completion_signal_set(COMPLETION_SET);
+    let tb = fixture.factory.create().unwrap();
+    fixture.board.enlist(&tb).unwrap();
+    fixture.board.write(tb.id(), "post-1", Value::from("draft")).unwrap();
+    tb.terminator().rollback().unwrap();
+    let undo = CompensationAction::new(
+        "undo-B",
+        Arc::clone(&fixture.registry) as Arc<dyn ActivityRegistry>,
+        || panic!("must never run: B never committed"),
+    );
+    b_activity
+        .coordinator()
+        .register_action(COMPLETION_SET, Arc::clone(&undo) as _);
+    b_activity.complete_with_status(CompletionStatus::Fail).unwrap();
+    assert!(undo.retired(), "failure signal retired the action quietly");
+
+    // A then fails too — still nothing runs.
+    a.set_completion_status(CompletionStatus::FailOnly).unwrap();
+    fixture.service.complete().unwrap();
+    assert_eq!(fixture.board.read_committed("post-1"), None);
+}

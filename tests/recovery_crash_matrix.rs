@@ -1,0 +1,231 @@
+//! §3.4 of the paper: treatment of failure and recovery, exercised as a
+//! crash matrix. The OTS coordinator is crashed at every interesting
+//! protocol step (via failpoints), the "process" restarts over the surviving
+//! log, and recovery must drive every in-doubt transaction — and the
+//! activity structure above it — back to consistency.
+
+use std::sync::Arc;
+
+use activity_service::{
+    recover_activities, ActionFactories, ActivityLogger, ActivityService, BroadcastSignalSet,
+    FnAction, Outcome, Signal, SignalSetFactories,
+};
+use orb::{SimClock, Value};
+use ots::{Resource, TransactionFactory, TransactionalKv, TxError};
+use recovery_log::{FailpointSet, FileWal, MemWal, Wal};
+
+/// One crash-matrix cell: crash at `failpoint`, recover, and state whether
+/// the transaction's effects must be present afterwards.
+fn crash_at(failpoint: &str) -> (bool, Arc<TransactionalKv>) {
+    let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+    let failpoints = FailpointSet::new();
+    let factory = TransactionFactory::with_wal(Arc::clone(&wal)).with_failpoints(failpoints.clone());
+    let store = Arc::new(TransactionalKv::new("store"));
+    let witness = Arc::new(TransactionalKv::new("witness"));
+
+    let control = factory.create().unwrap();
+    store.enlist(&control).unwrap();
+    witness.enlist(&control).unwrap();
+    store.write(control.id(), "k", Value::from(1i64)).unwrap();
+    witness.write(control.id(), "w", Value::from(2i64)).unwrap();
+
+    failpoints.arm(failpoint, 0);
+    let result = control.terminator().commit();
+    assert!(
+        matches!(result, Err(TxError::Log(_))),
+        "failpoint {failpoint} must crash the commit, got {result:?}"
+    );
+
+    // Restart: a fresh factory over the surviving log re-delivers outcomes.
+    failpoints.clear();
+    let recovered_factory = TransactionFactory::with_wal(wal);
+    let store2 = Arc::clone(&store);
+    let witness2 = Arc::clone(&witness);
+    let resolver = move |name: &str| -> Option<Arc<dyn Resource>> {
+        match name {
+            "store" => Some(store2.clone()),
+            "witness" => Some(witness2.clone()),
+            _ => None,
+        }
+    };
+    let report = recovered_factory.recover(&resolver).unwrap();
+    let committed = !report.recommitted.is_empty();
+    // A crash before the prepared record leaves nothing in doubt (presumed
+    // abort needs no log); all later crash points leave exactly one.
+    assert!(
+        report.recommitted.len() + report.presumed_aborted.len() <= 1,
+        "at most one in-doubt transaction at {failpoint}"
+    );
+    (committed, store)
+}
+
+#[test]
+fn crash_before_prepare_presumed_abort() {
+    let (committed, store) = crash_at("ots.before_prepare");
+    assert!(!committed);
+    assert_eq!(store.read_committed("k"), None);
+}
+
+#[test]
+fn crash_after_prepare_presumed_abort() {
+    let (committed, store) = crash_at("ots.after_prepare");
+    assert!(!committed, "no decision record yet: presumed abort");
+    assert_eq!(store.read_committed("k"), None);
+}
+
+#[test]
+fn crash_before_decision_presumed_abort() {
+    let (committed, store) = crash_at("ots.before_decision");
+    assert!(!committed);
+    assert_eq!(store.read_committed("k"), None);
+}
+
+#[test]
+fn crash_after_decision_recommits() {
+    let (committed, store) = crash_at("ots.after_decision");
+    assert!(committed, "the decision was durable: recovery must push commit through");
+    assert_eq!(store.read_committed("k"), Some(Value::from(1i64)));
+}
+
+#[test]
+fn crash_before_completion_record_recommits_idempotently() {
+    let (committed, store) = crash_at("ots.before_completion_record");
+    assert!(committed);
+    // Phase two already ran once before the crash; recovery re-delivered
+    // commit. Idempotent participants keep the value exact.
+    assert_eq!(store.read_committed("k"), Some(Value::from(1i64)));
+}
+
+/// Full-stack recovery: activity structure + transaction outcomes from one
+/// crash, over a REAL file-backed log with a torn tail.
+#[test]
+fn activity_and_transaction_recovery_compose_over_file_wal() {
+    let path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("crash-matrix-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+
+    // ---- "First process": work, then die. ----
+    {
+        let wal: Arc<dyn Wal> = Arc::new(FileWal::open(&path).unwrap());
+        let service = ActivityService::builder().wal(Arc::clone(&wal)).build();
+        let booking = service.begin("booking").unwrap();
+        booking
+            .add_signal_set_recoverable(
+                "completion-broadcast",
+                Box::new(BroadcastSignalSet::new("Done", "finished", Value::Null)),
+            )
+            .unwrap();
+        booking
+            .register_action_recoverable(
+                "Done",
+                "audit-action",
+                Arc::new(FnAction::new("audit", |_s: &Signal| Ok(Outcome::done()))),
+            )
+            .unwrap();
+        booking.set_completion_signal_set("Done");
+        let _step = service.begin("step-1").unwrap();
+        // Crash: nothing completes; half a record hits the disk.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xA5, 0xC7, 0x00]).unwrap(); // torn garbage
+    }
+
+    // ---- "Second process": recover. ----
+    let wal: Arc<dyn Wal> = Arc::new(FileWal::open(&path).unwrap());
+    let mut sets = SignalSetFactories::new();
+    sets.register("completion-broadcast", || {
+        Box::new(BroadcastSignalSet::new("Done", "finished", Value::Null)) as _
+    });
+    let mut actions = ActionFactories::new();
+    let replayed = Arc::new(parking_lot::Mutex::new(0u32));
+    let replayed2 = Arc::clone(&replayed);
+    actions.register("audit-action", move || {
+        let replayed = Arc::clone(&replayed2);
+        Arc::new(FnAction::new("audit", move |_s: &Signal| {
+            *replayed.lock() += 1;
+            Ok(Outcome::done())
+        })) as _
+    });
+    let recovered = recover_activities(Arc::clone(&wal), &sets, &actions, SimClock::new()).unwrap();
+    assert_eq!(recovered.roots.len(), 1);
+    assert_eq!(recovered.incomplete.len(), 2);
+
+    // The application drives the in-flight activities to completion —
+    // children first ("application logic … is required to drive recovery").
+    for activity in recovered.incomplete.iter().rev() {
+        activity.complete().unwrap();
+    }
+    assert_eq!(*replayed.lock(), 1, "the recovered completion action ran");
+
+    // Third incarnation: everything is now completed; recovery is stable.
+    let wal: Arc<dyn Wal> = Arc::new(FileWal::open(&path).unwrap());
+    let recovered = recover_activities(wal, &sets, &actions, SimClock::new()).unwrap();
+    assert!(recovered.incomplete.is_empty());
+    assert_eq!(recovered.completed.len(), 2);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Recovery of the activity-service logger composes with an OTS factory
+/// sharing the SAME wal: mixed record kinds must not confuse either side.
+#[test]
+fn shared_wal_between_services() {
+    let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+    let service = ActivityService::builder().wal(Arc::clone(&wal)).build();
+    let tx_factory = TransactionFactory::with_wal(Arc::clone(&wal));
+    let store = Arc::new(TransactionalKv::new("store"));
+
+    let _activity = service.begin("mixed").unwrap();
+    let control = tx_factory.create().unwrap();
+    store.enlist(&control).unwrap();
+    store.write(control.id(), "k", Value::from(9i64)).unwrap();
+    control.terminator().commit().unwrap();
+    service.complete().unwrap();
+
+    // Both recoveries parse the shared log without tripping on each
+    // other's record kinds.
+    let resolver = |_: &str| -> Option<Arc<dyn Resource>> { None };
+    let tx_report = TransactionFactory::with_wal(Arc::clone(&wal)).recover(&resolver).unwrap();
+    assert!(tx_report.recommitted.is_empty(), "transaction completed before the crash");
+    let recovered = recover_activities(
+        wal,
+        &SignalSetFactories::new(),
+        &ActionFactories::new(),
+        SimClock::new(),
+    )
+    .unwrap();
+    assert_eq!(recovered.completed.len(), 1);
+    assert!(recovered.incomplete.is_empty());
+}
+
+/// §3.4 also allows *activity logs* to be checkpointed; verify replay time
+/// bounding composes with the activity logger (the checkpoint snapshot is
+/// opaque to the activity layer, so this just must not corrupt anything).
+#[test]
+fn activity_log_tolerates_foreign_checkpoint_records() {
+    let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+    {
+        let service = ActivityService::builder().wal(Arc::clone(&wal)).build();
+        let _a = service.begin("job").unwrap();
+        recovery_log::checkpoint::take_checkpoint(wal.as_ref(), b"opaque", false).unwrap();
+        let _b = service.begin("job-child").unwrap();
+    }
+    let recovered = recover_activities(
+        wal,
+        &SignalSetFactories::new(),
+        &ActionFactories::new(),
+        SimClock::new(),
+    )
+    .unwrap();
+    assert_eq!(recovered.incomplete.len(), 2);
+}
+
+/// Make sure ActivityLogger is reachable for documentation users.
+#[test]
+fn activity_logger_is_constructible() {
+    let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+    let logger = ActivityLogger::new(Arc::clone(&wal));
+    assert_eq!(logger.wal().next_lsn(), recovery_log::Lsn::new(1));
+}
