@@ -2,6 +2,8 @@
 //! (fig. 5 of the paper).
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -9,6 +11,7 @@ use parking_lot::Mutex;
 use crate::action::Action;
 use crate::activity::ActivityId;
 use crate::completion::CompletionStatus;
+use crate::dispatch::{self, DispatchConfig};
 use crate::error::ActivityError;
 use crate::outcome::Outcome;
 use crate::signal_set::{AfterResponse, NextSignal, SignalSet, SignalSetState};
@@ -22,8 +25,10 @@ struct SetEntry {
 struct CoordinatorInner {
     /// set name → actions registered for it. Actions may register for sets
     /// that have not been associated yet ("Actions register interest in
-    /// SignalSets, rather than specific Signals").
-    registrations: HashMap<String, Vec<Arc<dyn Action>>>,
+    /// SignalSets, rather than specific Signals"). Stored as a shared
+    /// immutable slice so the per-signal snapshot on the hot path is one
+    /// `Arc` bump instead of a `Vec` clone; registration (cold) rebuilds.
+    registrations: HashMap<String, Arc<[Arc<dyn Action>]>>,
     /// set name → the set itself. `None` while a processing run has the set
     /// checked out.
     sets: HashMap<String, Option<SetEntry>>,
@@ -39,6 +44,10 @@ pub struct ActivityCoordinator {
     activity: ActivityId,
     inner: Mutex<CoordinatorInner>,
     trace: Mutex<Option<TraceLog>>,
+    /// Lock-free gate for [`ActivityCoordinator::record`]: protocol steps
+    /// skip the trace mutex entirely while no trace is attached.
+    trace_on: AtomicBool,
+    dispatch: Mutex<DispatchConfig>,
 }
 
 impl std::fmt::Debug for ActivityCoordinator {
@@ -53,8 +62,16 @@ impl std::fmt::Debug for ActivityCoordinator {
 }
 
 impl ActivityCoordinator {
-    /// A coordinator for the given activity.
+    /// A coordinator for the given activity, fanning signals out across
+    /// the machine's available parallelism (see [`DispatchConfig`]).
     pub fn new(activity: ActivityId) -> Self {
+        Self::with_dispatch(activity, DispatchConfig::default())
+    }
+
+    /// A coordinator with an explicit fan-out policy.
+    /// [`DispatchConfig::serial`] reproduces the exact legacy serial loop
+    /// and is what deterministic-replay tests pin.
+    pub fn with_dispatch(activity: ActivityId, dispatch: DispatchConfig) -> Self {
         ActivityCoordinator {
             activity,
             inner: Mutex::new(CoordinatorInner {
@@ -62,7 +79,19 @@ impl ActivityCoordinator {
                 sets: HashMap::new(),
             }),
             trace: Mutex::new(None),
+            trace_on: AtomicBool::new(false),
+            dispatch: Mutex::new(dispatch),
         }
+    }
+
+    /// Change the fan-out policy for subsequent protocol runs.
+    pub fn set_dispatch_config(&self, dispatch: DispatchConfig) {
+        *self.dispatch.lock() = dispatch;
+    }
+
+    /// The current fan-out policy.
+    pub fn dispatch_config(&self) -> DispatchConfig {
+        *self.dispatch.lock()
     }
 
     /// The owning activity's id.
@@ -73,6 +102,7 @@ impl ActivityCoordinator {
     /// Attach a trace log; every subsequent protocol step is recorded.
     pub fn set_trace(&self, trace: TraceLog) {
         *self.trace.lock() = Some(trace);
+        self.trace_on.store(true, Ordering::Release);
     }
 
     /// Associate a signal set with this activity, keyed by its
@@ -104,12 +134,12 @@ impl ActivityCoordinator {
     /// "may register interest in more than one SignalSet", and registration
     /// may precede the set's association.
     pub fn register_action(&self, set_name: impl Into<String>, action: Arc<dyn Action>) {
-        self.inner
-            .lock()
-            .registrations
-            .entry(set_name.into())
-            .or_default()
-            .push(action);
+        let mut inner = self.inner.lock();
+        let slot = inner.registrations.entry(set_name.into()).or_insert_with(|| Arc::from([]));
+        // Copy-on-write: registration is cold, per-signal snapshots are hot.
+        let mut actions = slot.to_vec();
+        actions.push(action);
+        *slot = actions.into();
     }
 
     /// Remove every registration of the action named `action_name` from the
@@ -117,10 +147,13 @@ impl ActivityCoordinator {
     pub fn unregister_action(&self, set_name: &str, action_name: &str) -> usize {
         let mut inner = self.inner.lock();
         match inner.registrations.get_mut(set_name) {
-            Some(actions) => {
-                let before = actions.len();
-                actions.retain(|a| a.name() != action_name);
-                before - actions.len()
+            Some(slot) => {
+                let before = slot.len();
+                let kept: Vec<Arc<dyn Action>> =
+                    slot.iter().filter(|a| a.name() != action_name).cloned().collect();
+                let removed = before - kept.len();
+                *slot = kept.into();
+                removed
             }
             None => 0,
         }
@@ -128,7 +161,7 @@ impl ActivityCoordinator {
 
     /// Number of actions currently registered for the named set.
     pub fn action_count(&self, set_name: &str) -> usize {
-        self.inner.lock().registrations.get(set_name).map_or(0, Vec::len)
+        self.inner.lock().registrations.get(set_name).map_or(0, |a| a.len())
     }
 
     /// The fig. 7 state of the named set.
@@ -215,7 +248,12 @@ impl ActivityCoordinator {
     }
 
     fn drive(&self, set_name: &str, entry: &mut SetEntry) -> Result<Outcome, ActivityError> {
+        let config = *self.dispatch.lock();
         let mut signal_seq = 0u64;
+        // Reused across signals: delivery-id stamping formats into this
+        // buffer instead of allocating a fresh growth-by-doubling String
+        // per signal.
+        let mut id_buf = String::new();
         loop {
             self.record(|| TraceEvent::GetSignal { set: set_name.to_owned() });
             let next = entry.set.get_signal();
@@ -235,37 +273,43 @@ impl ActivityCoordinator {
             let signal = if signal.delivery_id().is_some() {
                 signal
             } else {
-                let id = format!("{}:{}:{}", self.activity, set_name, signal_seq);
-                signal.with_delivery_id(id)
+                id_buf.clear();
+                let _ = write!(id_buf, "{}:{}:{}", self.activity, set_name, signal_seq);
+                signal.with_delivery_id(id_buf.as_str())
             };
-            // Fresh snapshot per signal: actions registered while the
-            // protocol runs receive subsequent signals.
-            let actions: Vec<Arc<dyn Action>> = self
+            // Fresh snapshot per signal (one `Arc` bump): actions
+            // registered while the protocol runs receive subsequent
+            // signals.
+            let actions: Arc<[Arc<dyn Action>]> = self
                 .inner
                 .lock()
                 .registrations
                 .get(set_name)
                 .cloned()
-                .unwrap_or_default();
-            let mut request_next = false;
-            for action in &actions {
-                self.record(|| TraceEvent::Transmit {
-                    signal: signal.name().to_owned(),
-                    action: action.name().to_owned(),
-                });
-                let outcome = match action.process_signal(&signal) {
-                    Ok(outcome) => outcome,
-                    Err(e) => Outcome::from_error(e.message()),
-                };
-                self.record(|| TraceEvent::SetResponse {
-                    set: set_name.to_owned(),
-                    outcome: outcome.name().to_owned(),
-                });
-                if entry.set.set_response(&outcome) == AfterResponse::RequestNext {
-                    request_next = true;
-                    break;
-                }
-            }
+                .unwrap_or_else(|| Arc::from([]));
+            // Fan out. The set's responses are fed in registration order
+            // regardless of the fan-out width, so protocol decisions and
+            // traces are identical to a serial run; `RequestNext` breaks
+            // delivery early and cancels outstanding transmissions.
+            let set = &mut entry.set;
+            let request_next = dispatch::dispatch_signal(
+                config,
+                &actions,
+                &signal,
+                |action| {
+                    self.record(|| TraceEvent::Transmit {
+                        signal: signal.name().to_owned(),
+                        action: action.name().to_owned(),
+                    });
+                },
+                |outcome| {
+                    self.record(|| TraceEvent::SetResponse {
+                        set: set_name.to_owned(),
+                        outcome: outcome.name().to_owned(),
+                    });
+                    set.set_response(&outcome) == AfterResponse::RequestNext
+                },
+            );
             if last && !request_next {
                 entry.state = entry.state.on_last_signal_delivered();
                 break;
@@ -281,6 +325,12 @@ impl ActivityCoordinator {
     }
 
     fn record(&self, event: impl FnOnce() -> TraceEvent) {
+        // Fast path: with no trace attached (the common case for
+        // production coordinators) this is one relaxed-ish atomic load —
+        // no mutex, no event construction.
+        if !self.trace_on.load(Ordering::Acquire) {
+            return;
+        }
         if let Some(trace) = self.trace.lock().as_ref() {
             trace.record(event());
         }
@@ -531,7 +581,11 @@ mod tests {
             }
         }
 
-        let c = coordinator();
+        // The bystander property below ("never sees the abandoned signal")
+        // is strictly serial: under parallel dispatch the bystander may be
+        // transmitted to speculatively (and the delivery discarded), which
+        // the at-least-once contract permits. Pin the exact legacy path.
+        let c = ActivityCoordinator::with_dispatch(ActivityId::new(1), DispatchConfig::serial());
         let trace = TraceLog::new();
         c.set_trace(trace.clone());
         c.add_signal_set(Box::new(AbortSwitch { phase: 0, saw_abort: false })).unwrap();

@@ -64,6 +64,7 @@ pub mod activity;
 pub mod completion;
 pub mod context;
 pub mod coordinator;
+pub mod dispatch;
 pub mod error;
 pub mod exactly_once;
 pub mod hls;
@@ -81,6 +82,7 @@ pub use activity::{Activity, ActivityId, ActivityState};
 pub use completion::CompletionStatus;
 pub use context::ActivityContext;
 pub use coordinator::ActivityCoordinator;
+pub use dispatch::DispatchConfig;
 pub use error::{ActionError, ActivityError};
 pub use exactly_once::ExactlyOnceAction;
 pub use hls::{ActivityManager, UserActivity, UserWorkArea};

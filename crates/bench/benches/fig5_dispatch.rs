@@ -1,6 +1,15 @@
-//! F5 — fig. 5: coordinator signal dispatch latency vs registered actions.
+//! F5 — fig. 5: coordinator signal dispatch latency vs registered actions,
+//! serial vs parallel fan-out.
+//!
+//! The `trivial/*` series keeps the original zero-work broadcast (pure
+//! framework overhead). The `serial/*` vs `parallel8/*` series sweep the
+//! action count with a 50µs simulated remote-invocation latency per
+//! action — the regime the parallel dispatch layer targets; the expected
+//! result is parallel ≥2× serial from 16 actions up.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const WORK_US: u64 = 50;
 
 fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_dispatch");
@@ -8,8 +17,16 @@ fn bench_fig5(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(600));
     group.warm_up_time(std::time::Duration::from_millis(200));
     for actions in [1usize, 64, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(actions), &actions, |b, &actions| {
+        group.bench_with_input(BenchmarkId::new("trivial", actions), &actions, |b, &actions| {
             b.iter(|| assert_eq!(bench::fig5_dispatch(actions), actions as u64))
+        });
+    }
+    for actions in [1usize, 2, 4, 8, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("serial", actions), &actions, |b, &n| {
+            b.iter(|| assert_eq!(bench::fig5_dispatch_configured(n, 1, WORK_US), n as u64))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel8", actions), &actions, |b, &n| {
+            b.iter(|| assert_eq!(bench::fig5_dispatch_configured(n, 8, WORK_US), n as u64))
         });
     }
     group.finish();

@@ -1,7 +1,11 @@
 //! F8 — fig. 8: two-phase commit through the signal framework vs the
-//! native OTS coordinator, swept over participants.
+//! native OTS coordinator, swept over participants, plus the serial vs
+//! parallel phase fan-out sweep with a 50µs simulated participant
+//! latency (prepare and commit each).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const WORK_US: u64 = 50;
 
 fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_2pc");
@@ -18,6 +22,18 @@ fn bench_fig8(c: &mut Criterion) {
             BenchmarkId::new("native_ots", participants),
             &participants,
             |b, &n| b.iter(|| assert!(bench::fig8_native_2pc(n))),
+        );
+    }
+    for participants in [1usize, 2, 4, 8, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("serial", participants),
+            &participants,
+            |b, &n| b.iter(|| assert!(bench::fig8_2pc_configured(n, 1, WORK_US))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel8", participants),
+            &participants,
+            |b, &n| b.iter(|| assert!(bench::fig8_2pc_configured(n, 8, WORK_US))),
         );
     }
     group.finish();

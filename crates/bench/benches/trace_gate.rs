@@ -1,0 +1,25 @@
+//! Micro-bench for the coordinator's trace gate: with tracing off,
+//! `record()` is a single relaxed atomic load and must add nothing
+//! measurable to the dispatch loop; with a TraceLog attached every
+//! Transmit/SetResponse pair takes the mutex and allocates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_trace_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_gate");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(400));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+    for actions in [16usize, 256] {
+        group.bench_with_input(BenchmarkId::new("off", actions), &actions, |b, &n| {
+            b.iter(|| assert_eq!(bench::fig5_dispatch_traced(n, false), n as u64))
+        });
+        group.bench_with_input(BenchmarkId::new("on", actions), &actions, |b, &n| {
+            b.iter(|| assert_eq!(bench::fig5_dispatch_traced(n, true), n as u64))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_gate);
+criterion_main!(benches);

@@ -132,6 +132,115 @@ pub fn fig5_dispatch(actions: usize) -> u64 {
     outcome.data().as_u64().unwrap_or(0)
 }
 
+/// Fig. 5 (parallel dispatch) workload: one broadcast to `actions`
+/// registered actions, each simulating a remote invocation that takes
+/// `work_us` microseconds of latency, fanned out across `workers`
+/// (`workers == 1` is the exact legacy serial loop). Returns the number
+/// of responses collated.
+pub fn fig5_dispatch_configured(actions: usize, workers: usize, work_us: u64) -> u64 {
+    let activity = Activity::new_root("dispatch", SimClock::new());
+    activity
+        .coordinator()
+        .set_dispatch_config(activity_service::DispatchConfig::with_workers(workers));
+    activity
+        .coordinator()
+        .add_signal_set(Box::new(activity_service::BroadcastSignalSet::new(
+            "Bench",
+            "ping",
+            Value::Null,
+        )))
+        .expect("add set");
+    for i in 0..actions {
+        activity.coordinator().register_action(
+            "Bench",
+            Arc::new(FnAction::new(format!("a{i}"), move |_s: &Signal| {
+                if work_us > 0 {
+                    std::thread::sleep(Duration::from_micros(work_us));
+                }
+                Ok(Outcome::done())
+            })) as _,
+        );
+    }
+    let outcome = activity.signal("Bench").expect("signal");
+    outcome.data().as_u64().unwrap_or(0)
+}
+
+/// Trace-gate micro-workload: the fig. 5 broadcast over trivial actions
+/// with tracing either enabled or left off, to measure the cost of the
+/// coordinator's `record()` path (an atomic-load fast path when off).
+pub fn fig5_dispatch_traced(actions: usize, traced: bool) -> u64 {
+    let activity = Activity::new_root("dispatch", SimClock::new());
+    activity
+        .coordinator()
+        .set_dispatch_config(activity_service::DispatchConfig::serial());
+    if traced {
+        activity.coordinator().set_trace(activity_service::TraceLog::new());
+    }
+    activity
+        .coordinator()
+        .add_signal_set(Box::new(activity_service::BroadcastSignalSet::new(
+            "Bench",
+            "ping",
+            Value::Null,
+        )))
+        .expect("add set");
+    for i in 0..actions {
+        activity.coordinator().register_action(
+            "Bench",
+            Arc::new(FnAction::new(format!("a{i}"), |_s: &Signal| Ok(Outcome::done()))) as _,
+        );
+    }
+    let outcome = activity.signal("Bench").expect("signal");
+    outcome.data().as_u64().unwrap_or(0)
+}
+
+/// A commit-voting resource whose prepare/commit/rollback each cost
+/// `work_us` microseconds of simulated remote latency.
+pub fn slow_resource(name: &str, work_us: u64) -> Arc<dyn Resource> {
+    struct Slow(String, u64);
+    impl Slow {
+        fn work(&self) {
+            if self.1 > 0 {
+                std::thread::sleep(Duration::from_micros(self.1));
+            }
+        }
+    }
+    impl Resource for Slow {
+        fn prepare(&self, _tx: &ots::TxId) -> Result<Vote, TxError> {
+            self.work();
+            Ok(Vote::Commit)
+        }
+        fn commit(&self, _tx: &ots::TxId) -> Result<(), TxError> {
+            self.work();
+            Ok(())
+        }
+        fn rollback(&self, _tx: &ots::TxId) -> Result<(), TxError> {
+            self.work();
+            Ok(())
+        }
+        fn resource_name(&self) -> &str {
+            &self.0
+        }
+    }
+    Arc::new(Slow(name.to_owned(), work_us))
+}
+
+/// Fig. 8 (batched fan-out) workload: a native-OTS 2PC over
+/// `participants` resources whose prepare/commit each take `work_us`
+/// microseconds, with phase fan-out across `workers`.
+pub fn fig8_2pc_configured(participants: usize, workers: usize, work_us: u64) -> bool {
+    let factory =
+        TransactionFactory::new().with_dispatch(ots::DispatchConfig::with_workers(workers));
+    let control = factory.create().expect("create");
+    for i in 0..participants {
+        control
+            .coordinator()
+            .register_resource(slow_resource(&format!("r{i}"), work_us))
+            .expect("register");
+    }
+    control.terminator().commit().is_ok()
+}
+
 /// Fig. 8 workload, signal-framework flavour: a 2PC over `participants`
 /// transactional stores driven by the TwoPhaseCommitSignalSet.
 pub fn fig8_signal_2pc(participants: usize) -> bool {
@@ -444,6 +553,16 @@ mod tests {
     fn fig8_both_flavours_commit() {
         assert!(fig8_signal_2pc(4));
         assert!(fig8_native_2pc(4));
+    }
+
+    #[test]
+    fn configured_workloads_agree_across_widths() {
+        assert_eq!(fig5_dispatch_configured(9, 1, 0), 9);
+        assert_eq!(fig5_dispatch_configured(9, 8, 0), 9);
+        assert_eq!(fig5_dispatch_traced(7, true), 7);
+        assert_eq!(fig5_dispatch_traced(7, false), 7);
+        assert!(fig8_2pc_configured(6, 1, 0));
+        assert!(fig8_2pc_configured(6, 8, 0));
     }
 
     #[test]

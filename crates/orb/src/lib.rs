@@ -53,6 +53,7 @@ pub mod message;
 pub mod network;
 pub mod node;
 pub mod object;
+pub mod pool;
 pub mod registry;
 pub mod value;
 
@@ -63,5 +64,6 @@ pub use message::{Reply, Request};
 pub use network::{NetworkConfig, SimulatedNetwork};
 pub use node::{Node, Orb, OrbBuilder};
 pub use object::{ObjectId, ObjectRef, Servant};
+pub use pool::{CancelToken, DispatchConfig, OrderedResults, TaskOutcome, WorkerPool};
 pub use registry::NameRegistry;
 pub use value::{Value, ValueMap};

@@ -62,6 +62,7 @@ mod tests {
             FailpointSet::new(),
             None,
             None,
+            orb::pool::DispatchConfig::default(),
         );
         let control = Control::new(c);
         assert_eq!(control.id(), &TxId::top_level(4));

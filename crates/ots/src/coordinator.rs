@@ -3,6 +3,7 @@
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
+use orb::pool::{CancelToken, DispatchConfig, TaskOutcome, WorkerPool};
 use orb::SimClock;
 use parking_lot::Mutex;
 use recovery_log::{FailpointSet, Wal};
@@ -46,6 +47,7 @@ pub struct Coordinator {
     wal: Option<Arc<dyn Wal>>,
     failpoints: FailpointSet,
     clock: Option<SimClock>,
+    dispatch: DispatchConfig,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -67,6 +69,7 @@ impl Coordinator {
         failpoints: FailpointSet,
         clock: Option<SimClock>,
         deadline: Option<Duration>,
+        dispatch: DispatchConfig,
     ) -> Arc<Self> {
         Arc::new(Coordinator {
             id,
@@ -83,7 +86,51 @@ impl Coordinator {
             wal,
             failpoints,
             clock,
+            dispatch,
         })
+    }
+
+    /// How participant fan-out (prepare / commit / rollback) is scheduled.
+    pub fn dispatch_config(&self) -> DispatchConfig {
+        self.dispatch
+    }
+
+    /// Apply `op` to every resource and return the results in registration
+    /// order. Under a parallel [`DispatchConfig`] the calls run concurrently
+    /// on the shared worker pool; the serial config (or a single resource)
+    /// keeps the exact legacy in-order loop. A participant panic is re-raised
+    /// here at the panicking resource's registration position.
+    fn fan_out<T: Send + 'static>(
+        &self,
+        resources: &[Arc<dyn Resource>],
+        op: impl Fn(&dyn Resource, &TxId) -> T + Send + Sync + 'static,
+    ) -> Vec<T> {
+        if self.dispatch.is_serial() || resources.len() <= 1 {
+            return resources.iter().map(|r| op(r.as_ref(), &self.id)).collect();
+        }
+        let op = Arc::new(op);
+        let tasks: Vec<Box<dyn FnOnce() -> T + Send>> = resources
+            .iter()
+            .map(|resource| {
+                let resource = Arc::clone(resource);
+                let id = self.id.clone();
+                let op = Arc::clone(&op);
+                Box::new(move || op(resource.as_ref(), &id)) as Box<dyn FnOnce() -> T + Send>
+            })
+            .collect();
+        // 2PC joins every result (votes before the decision, acknowledgements
+        // before the completion record), so no cancellation is ever needed.
+        let cancel = CancelToken::new();
+        let results = WorkerPool::shared(self.dispatch.workers()).scatter(tasks, &cancel);
+        let mut collated = Vec::with_capacity(resources.len());
+        for outcome in results {
+            match outcome {
+                TaskOutcome::Done(value) => collated.push(value),
+                TaskOutcome::Panicked(payload) => std::panic::resume_unwind(payload),
+                TaskOutcome::Cancelled => unreachable!("2PC fan-out never cancels"),
+            }
+        }
+        collated
     }
 
     /// This transaction's identity.
@@ -219,6 +266,7 @@ impl Coordinator {
             wal: self.wal.clone(),
             failpoints: self.failpoints.clone(),
             clock: self.clock.clone(),
+            dispatch: self.dispatch,
         });
         inner.children.push(Arc::clone(&child));
         Ok(child)
@@ -312,15 +360,33 @@ impl Coordinator {
             let names: Vec<&str> = resources.iter().map(|r| r.resource_name()).collect();
             txlog::log_prepared(wal.as_ref(), &self.id, &names)?;
         }
-        let mut prepared: Vec<&Arc<dyn Resource>> = Vec::new();
+        let mut prepared: Vec<Arc<dyn Resource>> = Vec::new();
         let mut voted_rollback = false;
-        for resource in &resources {
-            match resource.prepare(&self.id) {
-                Ok(Vote::Commit) => prepared.push(resource),
-                Ok(Vote::ReadOnly) => {}
-                Ok(Vote::Rollback) | Err(_) => {
-                    voted_rollback = true;
-                    break;
+        if self.dispatch.is_serial() {
+            // Legacy serial phase one: stop asking for votes at the first
+            // veto — resources after the break never see `prepare`.
+            for resource in &resources {
+                match resource.prepare(&self.id) {
+                    Ok(Vote::Commit) => prepared.push(Arc::clone(resource)),
+                    Ok(Vote::ReadOnly) => {}
+                    Ok(Vote::Rollback) | Err(_) => {
+                        voted_rollback = true;
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Parallel phase one: every vote is solicited concurrently and
+            // all are joined before the decision. Speculatively preparing a
+            // resource whose peer vetoes is safe — presumed abort means it
+            // is simply rolled back, exactly as a prepared resource is on
+            // the serial path.
+            let votes = self.fan_out(&resources, |resource, id| resource.prepare(id));
+            for (resource, vote) in resources.iter().zip(votes) {
+                match vote {
+                    Ok(Vote::Commit) => prepared.push(Arc::clone(resource)),
+                    Ok(Vote::ReadOnly) => {}
+                    Ok(Vote::Rollback) | Err(_) => voted_rollback = true,
                 }
             }
         }
@@ -329,9 +395,9 @@ impl Coordinator {
         if voted_rollback {
             // Presumed abort: no decision record needed; undo the prepared.
             self.set_status(TxStatus::RollingBack);
-            for resource in &resources {
-                let _ = resource.rollback(&self.id);
-            }
+            self.fan_out(&resources, |resource, id| {
+                let _ = resource.rollback(id);
+            });
             self.finish(TxStatus::RolledBack, &synchronizations);
             return Err(TxError::RolledBack(self.id.clone()));
         }
@@ -353,16 +419,21 @@ impl Coordinator {
         }
         self.failpoints.hit("ots.after_decision").map_err(TxError::from)?;
 
-        // Phase two.
+        // Phase two. The decision is durable, so the commit deliveries are
+        // independent; heuristics are collated in registration order.
         self.set_status(TxStatus::Committing);
-        let mut heuristics = Vec::new();
-        for resource in prepared {
-            if let Err(e) = resource.commit(&self.id) {
-                heuristics.push(format!("{}: {e}", resource.resource_name()));
-            } else {
-                resource.forget(&self.id);
-            }
-        }
+        let heuristics: Vec<String> = self
+            .fan_out(&prepared, |resource, id| {
+                if let Err(e) = resource.commit(id) {
+                    Some(format!("{}: {e}", resource.resource_name()))
+                } else {
+                    resource.forget(id);
+                    None
+                }
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         self.failpoints.hit("ots.before_completion_record").map_err(TxError::from)?;
         self.finish(TxStatus::Committed, &synchronizations);
 
@@ -424,9 +495,9 @@ impl Coordinator {
                 let _ = child.rollback();
             }
         }
-        for resource in &resources {
-            let _ = resource.rollback(&self.id);
-        }
+        self.fan_out(&resources, |resource, id| {
+            let _ = resource.rollback(id);
+        });
         for participant in &subtx_aware {
             participant.rollback_subtransaction(&self.id);
         }
@@ -458,7 +529,14 @@ mod tests {
     use recovery_log::MemWal;
 
     fn top(wal: Option<Arc<dyn Wal>>) -> Arc<Coordinator> {
-        Coordinator::new_top_level(TxId::top_level(1), wal, FailpointSet::new(), None, None)
+        Coordinator::new_top_level(
+            TxId::top_level(1),
+            wal,
+            FailpointSet::new(),
+            None,
+            None,
+            DispatchConfig::default(),
+        )
     }
 
     #[test]
@@ -485,6 +563,48 @@ mod tests {
         assert_eq!(c.status(), TxStatus::RolledBack);
         assert_eq!(good.calls(), vec!["prepare", "rollback"]);
         assert_eq!(bad.calls(), vec!["prepare", "rollback"]);
+    }
+
+    #[test]
+    fn serial_config_stops_soliciting_votes_at_first_veto() {
+        let c = Coordinator::new_top_level(
+            TxId::top_level(1),
+            None,
+            FailpointSet::new(),
+            None,
+            None,
+            DispatchConfig::serial(),
+        );
+        let bad = ScriptedResource::voting("bad", Vote::Rollback);
+        let never = ScriptedResource::voting("never", Vote::Commit);
+        c.register_resource(bad.clone()).unwrap();
+        c.register_resource(never.clone()).unwrap();
+        assert!(matches!(c.commit(true), Err(TxError::RolledBack(_))));
+        assert_eq!(bad.calls(), vec!["prepare", "rollback"]);
+        assert_eq!(never.calls(), vec!["rollback"], "serial phase one breaks at the veto");
+    }
+
+    #[test]
+    fn parallel_prepare_joins_all_votes_before_abort() {
+        // Under parallel fan-out every resource is asked for its vote even
+        // when an earlier registrant vetoes; presumed abort then undoes the
+        // speculatively prepared peers. Pin a worker count — the default
+        // config degrades to serial on a single-core host.
+        let c = Coordinator::new_top_level(
+            TxId::top_level(1),
+            None,
+            FailpointSet::new(),
+            None,
+            None,
+            DispatchConfig::with_workers(4),
+        );
+        let bad = ScriptedResource::voting("bad", Vote::Rollback);
+        let good = ScriptedResource::voting("good", Vote::Commit);
+        c.register_resource(bad.clone()).unwrap();
+        c.register_resource(good.clone()).unwrap();
+        assert!(matches!(c.commit(true), Err(TxError::RolledBack(_))));
+        assert_eq!(bad.calls(), vec!["prepare", "rollback"]);
+        assert_eq!(good.calls(), vec!["prepare", "rollback"]);
     }
 
     #[test]
@@ -682,6 +802,7 @@ mod tests {
             FailpointSet::new(),
             None,
             None,
+            DispatchConfig::default(),
         );
         c.register_resource(ScriptedResource::voting("a", Vote::Commit)).unwrap();
         c.register_resource(ScriptedResource::voting("b", Vote::Commit)).unwrap();
@@ -705,6 +826,7 @@ mod tests {
             failpoints,
             None,
             None,
+            DispatchConfig::default(),
         );
         c.register_resource(ScriptedResource::voting("a", Vote::Commit)).unwrap();
         c.register_resource(ScriptedResource::voting("b", Vote::Commit)).unwrap();
@@ -724,6 +846,7 @@ mod tests {
             FailpointSet::new(),
             Some(clock.clone()),
             Some(Duration::from_secs(1)),
+            DispatchConfig::default(),
         );
         c.register_resource(ScriptedResource::voting("r", Vote::Commit)).unwrap();
         clock.advance(Duration::from_secs(2));

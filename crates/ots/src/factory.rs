@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use orb::pool::DispatchConfig;
 use orb::SimClock;
 use parking_lot::RwLock;
 use recovery_log::{FailpointSet, Wal};
@@ -23,6 +24,7 @@ pub struct TransactionFactory {
     wal: Option<Arc<dyn Wal>>,
     failpoints: FailpointSet,
     clock: Option<SimClock>,
+    dispatch: DispatchConfig,
     inflight: RwLock<HashMap<TxId, Arc<Coordinator>>>,
 }
 
@@ -50,6 +52,7 @@ impl TransactionFactory {
             wal: None,
             failpoints: FailpointSet::new(),
             clock: None,
+            dispatch: DispatchConfig::default(),
             inflight: RwLock::new(HashMap::new()),
         }
     }
@@ -70,6 +73,16 @@ impl TransactionFactory {
     #[must_use]
     pub fn with_failpoints(mut self, failpoints: FailpointSet) -> Self {
         self.failpoints = failpoints;
+        self
+    }
+
+    /// Choose how this factory's coordinators fan participant calls out
+    /// during two-phase commit: [`DispatchConfig::serial`] reproduces the
+    /// legacy one-at-a-time loops exactly; the default solicits votes and
+    /// delivers phase-two outcomes concurrently on the shared worker pool.
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchConfig) -> Self {
+        self.dispatch = dispatch;
         self
     }
 
@@ -109,6 +122,7 @@ impl TransactionFactory {
             self.failpoints.clone(),
             self.clock.clone(),
             deadline,
+            self.dispatch,
         );
         self.inflight.write().insert(id, Arc::clone(&coordinator));
         Ok(Control::new(coordinator))

@@ -57,6 +57,7 @@ pub mod txlog;
 pub mod xid;
 
 pub use control::Control;
+pub use orb::pool::DispatchConfig;
 pub use coordinator::Coordinator;
 pub use current::Current;
 pub use durable::DurableKv;

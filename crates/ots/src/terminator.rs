@@ -63,6 +63,7 @@ mod tests {
             FailpointSet::new(),
             None,
             None,
+            orb::pool::DispatchConfig::default(),
         );
         let t = Terminator::new(Arc::clone(&c));
         assert_eq!(t.commit().unwrap(), TxOutcome::Committed);
@@ -77,6 +78,7 @@ mod tests {
             FailpointSet::new(),
             None,
             None,
+            orb::pool::DispatchConfig::default(),
         );
         let t = Terminator::new(Arc::clone(&c));
         assert_eq!(t.rollback().unwrap(), TxOutcome::RolledBack);

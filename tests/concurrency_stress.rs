@@ -159,3 +159,49 @@ fn parallel_registration_and_dispatch_on_one_coordinator() {
     });
     assert_eq!(hits.load(Ordering::SeqCst), 8 * 20);
 }
+
+#[test]
+fn sixteen_concurrent_signal_set_runs_share_one_coordinator() {
+    // 16 threads each drive process_signal_set on their own set of one
+    // shared coordinator, with parallel fan-out enabled — so 16 collators
+    // contend for the same worker pool concurrently (and help each other
+    // drain it). Every delivery must still happen exactly once per run.
+    use activity_service::{ActivityCoordinator, ActivityId, DispatchConfig};
+
+    let coordinator = Arc::new(ActivityCoordinator::with_dispatch(
+        ActivityId::new(99),
+        DispatchConfig::with_workers(4),
+    ));
+    let hits = Arc::new(AtomicU32::new(0));
+    for i in 0..16 {
+        coordinator
+            .add_signal_set(Box::new(BroadcastSignalSet::new(
+                format!("S{i}"),
+                "go",
+                Value::Null,
+            )))
+            .unwrap();
+        for j in 0..6 {
+            let hits = Arc::clone(&hits);
+            coordinator.register_action(
+                format!("S{i}"),
+                Arc::new(FnAction::new(format!("a{i}-{j}"), move |_s: &Signal| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    Ok(Outcome::done())
+                })) as _,
+            );
+        }
+    }
+    std::thread::scope(|s| {
+        for i in 0..16 {
+            let coordinator = Arc::clone(&coordinator);
+            s.spawn(move || {
+                let outcome = coordinator.process_signal_set(&format!("S{i}")).unwrap();
+                assert!(outcome.is_done());
+                assert_eq!(outcome.data().as_u64(), Some(6), "set S{i} reached every action");
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), 16 * 6);
+}

@@ -1,0 +1,154 @@
+//! Parallel dispatch must be observationally identical to the serial
+//! loop: for every protocol engine, a pool=8 run and a pool=1 run must
+//! produce byte-identical TraceLogs and the same final Outcome, because
+//! results are collated in registration order and trace events are
+//! emitted at collation time. Actions deliberately sleep for *longer on
+//! earlier registrations* so the parallel run completes out of order
+//! under the hood.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use activity_service::{
+    Activity, BroadcastSignalSet, CompletionStatus, DispatchConfig, FnAction, Outcome, Signal,
+    TraceLog,
+};
+use orb::{SimClock, Value};
+use ots::{Resource, TransactionalKv, TxError, TxId, Vote};
+use tx_models::sagas::CompletedSteps;
+use tx_models::{ResourceAction, SagaSignalSet, StepCompensation, TwoPhaseCommitSignalSet,
+    SAGA_SET, TWO_PC_SET};
+
+/// Sleep long enough to invert completion order across a parallel pool.
+fn stagger(index: usize, total: usize) -> Duration {
+    Duration::from_micros(((total - index) * 200) as u64)
+}
+
+/// Run `scenario` under one dispatch config, returning the rendered
+/// trace and the final outcome.
+fn run_traced(
+    config: DispatchConfig,
+    scenario: impl Fn(&Activity),
+    complete: bool,
+) -> (String, String) {
+    let activity = Activity::new_root("det", SimClock::new());
+    activity.coordinator().set_dispatch_config(config);
+    let trace = TraceLog::new();
+    activity.coordinator().set_trace(trace.clone());
+    scenario(&activity);
+    let outcome = if complete {
+        activity.complete().expect("complete")
+    } else {
+        activity.signal("S").expect("signal")
+    };
+    (trace.render(), format!("{}:{:?}", outcome.name(), outcome.data()))
+}
+
+fn assert_deterministic(scenario: impl Fn(&Activity) + Copy, complete: bool) {
+    let serial = run_traced(DispatchConfig::serial(), scenario, complete);
+    let parallel = run_traced(DispatchConfig::with_workers(8), scenario, complete);
+    assert_eq!(serial.0, parallel.0, "TraceLog must be byte-identical");
+    assert_eq!(serial.1, parallel.1, "final Outcome must be identical");
+}
+
+#[test]
+fn broadcast_set_is_deterministic_across_pool_widths() {
+    let scenario = |activity: &Activity| {
+        activity
+            .coordinator()
+            .add_signal_set(Box::new(BroadcastSignalSet::new("S", "ping", Value::Null)))
+            .unwrap();
+        for i in 0..12usize {
+            activity.coordinator().register_action(
+                "S",
+                Arc::new(FnAction::new(format!("a{i}"), move |_s: &Signal| {
+                    std::thread::sleep(stagger(i, 12));
+                    if i % 5 == 4 {
+                        Err(activity_service::ActionError::new(format!("a{i} failed")))
+                    } else {
+                        Ok(Outcome::done())
+                    }
+                })) as _,
+            );
+        }
+    };
+    assert_deterministic(scenario, false);
+}
+
+struct VetoResource;
+impl Resource for VetoResource {
+    fn prepare(&self, _tx: &TxId) -> Result<Vote, TxError> {
+        Ok(Vote::Rollback)
+    }
+    fn commit(&self, _tx: &TxId) -> Result<(), TxError> {
+        Ok(())
+    }
+    fn rollback(&self, _tx: &TxId) -> Result<(), TxError> {
+        Ok(())
+    }
+    fn resource_name(&self) -> &str {
+        "veto"
+    }
+}
+
+fn register_2pc_participants(activity: &Activity, veto_at: Option<usize>) {
+    activity
+        .coordinator()
+        .add_signal_set(Box::new(TwoPhaseCommitSignalSet::new()))
+        .unwrap();
+    activity.set_completion_signal_set(TWO_PC_SET);
+    let tx = TxId::top_level(1);
+    for i in 0..8usize {
+        let resource: Arc<dyn Resource> = if veto_at == Some(i) {
+            Arc::new(VetoResource)
+        } else {
+            let store = Arc::new(TransactionalKv::new(format!("s{i}")));
+            store.write(&tx, "k", Value::I64(i as i64)).unwrap();
+            store
+        };
+        activity.coordinator().register_action(
+            TWO_PC_SET,
+            Arc::new(ResourceAction::new(format!("r{i}"), tx.clone(), resource)) as _,
+        );
+    }
+}
+
+#[test]
+fn two_phase_commit_set_is_deterministic_across_pool_widths() {
+    assert_deterministic(|activity| register_2pc_participants(activity, None), true);
+}
+
+#[test]
+fn two_phase_early_break_on_veto_is_deterministic_across_pool_widths() {
+    // A rollback vote makes the SignalSet answer RequestNext mid-delivery
+    // (the EarlyBreak path): the parallel run cancels outstanding prepare
+    // deliveries, yet the trace stops at exactly the same event as the
+    // serial run because collation stops at the veto's registration index.
+    assert_deterministic(|activity| register_2pc_participants(activity, Some(3)), true);
+}
+
+#[test]
+fn saga_compensation_set_is_deterministic_across_pool_widths() {
+    let scenario = |activity: &Activity| {
+        let completed = CompletedSteps::new();
+        for i in 0..6usize {
+            completed.push(format!("step{i}"));
+        }
+        activity
+            .coordinator()
+            .add_signal_set(Box::new(SagaSignalSet::new(completed)))
+            .unwrap();
+        activity.set_completion_signal_set(SAGA_SET);
+        for i in 0..6usize {
+            activity.coordinator().register_action(
+                SAGA_SET,
+                StepCompensation::new(format!("step{i}"), move || {
+                    std::thread::sleep(stagger(i, 6));
+                    Ok(())
+                }) as _,
+            );
+        }
+        activity.set_completion_status(CompletionStatus::Fail).unwrap();
+    };
+    assert_deterministic(scenario, true);
+}

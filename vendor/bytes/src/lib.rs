@@ -1,0 +1,231 @@
+//! A minimal, dependency-free stand-in for the subset of the `bytes`
+//! crate this workspace uses: [`BytesMut`] as a growable big-endian
+//! encoder, [`Bytes`] as an immutable buffer, [`BufMut`] put-methods and
+//! [`Buf`] get-methods (implemented for `&[u8]` cursors).
+//!
+//! The build environment has no access to crates.io; this shim keeps the
+//! wire formats in `orb::value` and `recovery-log` byte-identical to what
+//! the real crate would produce (all integers big-endian).
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable, cheaply cloneable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: std::sync::Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: std::sync::Arc::from(&[][..]) }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// A growable byte buffer used to assemble encoded records.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+macro_rules! put_be {
+    ($($name:ident => $ty:ty),* $(,)?) => {
+        $(
+            #[doc = concat!("Append a big-endian `", stringify!($ty), "`.")]
+            fn $name(&mut self, value: $ty) {
+                self.put_slice(&value.to_be_bytes());
+            }
+        )*
+    };
+}
+
+/// Write-side buffer operations (big-endian, matching the real crate).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    put_be! {
+        put_u8 => u8,
+        put_u16 => u16,
+        put_u32 => u32,
+        put_u64 => u64,
+        put_i64 => i64,
+        put_f64 => f64,
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+macro_rules! get_be {
+    ($($name:ident => $ty:ty),* $(,)?) => {
+        $(
+            #[doc = concat!("Consume a big-endian `", stringify!($ty), "`.")]
+            #[doc = ""]
+            #[doc = "Panics if fewer bytes remain, matching the real crate."]
+            fn $name(&mut self) -> $ty {
+                const N: usize = std::mem::size_of::<$ty>();
+                let mut raw = [0u8; N];
+                raw.copy_from_slice(&self.chunk()[..N]);
+                self.advance(N);
+                <$ty>::from_be_bytes(raw)
+            }
+        )*
+    };
+}
+
+/// Read-side cursor operations (big-endian, matching the real crate).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `cnt` bytes. Panics if fewer remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    get_be! {
+        get_u8 => u8,
+        get_u16 => u16,
+        get_u32 => u32,
+        get_u64 => u64,
+        get_i64 => i64,
+        get_f64 => f64,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u16(0x0102);
+        buf.put_u32(0xdead_beef);
+        buf.put_u64(42);
+        buf.put_i64(-9);
+        buf.put_f64(1.5);
+        buf.put_slice(b"xy");
+        let frozen = buf.freeze();
+
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16(), 0x0102);
+        assert_eq!(cursor.get_u32(), 0xdead_beef);
+        assert_eq!(cursor.get_u64(), 42);
+        assert_eq!(cursor.get_i64(), -9);
+        assert_eq!(cursor.get_f64(), 1.5);
+        assert_eq!(cursor, b"xy");
+        cursor.advance(2);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn wire_layout_is_big_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0x0102);
+        assert_eq!(&buf[..], &[0x01, 0x02]);
+    }
+}

@@ -1,0 +1,330 @@
+//! A minimal, dependency-free stand-in for the subset of `criterion`
+//! this workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, measurement_time, warm_up_time,
+//! bench_with_input, bench_function, finish}`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io. Beyond API parity,
+//! the shim emits one JSON document per group under
+//! `$CARGO_TARGET_DIR/criterion-json/` (default `target/criterion-json/`)
+//! so the bench trajectory is machine-readable, and honors `--quick` on
+//! the command line (3 samples, 50 ms budget) for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point; one per bench binary.
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+    json_dir: std::path::PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut quick = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                // flags cargo-bench forwards that we accept and ignore
+                "--bench" | "--test" | "--noplot" | "--verbose" | "-n" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        let target = std::env::var_os("CARGO_TARGET_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("target"));
+        Criterion { quick, filter, json_dir: target.join("criterion-json") }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+            warm_up_time: Duration::from_millis(200),
+            results: Vec::new(),
+        }
+    }
+
+    /// Single benchmark outside a group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    fn skip(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => !full_id.contains(f.as_str()),
+            None => false,
+        }
+    }
+}
+
+/// Identifier for one measurement within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+struct SampleStats {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// A group of measurements sharing timing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<SampleStats>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a routine with no parameter.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full_id = format!("{}/{}", self.name, id.id);
+        if self.criterion.skip(&full_id) {
+            return;
+        }
+        let (samples, warm_up, budget) = if self.criterion.quick {
+            (3usize, Duration::from_millis(10), Duration::from_millis(50))
+        } else {
+            (self.sample_size, self.warm_up_time, self.measurement_time)
+        };
+
+        // Warm-up doubles as the per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warm_up || warm_iters == 0 {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let per_sample_ns = budget.as_nanos() as f64 / samples as f64;
+        let iters_per_sample = ((per_sample_ns / est_ns) as u64).max(1);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let stats = SampleStats {
+            id: id.id,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: per_iter_ns[0],
+            max_ns: *per_iter_ns.last().unwrap(),
+            samples,
+            iters_per_sample,
+        };
+        println!(
+            "{full_id:<48} time: [{} {} {}]",
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.max_ns),
+        );
+        self.results.push(stats);
+    }
+
+    /// Close the group and write its JSON report.
+    pub fn finish(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"group\": {:?},", self.name);
+        let _ = writeln!(json, "  \"quick\": {},", self.criterion.quick);
+        json.push_str("  \"benchmarks\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"id\": {:?}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \
+                 \"iters_per_sample\": {}}}{sep}",
+                s.id, s.mean_ns, s.median_ns, s.min_ns, s.max_ns, s.samples, s.iters_per_sample,
+            );
+        }
+        json.push_str("  ]\n}\n");
+        let dir = self.criterion.json_dir.clone();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.name.replace('/', "_")));
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("criterion shim: failed to write {}: {e}", path.display());
+            }
+        }
+        self.results.clear();
+    }
+}
+
+/// Timing handle passed to benchmark routines.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` over this sample's iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declare a bench group function composed of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion { quick: true, filter: None, json_dir: std::env::temp_dir().join("criterion-shim-test") };
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("spin", 8), &8u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "routine must actually execute");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            quick: true,
+            filter: Some("only_this".into()),
+            json_dir: std::env::temp_dir().join("criterion-shim-test"),
+        };
+        let mut group = c.benchmark_group("other_group");
+        let mut ran = false;
+        group.bench_function("nope", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+}
