@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use recovery_log::FailpointSet;
 
 use crate::action::Action;
 use crate::activity::ActivityId;
@@ -16,6 +17,23 @@ use crate::error::ActivityError;
 use crate::outcome::Outcome;
 use crate::signal_set::{AfterResponse, NextSignal, SignalSet, SignalSetState};
 use crate::trace::{TraceEvent, TraceLog};
+
+/// Named failpoint sites this crate's protocol code passes through.
+///
+/// The authoritative workspace-wide audit table lives in
+/// `recovery_log::crash`'s module docs; the harness registry test checks
+/// that a probe run observes exactly these names.
+pub mod failpoints {
+    /// Before the coordinator asks the set for a signal (fig. 5 step 1).
+    pub const BEFORE_GET_SIGNAL: &str = "activity.before_get_signal";
+    /// Signal obtained, before fan-out to the registered actions.
+    pub const BEFORE_TRANSMIT: &str = "activity.before_transmit";
+    /// Protocol ended, before the collated outcome is read.
+    pub const BEFORE_OUTCOME: &str = "activity.before_outcome";
+
+    /// Every site above, in protocol order.
+    pub const FAILPOINT_SITES: &[&str] = &[BEFORE_GET_SIGNAL, BEFORE_TRANSMIT, BEFORE_OUTCOME];
+}
 
 struct SetEntry {
     set: Box<dyn SignalSet>,
@@ -48,6 +66,7 @@ pub struct ActivityCoordinator {
     /// skip the trace mutex entirely while no trace is attached.
     trace_on: AtomicBool,
     dispatch: Mutex<DispatchConfig>,
+    failpoints: Mutex<Option<FailpointSet>>,
 }
 
 impl std::fmt::Debug for ActivityCoordinator {
@@ -81,6 +100,22 @@ impl ActivityCoordinator {
             trace: Mutex::new(None),
             trace_on: AtomicBool::new(false),
             dispatch: Mutex::new(dispatch),
+            failpoints: Mutex::new(None),
+        }
+    }
+
+    /// Attach a (shared) failpoint set; the protocol loop hits the sites in
+    /// [`failpoints`] so crash-matrix and simulation tests can kill the
+    /// coordinator at any fig. 5 step.
+    pub fn set_failpoints(&self, failpoints: FailpointSet) {
+        *self.failpoints.lock() = Some(failpoints);
+    }
+
+    fn hit_failpoint(&self, site: &str) -> Result<(), ActivityError> {
+        let fp = self.failpoints.lock().clone();
+        match fp {
+            Some(fp) => fp.hit(site).map_err(ActivityError::from),
+            None => Ok(()),
         }
     }
 
@@ -255,6 +290,7 @@ impl ActivityCoordinator {
         // per signal.
         let mut id_buf = String::new();
         loop {
+            self.hit_failpoint(failpoints::BEFORE_GET_SIGNAL)?;
             self.record(|| TraceEvent::GetSignal { set: set_name.to_owned() });
             let next = entry.set.get_signal();
             entry.state = entry
@@ -287,6 +323,7 @@ impl ActivityCoordinator {
                 .get(set_name)
                 .cloned()
                 .unwrap_or_else(|| Arc::from([]));
+            self.hit_failpoint(failpoints::BEFORE_TRANSMIT)?;
             // Fan out. The set's responses are fed in registration order
             // regardless of the fan-out width, so protocol decisions and
             // traces are identical to a serial run; `RequestNext` breaks
@@ -316,6 +353,7 @@ impl ActivityCoordinator {
             }
         }
         entry.state.check_outcome_readable(set_name)?;
+        self.hit_failpoint(failpoints::BEFORE_OUTCOME)?;
         let outcome = entry.set.get_outcome();
         self.record(|| TraceEvent::GetOutcome {
             set: set_name.to_owned(),

@@ -81,7 +81,7 @@ pub use action::{Action, ActionServant, FnAction, RemoteActionProxy};
 pub use activity::{Activity, ActivityId, ActivityState};
 pub use completion::CompletionStatus;
 pub use context::ActivityContext;
-pub use coordinator::ActivityCoordinator;
+pub use coordinator::{failpoints, ActivityCoordinator};
 pub use dispatch::DispatchConfig;
 pub use error::{ActionError, ActivityError};
 pub use exactly_once::ExactlyOnceAction;

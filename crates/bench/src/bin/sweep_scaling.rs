@@ -1,0 +1,45 @@
+//! Simulation-sweep scaling harness: wall-clock cost of the deterministic
+//! chaos explorer (DESIGN.md §9) as the seeded schedule population grows.
+//! `EXPERIMENTS.md` records this output next to the tier-1 sweep's
+//! description so the "how much coverage per second" trade-off is explicit.
+//!
+//! Run with: `cargo run -q -p bench --bin sweep_scaling --release`
+
+use std::time::Instant;
+
+use harness::{sweep, SweepConfig};
+
+fn main() {
+    println!("## Simulation sweep: schedule population vs wall-clock");
+    println!("# 5 scenarios, max 4 fault events/schedule, every run executed");
+    println!("# twice (trace-determinism oracle), shrinking enabled.");
+    println!(
+        "{:>14} {:>12} {:>12} {:>14}",
+        "seeds/scenario", "schedules", "wall ms", "schedules/s"
+    );
+    for per_scenario in [5u64, 10, 20, 40, 80, 160] {
+        let config = SweepConfig {
+            seed_start: 0x2026_0806,
+            schedules: per_scenario,
+            max_events: 4,
+            shrink: true,
+        };
+        let start = Instant::now();
+        let mut total = 0u64;
+        let mut failures = 0usize;
+        for scenario in harness::scenarios::all() {
+            let report = sweep(scenario.as_ref(), &config);
+            total += report.schedules_run;
+            failures += report.failures.len();
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(failures, 0, "well-behaved scenarios must hold every oracle");
+        println!(
+            "{:>14} {:>12} {:>12.1} {:>14.0}",
+            per_scenario,
+            total,
+            elapsed.as_secs_f64() * 1e3,
+            total as f64 / elapsed.as_secs_f64()
+        );
+    }
+}

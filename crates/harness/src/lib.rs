@@ -1,0 +1,41 @@
+//! Deterministic simulation harness for the CORBA Activity Service
+//! reproduction — a FoundationDB-style chaos explorer over the repo's
+//! extended-transaction workloads.
+//!
+//! The paper's §3.4 makes hard guarantees — at-least-once Signal delivery,
+//! exactly-once via the transaction service, presumed-abort recovery,
+//! compensation on failure. This crate *hunts* for executions that break
+//! them:
+//!
+//! * [`schedule`] — seeds map deterministically to small, discrete
+//!   [`schedule::FaultSchedule`]s: arm a named failpoint
+//!   ([`recovery_log::FailpointSet`]), drop or duplicate the n-th remote
+//!   message ([`orb::FaultScript`]). Discrete events (not fault *rates*)
+//!   make every run replayable and every schedule shrinkable.
+//! * [`scenario`] + [`scenarios`] — hermetic end-to-end adapters, one per
+//!   figure-test: 2PC with WAL replay, fig. 9 open nesting, Sagas, the
+//!   fig. 10 workflow over the simulated ORB, BTP atoms, plus an
+//!   intentionally broken fixture the sweep must catch.
+//! * [`oracle`] — five invariants checked after every run: atomicity,
+//!   exactly-once effect counts, reverse-order compensation completeness,
+//!   WAL-replay equivalence, and trace determinism (same seed ⇒
+//!   byte-identical trace).
+//! * [`explorer`] — the sweep loop: probe the schedule space (failpoint
+//!   sites are *discovered* from the run, not hardcoded), generate seeded
+//!   schedules, run each twice, oracle-check, and greedily shrink any
+//!   violation to a 1-minimal reproducer printed as a copy-pasteable test.
+//! * [`registry`] — the workspace failpoint-site audit: probe runs must
+//!   observe exactly the sites each crate's `failpoints` constants
+//!   declare.
+
+pub mod explorer;
+pub mod oracle;
+pub mod registry;
+pub mod scenario;
+pub mod scenarios;
+pub mod schedule;
+
+pub use explorer::{shrink, sweep, FailureReport, SweepConfig, SweepReport};
+pub use oracle::{check_all, check_determinism, EffectCount, Observation, RunOutcome, Violation};
+pub use scenario::Scenario;
+pub use schedule::{generate, FaultEvent, FaultSchedule, ScheduleSpace};

@@ -1,0 +1,341 @@
+//! Invariant oracles checked after every simulated run.
+//!
+//! Scenarios report *facts* in an [`Observation`]; the oracles here turn
+//! facts into [`Violation`]s. Five oracles cover the §3.4 guarantees:
+//!
+//! 1. **atomicity** — participant effects are all-or-nothing with respect
+//!    to the run outcome;
+//! 2. **exactly-once** — every action's observed effect count lies inside
+//!    its contractual `[min, max]` band (exactly-once actions pin the band
+//!    to a point);
+//! 3. **compensation** — when compensation is required, every completed
+//!    step was compensated, in reverse completion order;
+//! 4. **replay-equivalence** — post-crash WAL replay reaches the outcome
+//!    the durable decision dictates (presumed abort without one), and a
+//!    second replay changes nothing;
+//! 5. **determinism** — the same schedule yields a byte-identical trace and
+//!    identical facts (checked across two runs by
+//!    [`check_determinism`]).
+
+/// Terminal outcome of one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The protocol completed in the forward direction.
+    Committed,
+    /// The protocol completed in the backward direction (rollback,
+    /// cancellation or compensation).
+    Aborted,
+    /// An injected crash ended the run and no recovery pass applies
+    /// (in-memory protocols with no durable state to replay).
+    Crashed,
+}
+
+/// One action's effect accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectCount {
+    /// The action whose side effects were counted.
+    pub action: String,
+    /// Effects actually observed.
+    pub observed: u64,
+    /// Fewest effects the contract allows for this run's outcome.
+    pub min: u64,
+    /// Most effects the contract allows (1 for exactly-once actions).
+    pub max: u64,
+}
+
+/// Everything a scenario run reports to the oracles.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Terminal outcome.
+    pub outcome: RunOutcome,
+    /// Participant name → whether its effects are durably present.
+    pub participant_commits: Vec<(String, bool)>,
+    /// Per-action effect accounting.
+    pub effects: Vec<EffectCount>,
+    /// Steps whose forward work completed, oldest first.
+    pub completed_steps: Vec<String>,
+    /// Steps compensated, in execution order.
+    pub compensated_steps: Vec<String>,
+    /// Whether the run's ending obliges compensation of completed steps.
+    pub compensation_required: bool,
+    /// Whether a commit decision record was durable at the crash
+    /// (`None` when no crash-recovery pass ran).
+    pub decision_durable: Option<bool>,
+    /// Outcome the WAL replay reached (`None` when no crash occurred).
+    pub replay_outcome: Option<RunOutcome>,
+    /// Whether a *second* replay over the same log found nothing left to
+    /// do (`None` when no crash occurred).
+    pub replay_stable: Option<bool>,
+    /// Rendered protocol trace; byte-compared by the determinism oracle.
+    pub trace: String,
+    /// Failpoint sites the run passed through (probe runs use this to
+    /// discover the schedule space).
+    pub observed_sites: Vec<String>,
+    /// Remote messages the run sent (probe runs use this to bound
+    /// message-fault sequence numbers).
+    pub remote_messages: u64,
+}
+
+impl Observation {
+    /// An observation with the given outcome and no other facts.
+    pub fn new(outcome: RunOutcome) -> Self {
+        Observation {
+            outcome,
+            participant_commits: Vec::new(),
+            effects: Vec::new(),
+            completed_steps: Vec::new(),
+            compensated_steps: Vec::new(),
+            compensation_required: false,
+            decision_durable: None,
+            replay_outcome: None,
+            replay_stable: None,
+            trace: String::new(),
+            observed_sites: Vec::new(),
+            remote_messages: 0,
+        }
+    }
+}
+
+/// One oracle violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which oracle fired.
+    pub oracle: &'static str,
+    /// Human-readable account of the broken invariant.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Oracle names, in the order [`check_all`] evaluates them.
+pub const ORACLES: &[&str] =
+    &["atomicity", "exactly-once", "compensation", "replay-equivalence", "determinism"];
+
+/// Run every single-observation oracle (all but determinism).
+pub fn check_all(obs: &Observation) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    check_atomicity(obs, &mut violations);
+    check_exactly_once(obs, &mut violations);
+    check_compensation(obs, &mut violations);
+    check_replay(obs, &mut violations);
+    violations
+}
+
+fn check_atomicity(obs: &Observation, out: &mut Vec<Violation>) {
+    match obs.outcome {
+        RunOutcome::Committed => {
+            for (name, committed) in &obs.participant_commits {
+                if !committed {
+                    out.push(Violation {
+                        oracle: "atomicity",
+                        detail: format!("outcome committed but participant {name:?} lost its effects"),
+                    });
+                }
+            }
+        }
+        RunOutcome::Aborted => {
+            for (name, committed) in &obs.participant_commits {
+                if *committed {
+                    out.push(Violation {
+                        oracle: "atomicity",
+                        detail: format!("outcome aborted but participant {name:?} kept its effects"),
+                    });
+                }
+            }
+        }
+        RunOutcome::Crashed => {
+            // No recovery pass ran: the only claim is uniformity.
+            let committed: Vec<bool> =
+                obs.participant_commits.iter().map(|(_, c)| *c).collect();
+            if committed.iter().any(|c| *c) && committed.iter().any(|c| !*c) {
+                out.push(Violation {
+                    oracle: "atomicity",
+                    detail: format!(
+                        "crashed run left mixed participant states: {:?}",
+                        obs.participant_commits
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_exactly_once(obs: &Observation, out: &mut Vec<Violation>) {
+    for effect in &obs.effects {
+        if effect.observed < effect.min || effect.observed > effect.max {
+            out.push(Violation {
+                oracle: "exactly-once",
+                detail: format!(
+                    "action {:?} produced {} effects, contract allows {}..={}",
+                    effect.action, effect.observed, effect.min, effect.max
+                ),
+            });
+        }
+    }
+}
+
+fn check_compensation(obs: &Observation, out: &mut Vec<Violation>) {
+    if obs.compensation_required {
+        let expected: Vec<String> = obs.completed_steps.iter().rev().cloned().collect();
+        if obs.compensated_steps != expected {
+            out.push(Violation {
+                oracle: "compensation",
+                detail: format!(
+                    "completed steps {:?} require compensations {expected:?}, observed {:?}",
+                    obs.completed_steps, obs.compensated_steps
+                ),
+            });
+        }
+    } else if !obs.compensated_steps.is_empty() {
+        out.push(Violation {
+            oracle: "compensation",
+            detail: format!(
+                "no compensation was required but {:?} were compensated",
+                obs.compensated_steps
+            ),
+        });
+    }
+}
+
+fn check_replay(obs: &Observation, out: &mut Vec<Violation>) {
+    let Some(replayed) = obs.replay_outcome else { return };
+    match obs.decision_durable {
+        Some(true) if replayed != RunOutcome::Committed => out.push(Violation {
+            oracle: "replay-equivalence",
+            detail: format!("decision was durable but replay reached {replayed:?}"),
+        }),
+        Some(false) if replayed != RunOutcome::Aborted => out.push(Violation {
+            oracle: "replay-equivalence",
+            detail: format!("no durable decision (presumed abort) but replay reached {replayed:?}"),
+        }),
+        None => out.push(Violation {
+            oracle: "replay-equivalence",
+            detail: "replay ran but the scenario reported no durability fact".into(),
+        }),
+        _ => {}
+    }
+    if obs.outcome != replayed {
+        out.push(Violation {
+            oracle: "replay-equivalence",
+            detail: format!(
+                "final outcome {:?} disagrees with replayed outcome {replayed:?}",
+                obs.outcome
+            ),
+        });
+    }
+    if obs.replay_stable == Some(false) {
+        out.push(Violation {
+            oracle: "replay-equivalence",
+            detail: "a second replay over the same log still found in-doubt work".into(),
+        });
+    }
+}
+
+/// The determinism oracle: two runs of the same schedule must agree on
+/// every observable fact, byte for byte in the trace.
+pub fn check_determinism(first: &Observation, second: &Observation) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if first.trace != second.trace {
+        out.push(Violation {
+            oracle: "determinism",
+            detail: format!(
+                "same schedule, different traces:\n--- run 1 ---\n{}\n--- run 2 ---\n{}",
+                first.trace, second.trace
+            ),
+        });
+    }
+    if first.outcome != second.outcome {
+        out.push(Violation {
+            oracle: "determinism",
+            detail: format!("same schedule, outcomes {:?} vs {:?}", first.outcome, second.outcome),
+        });
+    }
+    if first.participant_commits != second.participant_commits {
+        out.push(Violation {
+            oracle: "determinism",
+            detail: format!(
+                "same schedule, participant states {:?} vs {:?}",
+                first.participant_commits, second.participant_commits
+            ),
+        });
+    }
+    if first.effects != second.effects {
+        out.push(Violation {
+            oracle: "determinism",
+            detail: format!(
+                "same schedule, effect counts {:?} vs {:?}",
+                first.effects, second.effects
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_committed_run_passes() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.participant_commits = vec![("store".into(), true), ("witness".into(), true)];
+        obs.effects = vec![EffectCount { action: "eo".into(), observed: 1, min: 1, max: 1 }];
+        assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn mixed_participants_violate_atomicity() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.participant_commits = vec![("store".into(), true), ("witness".into(), false)];
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "atomicity");
+    }
+
+    #[test]
+    fn double_effect_violates_exactly_once() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.effects = vec![EffectCount { action: "debit".into(), observed: 2, min: 1, max: 1 }];
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "exactly-once");
+    }
+
+    #[test]
+    fn out_of_order_compensation_is_caught() {
+        let mut obs = Observation::new(RunOutcome::Aborted);
+        obs.compensation_required = true;
+        obs.completed_steps = vec!["a".into(), "b".into()];
+        obs.compensated_steps = vec!["a".into(), "b".into()]; // not reversed
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "compensation");
+    }
+
+    #[test]
+    fn replay_must_follow_durable_decision() {
+        let mut obs = Observation::new(RunOutcome::Aborted);
+        obs.decision_durable = Some(true);
+        obs.replay_outcome = Some(RunOutcome::Aborted);
+        obs.replay_stable = Some(true);
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "replay-equivalence");
+    }
+
+    #[test]
+    fn determinism_compares_traces_bytewise() {
+        let mut a = Observation::new(RunOutcome::Committed);
+        a.trace = "GetSignal set=S\n".into();
+        let mut b = a.clone();
+        assert!(check_determinism(&a, &b).is_empty());
+        b.trace.push(' ');
+        let v = check_determinism(&a, &b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "determinism");
+    }
+}

@@ -1,0 +1,105 @@
+//! The failpoint-site registry audit.
+//!
+//! Each protocol crate exports named constants for the sites it hits
+//! (`ots::failpoints`, `activity_service::failpoints`); the authoritative
+//! human-readable table lives in `recovery_log::crash`'s module docs. The
+//! tests here close the loop: a fault-free probe run of each protocol must
+//! *observe* (via [`recovery_log::FailpointSet::observed_sites`]) exactly
+//! the sites the constants declare — no orphan constants, no unlisted
+//! `hit` call sites.
+
+/// Every named failpoint site in the workspace, in protocol order per
+/// crate. `wal.append` (the synthetic `CrashingWal` site) is excluded: it
+/// has no `hit` call site.
+pub fn all_known_sites() -> Vec<&'static str> {
+    let mut sites = Vec::new();
+    sites.extend_from_slice(ots::failpoints::FAILPOINT_SITES);
+    sites.extend_from_slice(activity_service::failpoints::FAILPOINT_SITES);
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    use activity_service::{
+        ActivityCoordinator, ActivityId, BroadcastSignalSet, DispatchConfig,
+    };
+    use orb::Value;
+    use ots::{TransactionFactory, TransactionalKv};
+    use recovery_log::{FailpointSet, MemWal, Wal};
+
+    fn sorted(sites: &[&str]) -> BTreeSet<String> {
+        sites.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn no_duplicate_site_names_across_crates() {
+        let sites = all_known_sites();
+        let unique: BTreeSet<_> = sites.iter().collect();
+        assert_eq!(unique.len(), sites.len(), "site names must be globally unique");
+        assert_eq!(sites.len(), 8);
+    }
+
+    #[test]
+    fn ots_probe_observes_exactly_the_declared_sites() {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        let failpoints = FailpointSet::new();
+        let factory =
+            TransactionFactory::with_wal(wal).with_failpoints(failpoints.clone());
+        // Two participants: the one-phase shortcut would skip sites.
+        let store = Arc::new(TransactionalKv::new("store"));
+        let witness = Arc::new(TransactionalKv::new("witness"));
+        let control = factory.create().unwrap();
+        store.enlist(&control).unwrap();
+        witness.enlist(&control).unwrap();
+        store.write(control.id(), "k", Value::from(1i64)).unwrap();
+        witness.write(control.id(), "w", Value::from(2i64)).unwrap();
+        control.terminator().commit().unwrap();
+        assert_eq!(
+            failpoints.observed_sites().into_iter().collect::<BTreeSet<_>>(),
+            sorted(ots::failpoints::FAILPOINT_SITES),
+            "ots constants out of sync with actual hit() call sites"
+        );
+    }
+
+    #[test]
+    fn activity_probe_observes_exactly_the_declared_sites() {
+        let failpoints = FailpointSet::new();
+        let coordinator =
+            ActivityCoordinator::with_dispatch(ActivityId::new(1), DispatchConfig::serial());
+        coordinator.set_failpoints(failpoints.clone());
+        coordinator
+            .add_signal_set(Box::new(BroadcastSignalSet::new("S", "go", Value::Null)))
+            .unwrap();
+        coordinator.process_signal_set("S").unwrap();
+        assert_eq!(
+            failpoints.observed_sites().into_iter().collect::<BTreeSet<_>>(),
+            sorted(activity_service::failpoints::FAILPOINT_SITES),
+            "activity-service constants out of sync with actual hit() call sites"
+        );
+    }
+
+    #[test]
+    fn crash_module_docs_list_every_site() {
+        // The audit table in recovery-log/src/crash.rs is prose, but its
+        // site names are load-bearing: this test pins the full list so a
+        // new hit() call site forces both the constants and the table to
+        // move together.
+        let expected: BTreeSet<String> = sorted(&[
+            "ots.before_prepare",
+            "ots.after_prepare",
+            "ots.before_decision",
+            "ots.after_decision",
+            "ots.before_completion_record",
+            "activity.before_get_signal",
+            "activity.before_transmit",
+            "activity.before_outcome",
+        ]);
+        let actual: BTreeSet<String> =
+            all_known_sites().into_iter().map(str::to_owned).collect();
+        assert_eq!(actual, expected);
+    }
+}

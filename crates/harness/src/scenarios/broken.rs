@@ -1,0 +1,52 @@
+//! The intentionally broken fixture: the same workflow as
+//! [`super::WorkflowScenario`] but with the non-idempotent action
+//! registered *without* its [`activity_service::ExactlyOnceAction`]
+//! wrapper. A duplicated request message then executes the effect twice —
+//! the exactly-once oracle must catch it, and the explorer must shrink the
+//! schedule to the single duplication event.
+
+use crate::oracle::Observation;
+use crate::scenario::Scenario;
+use crate::schedule::FaultSchedule;
+
+use super::workflow::run_workflow;
+
+/// The buggy workflow (dedup layer removed). Exists to prove the sweep
+/// catches real bugs; never part of [`super::all`].
+pub struct BrokenWorkflowScenario;
+
+impl Scenario for BrokenWorkflowScenario {
+    fn name(&self) -> &'static str {
+        "broken-workflow-no-dedup"
+    }
+
+    fn run(&self, schedule: &FaultSchedule) -> Observation {
+        run_workflow(schedule, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{self, RunOutcome};
+    use crate::schedule::FaultEvent;
+
+    #[test]
+    fn fault_free_broken_fixture_still_passes() {
+        // The bug is latent: without duplication the raw action behaves.
+        let obs = BrokenWorkflowScenario.run(&FaultSchedule::empty());
+        assert_eq!(obs.outcome, RunOutcome::Committed);
+        assert!(oracle::check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn duplication_doubles_the_effect_and_trips_the_oracle() {
+        let schedule =
+            FaultSchedule::from_events(vec![FaultEvent::DuplicateMessage { nth: 0 }]);
+        let obs = BrokenWorkflowScenario.run(&schedule);
+        assert_eq!(obs.effects[0].observed, 2, "no dedup layer: both copies execute");
+        let violations = oracle::check_all(&obs);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].oracle, "exactly-once");
+    }
+}

@@ -1,0 +1,29 @@
+//! Scenario adapters: one per figure-test of the paper.
+
+mod broken;
+mod btp_atom;
+mod nested;
+mod saga;
+mod two_phase;
+mod workflow;
+
+pub use broken::BrokenWorkflowScenario;
+pub use btp_atom::BtpAtomScenario;
+pub use nested::NestedCompensationScenario;
+pub use saga::SagaScenario;
+pub use two_phase::TwoPhaseScenario;
+pub use workflow::WorkflowScenario;
+
+use crate::scenario::Scenario;
+
+/// Every well-behaved scenario (excludes the intentionally broken
+/// fixture), in sweep order.
+pub fn all() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(TwoPhaseScenario),
+        Box::new(NestedCompensationScenario),
+        Box::new(SagaScenario),
+        Box::new(WorkflowScenario),
+        Box::new(BtpAtomScenario),
+    ]
+}

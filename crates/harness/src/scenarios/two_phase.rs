@@ -1,0 +1,160 @@
+//! 2PC over the OTS coordinator with durable decision logging, crash
+//! injection at every named protocol step, and WAL replay after the crash.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use orb::pool::DispatchConfig;
+use orb::Value;
+use ots::txlog::KIND_TX_DECISION;
+use ots::{Resource, TransactionFactory, TransactionalKv, TxError};
+use recovery_log::{FailpointSet, Lsn, MemWal, Wal};
+
+use crate::oracle::{Observation, RunOutcome};
+use crate::scenario::Scenario;
+use crate::schedule::FaultSchedule;
+
+/// Two participants enlisted in one logged transaction; failpoint crashes
+/// are recovered by a fresh factory over the surviving WAL, and the replay
+/// is run twice to prove it is idempotent.
+pub struct TwoPhaseScenario;
+
+impl Scenario for TwoPhaseScenario {
+    fn name(&self) -> &'static str {
+        "two-phase-commit"
+    }
+
+    fn run(&self, schedule: &FaultSchedule) -> Observation {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        let failpoints = FailpointSet::new();
+        schedule.arm_into(&failpoints);
+        let factory = TransactionFactory::with_wal(Arc::clone(&wal))
+            .with_failpoints(failpoints.clone())
+            .with_dispatch(DispatchConfig::serial());
+        let store = Arc::new(TransactionalKv::new("store"));
+        let witness = Arc::new(TransactionalKv::new("witness"));
+
+        let control = factory.create().expect("begin record");
+        store.enlist(&control).expect("enlist store");
+        witness.enlist(&control).expect("enlist witness");
+        store.write(control.id(), "k", Value::from(1i64)).expect("write store");
+        witness.write(control.id(), "w", Value::from(2i64)).expect("write witness");
+
+        let commit = control.terminator().commit();
+        let mut trace = String::new();
+        let _ = writeln!(trace, "commit: {commit:?}");
+
+        let mut obs = Observation::new(RunOutcome::Committed);
+        match commit {
+            Ok(_) => {}
+            Err(TxError::Log(_)) => {
+                // The injected crash. "Restart": disarm, then a fresh
+                // factory replays the surviving log.
+                failpoints.clear();
+                let decision_durable = wal
+                    .scan(Lsn::new(0))
+                    .expect("scan wal")
+                    .iter()
+                    .any(|r| r.kind == KIND_TX_DECISION);
+                let store2 = Arc::clone(&store);
+                let witness2 = Arc::clone(&witness);
+                let resolver = move |name: &str| -> Option<Arc<dyn Resource>> {
+                    match name {
+                        "store" => Some(store2.clone()),
+                        "witness" => Some(witness2.clone()),
+                        _ => None,
+                    }
+                };
+                let report = TransactionFactory::with_wal(Arc::clone(&wal))
+                    .recover(&resolver)
+                    .expect("recovery");
+                let replayed = if report.recommitted.is_empty() {
+                    RunOutcome::Aborted
+                } else {
+                    RunOutcome::Committed
+                };
+                let _ = writeln!(
+                    trace,
+                    "recovered: recommitted={:?} presumed_aborted={:?}",
+                    report.recommitted, report.presumed_aborted
+                );
+                // Replay equivalence, part two: a second incarnation over
+                // the same log must find nothing left in doubt.
+                let second = TransactionFactory::with_wal(Arc::clone(&wal))
+                    .recover(&resolver)
+                    .expect("second recovery");
+                obs.replay_stable =
+                    Some(second.recommitted.is_empty() && second.presumed_aborted.is_empty());
+                obs.decision_durable = Some(decision_durable);
+                obs.replay_outcome = Some(replayed);
+                obs.outcome = replayed;
+            }
+            Err(other) => {
+                let _ = writeln!(trace, "non-crash failure: {other:?}");
+                obs.outcome = RunOutcome::Aborted;
+            }
+        }
+
+        obs.participant_commits = vec![
+            ("store".into(), store.read_committed("k").is_some()),
+            ("witness".into(), witness.read_committed("w").is_some()),
+        ];
+        let _ = writeln!(
+            trace,
+            "final: store={:?} witness={:?}",
+            store.read_committed("k"),
+            witness.read_committed("w")
+        );
+        obs.trace = trace;
+        obs.observed_sites = failpoints.observed_sites();
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use crate::schedule::FaultEvent;
+
+    #[test]
+    fn fault_free_run_commits_and_passes_oracles() {
+        let obs = TwoPhaseScenario.run(&FaultSchedule::empty());
+        assert_eq!(obs.outcome, RunOutcome::Committed);
+        assert!(oracle::check_all(&obs).is_empty());
+        // The probe discovers every ots failpoint site.
+        assert_eq!(
+            obs.observed_sites,
+            ots::failpoints::FAILPOINT_SITES
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn crash_after_decision_replays_to_commit() {
+        let schedule = FaultSchedule::from_events(vec![FaultEvent::ArmFailpoint {
+            site: "ots.after_decision".into(),
+            after: 0,
+        }]);
+        let obs = TwoPhaseScenario.run(&schedule);
+        assert_eq!(obs.outcome, RunOutcome::Committed);
+        assert_eq!(obs.decision_durable, Some(true));
+        assert!(oracle::check_all(&obs).is_empty(), "{:?}", oracle::check_all(&obs));
+    }
+
+    #[test]
+    fn crash_before_decision_presumed_aborts() {
+        let schedule = FaultSchedule::from_events(vec![FaultEvent::ArmFailpoint {
+            site: "ots.before_decision".into(),
+            after: 0,
+        }]);
+        let obs = TwoPhaseScenario.run(&schedule);
+        assert_eq!(obs.outcome, RunOutcome::Aborted);
+        assert_eq!(obs.decision_durable, Some(false));
+        assert!(oracle::check_all(&obs).is_empty());
+    }
+}

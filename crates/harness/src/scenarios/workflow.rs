@@ -1,0 +1,163 @@
+//! Fig. 10-style workflow signalling over the simulated ORB: a coordinator
+//! broadcasts a work signal to a remote action behind a scripted network.
+//! With the `ExactlyOnceAction` wrapper, message duplication and loss must
+//! never multiply the effect.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use activity_service::{
+    ActionServant, ActivityService, BroadcastSignalSet, DispatchConfig, ExactlyOnceAction,
+    FnAction, Outcome, RemoteActionProxy, Signal, TraceLog,
+};
+use orb::{NetworkConfig, Orb, SimClock, Value};
+use recovery_log::{FailpointSet, MemWal, Wal};
+
+use crate::oracle::{EffectCount, Observation, RunOutcome};
+use crate::scenario::Scenario;
+use crate::schedule::FaultSchedule;
+
+/// Fixed network seed: every run replays the identical latency stream.
+const NETWORK_SEED: u64 = 0x5EED_0001;
+
+/// Shared wiring for the workflow scenario and the intentionally broken
+/// fixture: `exactly_once` selects whether the remote effect is wrapped in
+/// the WAL-backed dedup layer.
+pub(crate) fn run_workflow(schedule: &FaultSchedule, exactly_once: bool) -> Observation {
+    let clock = SimClock::new();
+    let orb = Orb::builder()
+        .network(NetworkConfig::lossy(0.0, 0.0, NETWORK_SEED))
+        .clock(clock)
+        .retry_budget(64)
+        .build();
+    orb.add_node("coordinator").expect("coordinator node");
+    let worker = orb.add_node("worker").expect("worker node");
+    orb.network().install_script(schedule.to_fault_script());
+
+    let effects = Arc::new(AtomicU32::new(0));
+    let effects2 = Arc::clone(&effects);
+    let inner: Arc<dyn activity_service::Action> =
+        Arc::new(FnAction::new("debit", move |_s: &Signal| {
+            effects2.fetch_add(1, Ordering::SeqCst);
+            Ok(Outcome::done())
+        }));
+    let servant_action: Arc<dyn activity_service::Action> = if exactly_once {
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        ExactlyOnceAction::new("eo-debit", inner, wal).expect("exactly-once wrapper") as _
+    } else {
+        inner
+    };
+    let obj = worker
+        .activate("Action", ActionServant::new(servant_action))
+        .expect("activate action");
+
+    let failpoints = FailpointSet::new();
+    if exactly_once {
+        schedule.arm_into(&failpoints);
+    }
+    let service = ActivityService::new();
+    let activity = service.begin("billing-run").expect("begin activity");
+    activity.coordinator().set_dispatch_config(DispatchConfig::serial());
+    activity.coordinator().set_failpoints(failpoints.clone());
+    let trace = TraceLog::new();
+    activity.coordinator().set_trace(trace.clone());
+    activity
+        .coordinator()
+        .add_signal_set(Box::new(BroadcastSignalSet::new("Bill", "charge", Value::U64(25))))
+        .expect("signal set");
+    activity.set_completion_signal_set("Bill");
+    activity.coordinator().register_action(
+        "Bill",
+        Arc::new(RemoteActionProxy::new("remote", orb.clone(), "coordinator", obj)) as _,
+    );
+
+    let result = service.complete();
+    let mut obs = Observation::new(match &result {
+        Ok(outcome) if outcome.is_done() => RunOutcome::Committed,
+        Ok(_) => RunOutcome::Aborted,
+        Err(_) => RunOutcome::Crashed,
+    });
+    // At-least-once delivery with dedup: a committed run has exactly one
+    // effect; a failed/crashed run may have stopped before (0) or after (1)
+    // the delivery, but never more than one.
+    let (min, max) = match obs.outcome {
+        RunOutcome::Committed => (1, 1),
+        RunOutcome::Aborted | RunOutcome::Crashed => (0, 1),
+    };
+    obs.effects = vec![EffectCount {
+        action: "debit".into(),
+        observed: u64::from(effects.load(Ordering::SeqCst)),
+        min,
+        max,
+    }];
+    obs.trace = trace.render();
+    obs.observed_sites = failpoints.observed_sites();
+    obs.remote_messages = orb.network().remote_messages();
+    obs
+}
+
+/// The well-behaved workflow: remote effect wrapped in
+/// [`ExactlyOnceAction`], activity failpoints armable.
+pub struct WorkflowScenario;
+
+impl Scenario for WorkflowScenario {
+    fn name(&self) -> &'static str {
+        "workflow-exactly-once"
+    }
+
+    fn run(&self, schedule: &FaultSchedule) -> Observation {
+        run_workflow(schedule, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use crate::schedule::FaultEvent;
+
+    #[test]
+    fn fault_free_workflow_charges_once() {
+        let obs = WorkflowScenario.run(&FaultSchedule::empty());
+        assert_eq!(obs.outcome, RunOutcome::Committed);
+        assert_eq!(obs.effects[0].observed, 1);
+        assert!(oracle::check_all(&obs).is_empty());
+        assert!(obs.remote_messages > 0, "the probe must count remote messages");
+        let mut expected: Vec<String> = activity_service::failpoints::FAILPOINT_SITES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        expected.sort();
+        assert_eq!(obs.observed_sites, expected);
+    }
+
+    #[test]
+    fn duplicated_charge_message_is_deduplicated() {
+        let schedule =
+            FaultSchedule::from_events(vec![FaultEvent::DuplicateMessage { nth: 0 }]);
+        let obs = WorkflowScenario.run(&schedule);
+        assert_eq!(obs.effects[0].observed, 1, "exactly-once wrapper must dedup");
+        assert!(oracle::check_all(&obs).is_empty(), "{:?}", oracle::check_all(&obs));
+    }
+
+    #[test]
+    fn dropped_charge_message_is_retried() {
+        let schedule = FaultSchedule::from_events(vec![FaultEvent::DropMessage { nth: 0 }]);
+        let obs = WorkflowScenario.run(&schedule);
+        assert_eq!(obs.outcome, RunOutcome::Committed);
+        assert_eq!(obs.effects[0].observed, 1);
+        assert!(oracle::check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn coordinator_crash_is_bounded_by_the_contract() {
+        let schedule = FaultSchedule::from_events(vec![FaultEvent::ArmFailpoint {
+            site: activity_service::failpoints::BEFORE_TRANSMIT.into(),
+            after: 0,
+        }]);
+        let obs = WorkflowScenario.run(&schedule);
+        assert_eq!(obs.outcome, RunOutcome::Crashed);
+        assert_eq!(obs.effects[0].observed, 0);
+        assert!(oracle::check_all(&obs).is_empty());
+    }
+}

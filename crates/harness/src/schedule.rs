@@ -1,0 +1,252 @@
+//! Fault schedules: the *discrete, enumerable* unit of chaos.
+//!
+//! A schedule is a small list of [`FaultEvent`]s — arm this failpoint, drop
+//! that remote message — rather than probabilistic fault rates. Discrete
+//! events make runs replayable (the same schedule produces the same
+//! execution) and shrinkable (removing one event leaves every other event's
+//! meaning unchanged, because scenarios run the network with zero
+//! probabilistic fault rates and scripted faults never consult the PRNG).
+
+use std::fmt;
+
+use orb::FaultScript;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recovery_log::FailpointSet;
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Arm the named failpoint to fire on its `after`-th passage
+    /// (0 = the very next hit). The crashed component stays dead until the
+    /// scenario "restarts" it.
+    ArmFailpoint {
+        /// Site name, e.g. `ots.before_decision`.
+        site: String,
+        /// Passages allowed before the crash fires.
+        after: u32,
+    },
+    /// Silently drop the `nth` remote message (0-based, counted across the
+    /// whole run; local same-node calls do not consume numbers).
+    DropMessage {
+        /// Remote-message sequence number.
+        nth: u64,
+    },
+    /// Deliver the `nth` remote message twice.
+    DuplicateMessage {
+        /// Remote-message sequence number.
+        nth: u64,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    /// Renders as a copy-pasteable Rust constructor expression, so a
+    /// minimized schedule can be pasted straight into a regression test.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::ArmFailpoint { site, after } => write!(
+                f,
+                "FaultEvent::ArmFailpoint {{ site: {site:?}.into(), after: {after} }}"
+            ),
+            FaultEvent::DropMessage { nth } => {
+                write!(f, "FaultEvent::DropMessage {{ nth: {nth} }}")
+            }
+            FaultEvent::DuplicateMessage { nth } => {
+                write!(f, "FaultEvent::DuplicateMessage {{ nth: {nth} }}")
+            }
+        }
+    }
+}
+
+/// An ordered list of fault events applied to one scenario run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// The fault-free schedule (a probe run).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A schedule running exactly `events`.
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        FaultSchedule { events }
+    }
+
+    /// The events, in order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is fault-free.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The schedule with event `index` removed (the shrinking step).
+    #[must_use]
+    pub fn without_event(&self, index: usize) -> Self {
+        let mut events = self.events.clone();
+        events.remove(index);
+        FaultSchedule { events }
+    }
+
+    /// Arm every [`FaultEvent::ArmFailpoint`] event into `failpoints`.
+    pub fn arm_into(&self, failpoints: &FailpointSet) {
+        for event in &self.events {
+            if let FaultEvent::ArmFailpoint { site, after } = event {
+                failpoints.arm(site.clone(), *after);
+            }
+        }
+    }
+
+    /// The message-level events as an [`orb::FaultScript`] for
+    /// `SimulatedNetwork::install_script`.
+    pub fn to_fault_script(&self) -> FaultScript {
+        let mut script = FaultScript::new();
+        for event in &self.events {
+            match event {
+                FaultEvent::DropMessage { nth } => script = script.drop_nth(*nth),
+                FaultEvent::DuplicateMessage { nth } => script = script.duplicate_nth(*nth),
+                FaultEvent::ArmFailpoint { .. } => {}
+            }
+        }
+        script
+    }
+}
+
+impl fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FaultSchedule::from_events(vec![")?;
+        for event in &self.events {
+            writeln!(f, "    {event},")?;
+        }
+        write!(f, "])")
+    }
+}
+
+/// The space a seed is mapped into: which failpoint sites exist (discovered
+/// by a fault-free probe run via `FailpointSet::observed_sites`) and how
+/// many remote messages the fault-free run sends.
+#[derive(Debug, Clone)]
+pub struct ScheduleSpace {
+    /// Arm-able failpoint sites.
+    pub sites: Vec<String>,
+    /// Remote messages sent by the fault-free run (message faults target
+    /// sequence numbers up to twice this, so retries are reachable too).
+    pub remote_messages: u64,
+    /// Largest number of events in one generated schedule.
+    pub max_events: usize,
+}
+
+/// Deterministically derive a schedule from `seed`. The same seed and space
+/// always produce the same schedule.
+pub fn generate(seed: u64, space: &ScheduleSpace) -> FaultSchedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = space.max_events.max(1) as u64;
+    let count = rng.gen_range(1..=max);
+    let mut events = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let have_sites = !space.sites.is_empty();
+        let have_messages = space.remote_messages > 0;
+        let pick_site = match (have_sites, have_messages) {
+            (true, true) => rng.gen_range(0..2u32) == 0,
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => break,
+        };
+        if pick_site {
+            let site = space.sites[rng.gen_range(0..space.sites.len() as u64) as usize].clone();
+            let after = rng.gen_range(0..3u32);
+            events.push(FaultEvent::ArmFailpoint { site, after });
+        } else {
+            let nth = rng.gen_range(0..space.remote_messages * 2);
+            if rng.gen_range(0..2u32) == 0 {
+                events.push(FaultEvent::DropMessage { nth });
+            } else {
+                events.push(FaultEvent::DuplicateMessage { nth });
+            }
+        }
+    }
+    FaultSchedule::from_events(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ScheduleSpace {
+        ScheduleSpace {
+            sites: vec!["a.one".into(), "b.two".into()],
+            remote_messages: 4,
+            max_events: 4,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for seed in 0..50 {
+            let a = generate(seed, &space());
+            let b = generate(seed, &space());
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+            assert!(a.len() <= 4);
+        }
+        assert_ne!(generate(1, &space()), generate(2, &space()));
+    }
+
+    #[test]
+    fn empty_space_yields_empty_schedule() {
+        let s = generate(
+            7,
+            &ScheduleSpace { sites: vec![], remote_messages: 0, max_events: 4 },
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn schedule_splits_into_failpoints_and_script() {
+        let schedule = FaultSchedule::from_events(vec![
+            FaultEvent::ArmFailpoint { site: "x.y".into(), after: 1 },
+            FaultEvent::DropMessage { nth: 3 },
+            FaultEvent::DuplicateMessage { nth: 5 },
+        ]);
+        let fp = FailpointSet::new();
+        schedule.arm_into(&fp);
+        assert!(fp.is_armed("x.y"));
+        let script = schedule.to_fault_script();
+        assert_eq!(script.drops().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(script.duplicates().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn display_is_copy_pasteable() {
+        let schedule = FaultSchedule::from_events(vec![
+            FaultEvent::ArmFailpoint { site: "ots.before_decision".into(), after: 0 },
+            FaultEvent::DropMessage { nth: 2 },
+        ]);
+        let rendered = schedule.to_string();
+        assert!(rendered.contains("FaultSchedule::from_events(vec!["));
+        assert!(rendered
+            .contains("FaultEvent::ArmFailpoint { site: \"ots.before_decision\".into(), after: 0 }"));
+        assert!(rendered.contains("FaultEvent::DropMessage { nth: 2 }"));
+    }
+
+    #[test]
+    fn without_event_removes_exactly_one() {
+        let schedule = FaultSchedule::from_events(vec![
+            FaultEvent::DropMessage { nth: 0 },
+            FaultEvent::DropMessage { nth: 1 },
+        ]);
+        let shrunk = schedule.without_event(0);
+        assert_eq!(shrunk.events(), &[FaultEvent::DropMessage { nth: 1 }]);
+        assert_eq!(schedule.len(), 2, "shrinking is non-destructive");
+    }
+}

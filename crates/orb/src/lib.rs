@@ -61,7 +61,7 @@ pub use clock::SimClock;
 pub use context::ServiceContext;
 pub use error::OrbError;
 pub use message::{Reply, Request};
-pub use network::{NetworkConfig, SimulatedNetwork};
+pub use network::{FaultScript, NetworkConfig, SimulatedNetwork};
 pub use node::{Node, Orb, OrbBuilder};
 pub use object::{ObjectId, ObjectRef, Servant};
 pub use pool::{CancelToken, DispatchConfig, OrderedResults, TaskOutcome, WorkerPool};

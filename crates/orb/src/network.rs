@@ -12,8 +12,15 @@
 //!
 //! All randomness is drawn from a seeded PRNG, so a given
 //! ([`NetworkConfig::seed`], workload) pair replays identically.
+//!
+//! On top of the probabilistic model sits a **scripted** one: a
+//! [`FaultScript`] names individual messages by their sequence number
+//! ("drop the 3rd remote message", "duplicate the 7th") so a simulation
+//! harness can *enumerate* fault events, sweep over them, and shrink a
+//! failing schedule to a minimal reproducer. Scripted events take
+//! precedence over the probabilistic model for the messages they name.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -60,6 +67,58 @@ impl NetworkConfig {
     /// probabilities.
     pub fn lossy(drop_probability: f64, duplicate_probability: f64, seed: u64) -> Self {
         NetworkConfig { drop_probability, duplicate_probability, seed, ..Self::default() }
+    }
+}
+
+/// A deterministic per-message fault plan.
+///
+/// Remote messages are numbered `0, 1, 2, …` in transmission order (local,
+/// same-node calls are not counted — they bypass the fault model entirely).
+/// A script names the sequence numbers to drop and to duplicate; everything
+/// else falls through to the probabilistic [`NetworkConfig`] model.
+///
+/// Because the events are discrete and enumerable, a simulation harness can
+/// generate schedules from a seed, replay them exactly, and *shrink* a
+/// failing schedule by removing events one at a time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultScript {
+    drops: BTreeSet<u64>,
+    duplicates: BTreeSet<u64>,
+}
+
+impl FaultScript {
+    /// An empty script: every message follows the probabilistic model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the `nth` remote message (0-based).
+    #[must_use]
+    pub fn drop_nth(mut self, nth: u64) -> Self {
+        self.drops.insert(nth);
+        self
+    }
+
+    /// Deliver the `nth` remote message (0-based) twice.
+    #[must_use]
+    pub fn duplicate_nth(mut self, nth: u64) -> Self {
+        self.duplicates.insert(nth);
+        self
+    }
+
+    /// Whether the script names no messages at all.
+    pub fn is_empty(&self) -> bool {
+        self.drops.is_empty() && self.duplicates.is_empty()
+    }
+
+    /// Message numbers scheduled to be dropped.
+    pub fn drops(&self) -> impl Iterator<Item = u64> + '_ {
+        self.drops.iter().copied()
+    }
+
+    /// Message numbers scheduled to be duplicated.
+    pub fn duplicates(&self) -> impl Iterator<Item = u64> + '_ {
+        self.duplicates.iter().copied()
     }
 }
 
@@ -113,6 +172,10 @@ pub struct SimulatedNetwork {
     /// node name → partition group id; empty map means fully connected.
     groups: RwLock<HashMap<String, u32>>,
     stats: NetworkStats,
+    /// Scripted per-message faults; consulted before the probabilistic model.
+    script: RwLock<FaultScript>,
+    /// Sequence number of the next remote (non-local) message.
+    remote_seq: AtomicU64,
 }
 
 impl SimulatedNetwork {
@@ -125,7 +188,23 @@ impl SimulatedNetwork {
             clock,
             groups: RwLock::new(HashMap::new()),
             stats: NetworkStats::default(),
+            script: RwLock::new(FaultScript::new()),
+            remote_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Install a scripted fault plan. Replaces any previous script; the
+    /// remote-message sequence counter keeps running (it is never reset, so
+    /// message numbers are stable for the network's lifetime).
+    pub fn install_script(&self, script: FaultScript) {
+        *self.script.write() = script;
+    }
+
+    /// How many remote (fault-model-eligible) messages have been
+    /// transmitted so far. Harnesses probe a fault-free run with this to
+    /// learn the valid range of [`FaultScript`] message numbers.
+    pub fn remote_messages(&self) -> u64 {
+        self.remote_seq.load(Ordering::Relaxed)
     }
 
     /// The shared virtual clock.
@@ -176,6 +255,26 @@ impl SimulatedNetwork {
         if from == to {
             self.stats.delivered.fetch_add(1, Ordering::Relaxed);
             return Delivery::Delivered { copies: 1, latency: Duration::ZERO };
+        }
+        // Scripted faults name messages by remote sequence number and take
+        // precedence over the probabilistic model. Under a zero-probability
+        // config (the harness default) the PRNG is never consulted at all,
+        // so removing one scripted event leaves every other message's fate
+        // unchanged — the property schedule shrinking depends on.
+        let seq = self.remote_seq.fetch_add(1, Ordering::Relaxed);
+        {
+            let script = self.script.read();
+            if script.drops.contains(&seq) {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return Delivery::Dropped;
+            }
+            if script.duplicates.contains(&seq) {
+                let latency = self.config.base_latency;
+                self.clock.advance(latency);
+                self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                return Delivery::Delivered { copies: 2, latency };
+            }
         }
         let (dropped, duplicated, jitter_nanos) = {
             let mut rng = self.rng.lock();
@@ -306,6 +405,81 @@ mod tests {
         n.heal();
         assert!(n.reachable("a", "c"));
         assert!(matches!(n.transmit("a", "c"), Delivery::Delivered { .. }));
+    }
+
+    #[test]
+    fn jitter_draws_from_prng_and_advances_clock() {
+        // Regression for the "dead config" suspicion: jitter must actually
+        // consume the seeded PRNG (two seeds ⇒ different latency sequences)
+        // and charge the virtual clock (latencies are observable), while
+        // staying replayable (same seed ⇒ identical latency sequence).
+        let observe = |seed: u64| {
+            let clock = SimClock::new();
+            let n = SimulatedNetwork::new(
+                NetworkConfig {
+                    base_latency: Duration::from_micros(10),
+                    jitter: Duration::from_micros(500),
+                    seed,
+                    ..NetworkConfig::default()
+                },
+                clock.clone(),
+            );
+            (0..32)
+                .map(|_| {
+                    let before = clock.now();
+                    n.transmit("a", "b");
+                    clock.now() - before
+                })
+                .collect::<Vec<_>>()
+        };
+        let run_a = observe(1);
+        let run_a_again = observe(1);
+        let run_b = observe(2);
+        assert_eq!(run_a, run_a_again, "same seed must replay identical jitter");
+        assert_ne!(run_a, run_b, "different seeds must draw different jitter");
+        // The clock was genuinely advanced past the base latency at least
+        // once (jitter is uniform in [0, 500µs]; 32 draws all being zero
+        // would mean the PRNG is not consulted).
+        assert!(
+            run_a.iter().any(|l| *l > Duration::from_micros(10)),
+            "jitter never advanced the clock beyond base latency: dead config"
+        );
+        // And every charge stays within the configured bound.
+        for l in &run_a {
+            assert!(*l >= Duration::from_micros(10) && *l <= Duration::from_micros(510));
+        }
+    }
+
+    #[test]
+    fn scripted_drops_and_duplicates_hit_exact_messages() {
+        let n = net(NetworkConfig::reliable());
+        n.install_script(FaultScript::new().drop_nth(1).duplicate_nth(3));
+        let fates: Vec<Delivery> = (0..5).map(|_| n.transmit("a", "b")).collect();
+        assert!(matches!(fates[0], Delivery::Delivered { copies: 1, .. }));
+        assert_eq!(fates[1], Delivery::Dropped);
+        assert!(matches!(fates[2], Delivery::Delivered { copies: 1, .. }));
+        assert!(matches!(fates[3], Delivery::Delivered { copies: 2, .. }));
+        assert!(matches!(fates[4], Delivery::Delivered { copies: 1, .. }));
+        assert_eq!(n.remote_messages(), 5);
+    }
+
+    #[test]
+    fn local_messages_do_not_consume_script_numbers() {
+        let n = net(NetworkConfig::reliable());
+        n.install_script(FaultScript::new().drop_nth(0));
+        assert!(matches!(n.transmit("a", "a"), Delivery::Delivered { .. }));
+        assert_eq!(n.remote_messages(), 0, "collocated calls are unnumbered");
+        assert_eq!(n.transmit("a", "b"), Delivery::Dropped);
+    }
+
+    #[test]
+    fn script_overrides_probabilistic_model() {
+        // A 100%-drop network still delivers (twice) the message a script
+        // names as a duplicate: scripted events take precedence.
+        let n = net(NetworkConfig::lossy(1.0, 0.0, 11));
+        n.install_script(FaultScript::new().duplicate_nth(0));
+        assert!(matches!(n.transmit("a", "b"), Delivery::Delivered { copies: 2, .. }));
+        assert_eq!(n.transmit("a", "b"), Delivery::Dropped);
     }
 
     #[test]

@@ -1,6 +1,34 @@
 //! The per-transaction coordinator: registration, two-phase commit, nesting.
 
 use std::sync::{Arc, Weak};
+
+/// Named crash-injection sites of the two-phase-commit protocol, in the
+/// order they are passed during a commit. Every
+/// [`recovery_log::FailpointSet::hit`] call in this crate uses one of these
+/// constants; the full workspace audit table lives in
+/// `recovery_log::crash`'s module docs, and `FAILPOINT_SITES` is the
+/// machine-readable registry simulation harnesses sweep over.
+pub mod failpoints {
+    /// Before phase one solicits any vote (nothing logged yet).
+    pub const BEFORE_PREPARE: &str = "ots.before_prepare";
+    /// After every vote is collected, before the decision is taken.
+    pub const AFTER_PREPARE: &str = "ots.after_prepare";
+    /// Before the commit decision record is forced to the log.
+    pub const BEFORE_DECISION: &str = "ots.before_decision";
+    /// Decision durable, before any phase-two delivery.
+    pub const AFTER_DECISION: &str = "ots.after_decision";
+    /// Phase two delivered, before the completion record.
+    pub const BEFORE_COMPLETION_RECORD: &str = "ots.before_completion_record";
+
+    /// Every site above, in protocol order.
+    pub const FAILPOINT_SITES: &[&str] = &[
+        BEFORE_PREPARE,
+        AFTER_PREPARE,
+        BEFORE_DECISION,
+        AFTER_DECISION,
+        BEFORE_COMPLETION_RECORD,
+    ];
+}
 use std::time::Duration;
 
 use orb::pool::{CancelToken, DispatchConfig, TaskOutcome, WorkerPool};
@@ -338,7 +366,7 @@ impl Coordinator {
             return Err(TxError::RolledBack(self.id.clone()));
         }
 
-        self.failpoints.hit("ots.before_prepare").map_err(TxError::from)?;
+        self.failpoints.hit(failpoints::BEFORE_PREPARE).map_err(TxError::from)?;
 
         // One-phase shortcut.
         if resources.len() == 1 {
@@ -390,7 +418,7 @@ impl Coordinator {
                 }
             }
         }
-        self.failpoints.hit("ots.after_prepare").map_err(TxError::from)?;
+        self.failpoints.hit(failpoints::AFTER_PREPARE).map_err(TxError::from)?;
 
         if voted_rollback {
             // Presumed abort: no decision record needed; undo the prepared.
@@ -412,12 +440,12 @@ impl Coordinator {
         }
 
         self.set_status(TxStatus::Prepared);
-        self.failpoints.hit("ots.before_decision").map_err(TxError::from)?;
+        self.failpoints.hit(failpoints::BEFORE_DECISION).map_err(TxError::from)?;
         if let Some(wal) = &self.wal {
             txlog::log_decision_commit(wal.as_ref(), &self.id)?;
             wal.sync()?;
         }
-        self.failpoints.hit("ots.after_decision").map_err(TxError::from)?;
+        self.failpoints.hit(failpoints::AFTER_DECISION).map_err(TxError::from)?;
 
         // Phase two. The decision is durable, so the commit deliveries are
         // independent; heuristics are collated in registration order.
@@ -434,7 +462,7 @@ impl Coordinator {
             .into_iter()
             .flatten()
             .collect();
-        self.failpoints.hit("ots.before_completion_record").map_err(TxError::from)?;
+        self.failpoints.hit(failpoints::BEFORE_COMPLETION_RECORD).map_err(TxError::from)?;
         self.finish(TxStatus::Committed, &synchronizations);
 
         if report_heuristics && !heuristics.is_empty() {

@@ -58,7 +58,7 @@ pub mod xid;
 
 pub use control::Control;
 pub use orb::pool::DispatchConfig;
-pub use coordinator::Coordinator;
+pub use coordinator::{failpoints, Coordinator};
 pub use current::Current;
 pub use durable::DurableKv;
 pub use error::TxError;

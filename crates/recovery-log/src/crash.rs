@@ -11,8 +11,33 @@
 //! * [`CrashingWal`] — a [`Wal`] decorator that fails after a configured
 //!   number of appends (tests that want a *torn* record on disk append
 //!   half an encoding to the [`crate::FileWal`]'s file directly).
+//!
+//! # Failpoint-site audit (the workspace-wide registry)
+//!
+//! Every [`FailpointSet::hit`] call site in the workspace uses a named
+//! constant from its crate's `failpoints` module, and the set itself
+//! *observes* every site that passes through it (armed or not), so a
+//! simulation harness can discover the arm-able sites of a protocol run
+//! instead of hardcoding strings (see [`FailpointSet::observed_sites`]).
+//! The full list, audited against the actual call sites by
+//! `harness::registry` tests:
+//!
+//! | site | crate | protocol step |
+//! |---|---|---|
+//! | `ots.before_prepare`           | `ots` | before phase one solicits any vote |
+//! | `ots.after_prepare`            | `ots` | after every vote is collected, before the decision |
+//! | `ots.before_decision`          | `ots` | before the commit decision record is forced |
+//! | `ots.after_decision`           | `ots` | decision durable, before any phase-two delivery |
+//! | `ots.before_completion_record` | `ots` | phase two delivered, before the completion record |
+//! | `activity.before_get_signal`   | `activity-service` | before the coordinator asks the set for a signal |
+//! | `activity.before_transmit`     | `activity-service` | signal obtained, before fan-out to actions |
+//! | `activity.before_outcome`      | `activity-service` | protocol ended, before the collated outcome is read |
+//!
+//! `wal.append` is not in the table: it is the synthetic site name
+//! [`CrashingWal`] reports for its append-counting crashes and has no
+//! `hit` call site to audit.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -28,6 +53,9 @@ use crate::wal::Wal;
 pub struct FailpointSet {
     // name → remaining passages before firing (0 = fire now).
     armed: Arc<Mutex<HashMap<String, u32>>>,
+    // every site name that has ever passed through `hit` — the
+    // discoverable registry of arm-able sites for this set's components.
+    observed: Arc<Mutex<BTreeSet<String>>>,
 }
 
 impl FailpointSet {
@@ -60,6 +88,12 @@ impl FailpointSet {
     /// also crashes (a dead process stays dead until the test "restarts" it
     /// by disarming).
     pub fn hit(&self, name: &str) -> Result<(), LogError> {
+        {
+            let mut observed = self.observed.lock();
+            if !observed.contains(name) {
+                observed.insert(name.to_owned());
+            }
+        }
         let mut armed = self.armed.lock();
         match armed.get_mut(name) {
             None => Ok(()),
@@ -74,6 +108,20 @@ impl FailpointSet {
     /// Whether `name` is currently armed.
     pub fn is_armed(&self, name: &str) -> bool {
         self.armed.lock().contains_key(name)
+    }
+
+    /// Every site name that has passed through [`FailpointSet::hit`] on
+    /// this (shared) set, sorted. A fault-free probe run of a workload
+    /// therefore *discovers* the arm-able sites of every component wired to
+    /// the set — the registry a simulation harness sweeps over instead of
+    /// hardcoding site strings.
+    pub fn observed_sites(&self) -> Vec<String> {
+        self.observed.lock().iter().cloned().collect()
+    }
+
+    /// Forget the observed-site registry (the armed table is untouched).
+    pub fn clear_observed(&self) {
+        self.observed.lock().clear();
     }
 }
 
@@ -173,6 +221,25 @@ mod tests {
         assert!(fp2.hit("x").is_err());
         fp2.clear();
         assert!(fp.hit("x").is_ok());
+    }
+
+    #[test]
+    fn hits_are_observed_as_discoverable_sites() {
+        let fp = FailpointSet::new();
+        fp.hit("b.second").unwrap();
+        fp.hit("a.first").unwrap();
+        fp.hit("b.second").unwrap();
+        fp.arm("c.armed-only", 3);
+        // Arming alone does not observe: only a real passage registers the
+        // site (an armed-but-unreachable name is exactly the orphan the
+        // audit test hunts for).
+        assert_eq!(fp.observed_sites(), vec!["a.first".to_string(), "b.second".to_string()]);
+        // Clones share the registry.
+        let fp2 = fp.clone();
+        fp2.hit("c.armed-only").unwrap();
+        assert_eq!(fp.observed_sites().len(), 3);
+        fp.clear_observed();
+        assert!(fp2.observed_sites().is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use activity_service::{
 };
 use orb::{SimClock, Value};
 use ots::{Resource, TransactionFactory, TransactionalKv, TxError};
-use recovery_log::{FailpointSet, FileWal, MemWal, Wal};
+use recovery_log::{CrashingWal, FailpointSet, FileWal, Lsn, MemWal, Wal};
 
 /// One crash-matrix cell: crash at `failpoint`, recover, and state whether
 /// the transaction's effects must be present afterwards.
@@ -94,6 +94,78 @@ fn crash_before_completion_record_recommits_idempotently() {
     // Phase two already ran once before the crash; recovery re-delivered
     // commit. Idempotent participants keep the value exact.
     assert_eq!(store.read_committed("k"), Some(Value::from(1i64)));
+}
+
+/// The torn-record matrix cell: the coordinator "process" dies *inside* the
+/// decision-record append ([`CrashingWal`] counts it down), and the dying
+/// process got half the record onto the real file before the power went.
+/// Replay must truncate at the torn tail and presumed-abort the in-doubt
+/// transaction — a torn decision is no decision.
+#[test]
+fn torn_decision_record_truncates_and_presumed_aborts() {
+    let path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("torn-decision-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    let store = Arc::new(TransactionalKv::new("store"));
+    let witness = Arc::new(TransactionalKv::new("witness"));
+
+    // ---- First process: crash mid-append of the decision record. ----
+    {
+        // Appends: 1 = begun, 2 = prepared; the third — the decision — dies.
+        let wal: Arc<dyn Wal> = Arc::new(CrashingWal::new(FileWal::open(&path).unwrap(), 2));
+        let factory = TransactionFactory::with_wal(wal);
+        let control = factory.create().unwrap();
+        store.enlist(&control).unwrap();
+        witness.enlist(&control).unwrap();
+        store.write(control.id(), "k", Value::from(1i64)).unwrap();
+        witness.write(control.id(), "w", Value::from(2i64)).unwrap();
+        let result = control.terminator().commit();
+        assert!(
+            matches!(result, Err(TxError::Log(_))),
+            "the decision append must crash the commit, got {result:?}"
+        );
+        // Half of the decision record reached the disk before the crash.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x01, 0x03, 0xA5, 0xC7]).unwrap();
+    }
+
+    // ---- Second process: replay truncates at the torn tail... ----
+    let wal: Arc<dyn Wal> = Arc::new(FileWal::open(&path).unwrap());
+    let records = wal.scan(Lsn::new(0)).unwrap();
+    assert_eq!(records.len(), 2, "begun + prepared survive; the torn tail is cut");
+    assert!(
+        records.iter().all(|r| r.kind != ots::txlog::KIND_TX_DECISION),
+        "no decision record may be reconstructed from torn bytes"
+    );
+
+    // ---- ...and presumed-aborts the in-doubt transaction. ----
+    let store2 = Arc::clone(&store);
+    let witness2 = Arc::clone(&witness);
+    let resolver = move |name: &str| -> Option<Arc<dyn Resource>> {
+        match name {
+            "store" => Some(store2.clone()),
+            "witness" => Some(witness2.clone()),
+            _ => None,
+        }
+    };
+    let report = TransactionFactory::with_wal(Arc::clone(&wal)).recover(&resolver).unwrap();
+    assert!(report.recommitted.is_empty(), "a torn decision must never commit");
+    assert_eq!(report.presumed_aborted.len(), 1);
+    assert_eq!(store.read_committed("k"), None);
+    assert_eq!(witness.read_committed("w"), None);
+
+    // The truncated log is clean: a fresh transaction over it commits.
+    let factory = TransactionFactory::with_wal(wal);
+    let control = factory.create().unwrap();
+    store.enlist(&control).unwrap();
+    store.write(control.id(), "k", Value::from(3i64)).unwrap();
+    control.terminator().commit().unwrap();
+    assert_eq!(store.read_committed("k"), Some(Value::from(3i64)));
+    std::fs::remove_file(&path).unwrap();
 }
 
 /// Full-stack recovery: activity structure + transaction outcomes from one

@@ -1,0 +1,95 @@
+//! Tier-1 bounded simulation sweep: the deterministic chaos explorer runs
+//! a fixed population of seeded fault schedules against every scenario
+//! adapter and checks the five §3.4 invariant oracles after each run.
+//!
+//! Two properties are pinned here:
+//!
+//! 1. **Soundness** — no generated schedule violates any oracle on the
+//!    well-behaved scenarios, and the whole sweep is bit-reproducible
+//!    (identical fingerprints on two consecutive executions);
+//! 2. **Sensitivity** — the intentionally broken fixture (non-idempotent
+//!    action registered without `ExactlyOnceAction`) IS caught, and the
+//!    violating schedule shrinks to a minimal reproducer of at most five
+//!    fault events, printed with its seed.
+
+use harness::scenarios::{self, BrokenWorkflowScenario};
+use harness::{sweep, SweepConfig};
+
+/// 5 scenarios × 40 seeds = 200 distinct fault schedules, plus the broken
+/// fixture's own 40 below.
+const SEEDS_PER_SCENARIO: u64 = 40;
+
+fn config() -> SweepConfig {
+    SweepConfig {
+        seed_start: 0x20260806,
+        schedules: SEEDS_PER_SCENARIO,
+        max_events: 4,
+        shrink: true,
+    }
+}
+
+#[test]
+fn bounded_sweep_holds_every_oracle_and_is_reproducible() {
+    let config = config();
+    let mut total = 0;
+    for scenario in scenarios::all() {
+        let first = sweep(scenario.as_ref(), &config);
+        let second = sweep(scenario.as_ref(), &config);
+        assert_eq!(
+            first.fingerprint, second.fingerprint,
+            "{}: two consecutive sweeps diverged — simulation is not deterministic",
+            first.scenario
+        );
+        assert!(
+            first.failures.is_empty(),
+            "{}: oracle violations:\n{}",
+            first.scenario,
+            first
+                .failures
+                .iter()
+                .map(harness::FailureReport::repro)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        total += first.schedules_run;
+    }
+    assert!(
+        total >= 200,
+        "the tier-1 sweep must cover at least 200 distinct fault schedules, ran {total}"
+    );
+}
+
+#[test]
+fn broken_fixture_is_caught_and_shrunk_to_a_tiny_reproducer() {
+    let report = sweep(&BrokenWorkflowScenario, &config());
+    assert!(
+        !report.failures.is_empty(),
+        "the sweep failed to catch the planted exactly-once bug"
+    );
+    for failure in &report.failures {
+        // Print the copy-pasteable reproducer (visible with --nocapture
+        // and in CI logs on failure).
+        println!("{}", failure.repro());
+        assert!(failure.seed.is_some(), "only seeded schedules may fail, not the probe");
+        assert!(
+            failure.violations.iter().any(|v| v.oracle == "exactly-once"),
+            "the planted bug is an exactly-once violation, got {:?}",
+            failure.violations
+        );
+        assert!(
+            failure.minimized.len() <= 5,
+            "shrinking must reach ≤5 fault events, got {}:\n{}",
+            failure.minimized.len(),
+            failure.minimized
+        );
+        assert!(
+            !failure.minimized.is_empty(),
+            "the broken fixture passes fault-free runs; the reproducer needs an event"
+        );
+        assert!(failure.repro().contains("seed"), "the reproducer must name its seed");
+    }
+    // The same sweep is reproducible, failures included.
+    let again = sweep(&BrokenWorkflowScenario, &config());
+    assert_eq!(report.fingerprint, again.fingerprint);
+    assert_eq!(report.failures.len(), again.failures.len());
+}
