@@ -14,8 +14,9 @@
 //! contract across the simulated network.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use orb::{Orb, Request, Servant, Value};
+use orb::{Orb, Request, RetryPolicy, Servant, Value};
 
 use crate::error::{ActionError, ActivityError};
 use crate::outcome::Outcome;
@@ -118,6 +119,8 @@ pub struct RemoteActionProxy {
     orb: Orb,
     from_node: String,
     target: orb::ObjectRef,
+    policy: Option<RetryPolicy>,
+    deadline: Option<Duration>,
 }
 
 impl RemoteActionProxy {
@@ -128,7 +131,33 @@ impl RemoteActionProxy {
         from_node: impl Into<String>,
         target: orb::ObjectRef,
     ) -> Self {
-        RemoteActionProxy { name: name.into(), orb, from_node: from_node.into(), target }
+        RemoteActionProxy {
+            name: name.into(),
+            orb,
+            from_node: from_node.into(),
+            target,
+            policy: None,
+            deadline: None,
+        }
+    }
+
+    /// Deliver signals under an explicit [`RetryPolicy`] (backoff timed on
+    /// the ORB's virtual clock) instead of the ORB's legacy immediate
+    /// at-least-once loop.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Bound every delivery (including its backoff sleeps) by an absolute
+    /// virtual-time deadline — typically the owning activity's
+    /// [`crate::Activity::deadline`], so retry can never outlive the
+    /// activity's own timeout.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The remote object this proxy signals.
@@ -139,11 +168,25 @@ impl RemoteActionProxy {
 
 impl Action for RemoteActionProxy {
     fn process_signal(&self, signal: &Signal) -> Result<Outcome, ActionError> {
-        let request = Request::new(PROCESS_SIGNAL_OP).with_arg("signal", signal.to_value());
-        let reply = self
-            .orb
-            .invoke_at_least_once(&self.from_node, &self.target, request)
-            .map_err(|e| ActionError::new(e.to_string()))?;
+        let mut request = Request::new(PROCESS_SIGNAL_OP).with_arg("signal", signal.to_value());
+        // Bridge the activity-level delivery id down to the ORB layer: every
+        // retry and every duplicate of this call shares it, so a
+        // `DedupWindow` on the server side is effect-once even when the
+        // remote action itself is not wrapped in `ExactlyOnceAction`.
+        if let Some(id) = signal.delivery_id() {
+            request.set_delivery_id(id);
+        }
+        let reply = match &self.policy {
+            Some(policy) => self.orb.invoke_with_policy(
+                &self.from_node,
+                &self.target,
+                request,
+                policy,
+                self.deadline,
+            ),
+            None => self.orb.invoke_at_least_once(&self.from_node, &self.target, request),
+        }
+        .map_err(|e| ActionError::new(e.to_string()))?;
         Outcome::from_value(&reply.result).map_err(|e: ActivityError| ActionError::new(e.to_string()))
     }
 
@@ -217,6 +260,71 @@ mod tests {
         let proxy = RemoteActionProxy::new("p", orb, "client", obj);
         let err = proxy.process_signal(&Signal::new("go", "set")).unwrap_err();
         assert!(err.message().contains("no thanks"));
+    }
+
+    #[test]
+    fn proxy_policy_retries_through_a_lossy_network() {
+        let orb = Orb::builder()
+            .network(NetworkConfig::lossy(0.4, 0.0, 77))
+            .build();
+        let node = orb.add_node("server").unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let hits2 = Arc::clone(&hits);
+        let action: Arc<dyn Action> = Arc::new(FnAction::new("idempotent", move |_s: &Signal| {
+            hits2.fetch_add(1, Ordering::SeqCst);
+            Ok(Outcome::done())
+        }));
+        let obj = node.activate("Action", ActionServant::new(action)).unwrap();
+        let proxy = RemoteActionProxy::new("p", orb, "client", obj)
+            .with_policy(RetryPolicy::new(64).with_base_backoff(Duration::from_micros(100)));
+        let out = proxy.process_signal(&Signal::new("go", "set")).unwrap();
+        assert!(out.is_done());
+        assert!(hits.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn proxy_deadline_bounds_retry_and_reports_the_exhausted_budget() {
+        // Total loss: without a deadline the policy would burn all its
+        // attempts; with one, it stops as soon as the next backoff would
+        // cross it — the activity's timeout composes with retry.
+        let orb = Orb::builder()
+            .network(NetworkConfig::lossy(1.0, 0.0, 78))
+            .build();
+        let node = orb.add_node("server").unwrap();
+        let action: Arc<dyn Action> =
+            Arc::new(FnAction::new("never", |_s: &Signal| Ok(Outcome::done())));
+        let obj = node.activate("Action", ActionServant::new(action)).unwrap();
+        let proxy = RemoteActionProxy::new("p", orb.clone(), "client", obj)
+            .with_policy(RetryPolicy::new(1000).with_base_backoff(Duration::from_millis(1)))
+            .with_deadline(Duration::from_millis(10));
+        let err = proxy.process_signal(&Signal::new("go", "set")).unwrap_err();
+        assert!(err.message().contains("deadline exceeded"), "{}", err.message());
+        assert!(orb.clock().now() <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn proxy_bridges_the_signal_delivery_id_onto_the_request() {
+        use orb::Servant as _;
+        use parking_lot::Mutex;
+
+        let orb = Orb::new();
+        let node = orb.add_node("server").unwrap();
+        let seen: Arc<Mutex<Vec<Option<String>>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let action: Arc<dyn Action> =
+            Arc::new(FnAction::new("a", |_s: &Signal| Ok(Outcome::done())));
+        let servant = ActionServant::new(action);
+        let obj = node
+            .activate("Action", move |req: &Request| {
+                seen2.lock().push(req.delivery_id().map(str::to_owned));
+                servant.dispatch(req)
+            })
+            .unwrap();
+        let proxy = RemoteActionProxy::new("p", orb, "client", obj);
+        proxy
+            .process_signal(&Signal::new("go", "set").with_delivery_id("act-1:set:1"))
+            .unwrap();
+        assert_eq!(seen.lock().as_slice(), &[Some("act-1:set:1".to_owned())]);
     }
 
     #[test]

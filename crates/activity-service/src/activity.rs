@@ -308,6 +308,14 @@ impl Activity {
         *self.inner.deadline.lock() = Some(self.inner.clock.now() + timeout);
     }
 
+    /// The armed deadline as an **absolute** virtual-time instant, if any.
+    /// Retry layers compose with it: pass this to
+    /// [`orb::RetryPolicy::run`] (or a `RemoteActionProxy` deadline) so no
+    /// backoff or re-attempt ever extends past the activity's own timeout.
+    pub fn deadline(&self) -> Option<Duration> {
+        *self.inner.deadline.lock()
+    }
+
     /// Whether the activity's deadline has passed.
     pub fn timed_out(&self) -> bool {
         self.inner

@@ -6,6 +6,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use orb::detector::FailureDetector;
 use parking_lot::Mutex;
 use recovery_log::FailpointSet;
 
@@ -67,6 +68,7 @@ pub struct ActivityCoordinator {
     trace_on: AtomicBool,
     dispatch: Mutex<DispatchConfig>,
     failpoints: Mutex<Option<FailpointSet>>,
+    detector: Mutex<Option<FailureDetector>>,
 }
 
 impl std::fmt::Debug for ActivityCoordinator {
@@ -101,7 +103,24 @@ impl ActivityCoordinator {
             trace_on: AtomicBool::new(false),
             dispatch: Mutex::new(dispatch),
             failpoints: Mutex::new(None),
+            detector: Mutex::new(None),
         }
+    }
+
+    /// Attach a participant [`FailureDetector`]. The fig. 5 loop feeds it
+    /// (each collated outcome is a success, each `"error"` outcome a
+    /// failure) and consults it: actions whose participant is quarantined
+    /// are skipped for the current signal (they re-enter via half-open
+    /// probes), so a crashed Action cannot stall every subsequent signal.
+    /// Workflow and saga layers use the same detector to reroute work or
+    /// compensate early.
+    pub fn set_detector(&self, detector: FailureDetector) {
+        *self.detector.lock() = Some(detector);
+    }
+
+    /// The attached failure detector, if any.
+    pub fn detector(&self) -> Option<FailureDetector> {
+        self.detector.lock().clone()
     }
 
     /// Attach a (shared) failpoint set; the protocol loop hits the sites in
@@ -284,6 +303,7 @@ impl ActivityCoordinator {
 
     fn drive(&self, set_name: &str, entry: &mut SetEntry) -> Result<Outcome, ActivityError> {
         let config = *self.dispatch.lock();
+        let detector = self.detector.lock().clone();
         let mut signal_seq = 0u64;
         // Reused across signals: delivery-id stamping formats into this
         // buffer instead of allocating a fresh growth-by-doubling String
@@ -323,12 +343,33 @@ impl ActivityCoordinator {
                 .get(set_name)
                 .cloned()
                 .unwrap_or_else(|| Arc::from([]));
+            // Quarantined participants sit this signal out (each skip
+            // decision is computed once — `should_skip` claims half-open
+            // probe slots). At-least-once semantics make the skip sound:
+            // it is indistinguishable from the transport dropping every
+            // copy of this delivery.
+            let actions: Arc<[Arc<dyn Action>]> = match &detector {
+                Some(detector) => {
+                    let kept: Vec<Arc<dyn Action>> = actions
+                        .iter()
+                        .filter(|action| !detector.should_skip(action.name()))
+                        .cloned()
+                        .collect();
+                    if kept.len() == actions.len() { actions } else { Arc::from(kept) }
+                }
+                None => actions,
+            };
             self.hit_failpoint(failpoints::BEFORE_TRANSMIT)?;
             // Fan out. The set's responses are fed in registration order
             // regardless of the fan-out width, so protocol decisions and
             // traces are identical to a serial run; `RequestNext` breaks
             // delivery early and cancels outstanding transmissions.
             let set = &mut entry.set;
+            // Collation runs in registration order, so pairing each outcome
+            // with its action by index is exact — the detector sees the
+            // same success/failure sequence under serial and parallel
+            // dispatch.
+            let mut collated = 0usize;
             let request_next = dispatch::dispatch_signal(
                 config,
                 &actions,
@@ -340,6 +381,16 @@ impl ActivityCoordinator {
                     });
                 },
                 |outcome| {
+                    if let Some(detector) = &detector {
+                        if let Some(action) = actions.get(collated) {
+                            if outcome.name() == crate::outcome::OUTCOME_ERROR {
+                                detector.record_failure(action.name());
+                            } else {
+                                detector.record_success(action.name());
+                            }
+                        }
+                    }
+                    collated += 1;
                     self.record(|| TraceEvent::SetResponse {
                         set: set_name.to_owned(),
                         outcome: outcome.name().to_owned(),
@@ -659,5 +710,68 @@ mod tests {
             transmits,
             vec!["try->refuser", "cancel->refuser", "cancel->bystander"]
         );
+    }
+
+    #[test]
+    fn quarantined_action_sits_the_signal_out() {
+        use orb::detector::{DetectorConfig, FailureDetector};
+        use orb::SimClock;
+
+        let detector = FailureDetector::with_config(
+            SimClock::new(),
+            DetectorConfig {
+                suspect_after: 1,
+                quarantine_after: 2,
+                probe_interval: std::time::Duration::from_millis(50),
+            },
+        );
+        detector.record_failure("flaky");
+        detector.record_failure("flaky");
+        let c = coordinator();
+        c.set_detector(detector.clone());
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("Notify", "wake", Value::Null)))
+            .unwrap();
+        let healthy_hits = Arc::new(AtomicU32::new(0));
+        let flaky_hits = Arc::new(AtomicU32::new(0));
+        c.register_action("Notify", counting_action("steady", Arc::clone(&healthy_hits)));
+        c.register_action("Notify", counting_action("flaky", Arc::clone(&flaky_hits)));
+        let outcome = c.process_signal_set("Notify").unwrap();
+        assert!(outcome.is_done());
+        assert_eq!(healthy_hits.load(Ordering::SeqCst), 1);
+        assert_eq!(flaky_hits.load(Ordering::SeqCst), 0, "quarantined action skipped");
+        // The broadcast set counted one response: only the healthy action
+        // was solicited.
+        assert_eq!(outcome.data().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn error_outcomes_feed_the_detector_and_success_rehabilitates() {
+        use orb::detector::{FailureDetector, HealthStatus};
+        use orb::SimClock;
+
+        let detector = FailureDetector::new(SimClock::new());
+        let c = coordinator();
+        c.set_detector(detector.clone());
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("Work", "go", Value::Null)))
+            .unwrap();
+        c.register_action(
+            "Work",
+            Arc::new(FnAction::new("grumpy", |_s: &Signal| {
+                Err(crate::error::ActionError::new("down"))
+            })),
+        );
+        let _ = c.process_signal_set("Work");
+        assert_eq!(detector.suspicion("grumpy"), 1, "error outcome recorded as failure");
+
+        // A later successful run clears the suspicion entirely.
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("Work2", "go", Value::Null)))
+            .unwrap();
+        c.register_action(
+            "Work2",
+            Arc::new(FnAction::new("grumpy", |_s: &Signal| Ok(Outcome::done()))),
+        );
+        let _ = c.process_signal_set("Work2");
+        assert_eq!(detector.suspicion("grumpy"), 0);
+        assert_eq!(detector.status("grumpy"), HealthStatus::Healthy);
     }
 }

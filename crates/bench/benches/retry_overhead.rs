@@ -1,0 +1,42 @@
+//! R1 — reliability-layer fault-free overhead: the fig. 5 broadcast over
+//! the simulated ORB with the `orb::retry` policy enabled vs the legacy
+//! at-least-once loop, and the fig. 8 2PC fan-out with the participant
+//! failure detector consulted vs absent. The budget pinned in
+//! EXPERIMENTS.md: <2% regression on the fault-free path for either layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_retry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retry_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for actions in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_legacy", actions),
+            &actions,
+            |b, &n| b.iter(|| assert_eq!(bench::remote_dispatch_with_retry(n, false), n as u64)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_retry_policy", actions),
+            &actions,
+            |b, &n| b.iter(|| assert_eq!(bench::remote_dispatch_with_retry(n, true), n as u64)),
+        );
+    }
+    for participants in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("2pc_no_detector", participants),
+            &participants,
+            |b, &n| b.iter(|| assert!(bench::two_phase_with_detector(n, false))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("2pc_with_detector", participants),
+            &participants,
+            |b, &n| b.iter(|| assert!(bench::two_phase_with_detector(n, true))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retry_overhead);
+criterion_main!(benches);

@@ -8,8 +8,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use activity_service::{Activity, ActivityService, CompletionStatus, FnAction, Outcome, Signal};
-use orb::{SimClock, Value};
+use activity_service::{
+    ActionServant, Activity, ActivityService, CompletionStatus, FnAction, Outcome,
+    RemoteActionProxy, Signal,
+};
+use orb::{FailureDetector, NetworkConfig, Orb, RetryPolicy, SimClock, Value};
 use ots::{Resource, TransactionFactory, TransactionalKv, TxError, Vote};
 use recovery_log::{MemWal, Wal};
 use tx_models::{LruowStore, ResourceAction, Saga, TwoPhaseCommitSignalSet, TWO_PC_SET};
@@ -192,6 +195,66 @@ pub fn fig5_dispatch_traced(actions: usize, traced: bool) -> u64 {
     }
     let outcome = activity.signal("Bench").expect("signal");
     outcome.data().as_u64().unwrap_or(0)
+}
+
+/// Reliability-layer overhead workload (the fig. 5 broadcast *over the
+/// wire*): one activity signalling `actions` remote actions behind the
+/// simulated ORB, with the `orb::retry` policy layer either enabled
+/// (8 attempts, deterministic backoff — never exercised on this fault-free
+/// path) or the legacy immediate at-least-once loop. The delta between the
+/// two isolates the per-delivery cost of policy evaluation, delivery-id
+/// stamping and deadline checks. Returns responses collated.
+pub fn remote_dispatch_with_retry(actions: usize, with_policy: bool) -> u64 {
+    let orb = Orb::builder()
+        .network(NetworkConfig::lossy(0.0, 0.0, 0x0BE7_CAFE))
+        .clock(SimClock::new())
+        .retry_budget(8)
+        .build();
+    orb.add_node("coordinator").expect("coordinator node");
+    let worker = orb.add_node("worker").expect("worker node");
+    let activity = Activity::new_root("dispatch", SimClock::new());
+    activity
+        .coordinator()
+        .add_signal_set(Box::new(activity_service::BroadcastSignalSet::new(
+            "Bench",
+            "ping",
+            Value::Null,
+        )))
+        .expect("add set");
+    for i in 0..actions {
+        let servant: Arc<dyn activity_service::Action> =
+            Arc::new(FnAction::new(format!("a{i}"), |_s: &Signal| Ok(Outcome::done())));
+        let obj = worker
+            .activate("Action", ActionServant::new(servant))
+            .expect("activate action");
+        let mut proxy = RemoteActionProxy::new(format!("r{i}"), orb.clone(), "coordinator", obj);
+        if with_policy {
+            proxy = proxy
+                .with_policy(RetryPolicy::new(8).with_base_backoff(Duration::from_millis(1)));
+        }
+        activity.coordinator().register_action("Bench", Arc::new(proxy) as _);
+    }
+    let outcome = activity.signal("Bench").expect("signal");
+    outcome.data().as_u64().unwrap_or(0)
+}
+
+/// Detector-consult overhead workload (fig. 8 fan-out): a native-OTS 2PC
+/// over `participants` healthy transactional stores, with the participant
+/// failure detector either consulted (one `should_skip` + one
+/// `record_success` per resource per phase) or absent. All participants stay
+/// healthy, so the delta is pure bookkeeping cost on the commit fast path.
+pub fn two_phase_with_detector(participants: usize, with_detector: bool) -> bool {
+    let mut factory = TransactionFactory::new();
+    if with_detector {
+        factory = factory.with_detector(FailureDetector::new(SimClock::new()));
+    }
+    let control = factory.create().expect("create");
+    for i in 0..participants {
+        let store = Arc::new(TransactionalKv::new(format!("s{i}")));
+        store.enlist(&control).expect("enlist");
+        store.write(control.id(), "k", Value::from(i as i64)).expect("write");
+    }
+    control.terminator().commit().is_ok()
 }
 
 /// A commit-voting resource whose prepare/commit/rollback each cost
@@ -563,6 +626,14 @@ mod tests {
         assert_eq!(fig5_dispatch_traced(7, false), 7);
         assert!(fig8_2pc_configured(6, 1, 0));
         assert!(fig8_2pc_configured(6, 8, 0));
+    }
+
+    #[test]
+    fn retry_overhead_workloads_agree_across_modes() {
+        assert_eq!(remote_dispatch_with_retry(5, false), 5);
+        assert_eq!(remote_dispatch_with_retry(5, true), 5);
+        assert!(two_phase_with_detector(4, false));
+        assert!(two_phase_with_detector(4, true));
     }
 
     #[test]

@@ -16,10 +16,11 @@
 //!   figure-test: 2PC with WAL replay, fig. 9 open nesting, Sagas, the
 //!   fig. 10 workflow over the simulated ORB, BTP atoms, plus an
 //!   intentionally broken fixture the sweep must catch.
-//! * [`oracle`] — five invariants checked after every run: atomicity,
+//! * [`oracle`] — six invariants checked after every run: atomicity,
 //!   exactly-once effect counts, reverse-order compensation completeness,
-//!   WAL-replay equivalence, and trace determinism (same seed ⇒
-//!   byte-identical trace).
+//!   WAL-replay equivalence, trace determinism (same seed ⇒ byte-identical
+//!   trace), and liveness under bounded transient faults (drops within the
+//!   retry budget must not prevent commit).
 //! * [`explorer`] — the sweep loop: probe the schedule space (failpoint
 //!   sites are *discovered* from the run, not hardcoded), generate seeded
 //!   schedules, run each twice, oracle-check, and greedily shrink any

@@ -15,7 +15,11 @@
 //!    second replay changes nothing;
 //! 5. **determinism** — the same schedule yields a byte-identical trace and
 //!    identical facts (checked across two runs by
-//!    [`check_determinism`]).
+//!    [`check_determinism`]);
+//! 6. **liveness-under-bounded-faults** — a run whose schedule injects only
+//!    *transient* faults (message drops), no more of them than the retry
+//!    budget and no hard faults (crash failpoints), must still reach a
+//!    terminal forward outcome: the reliability layer absorbs bounded loss.
 
 /// Terminal outcome of one simulated run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +78,14 @@ pub struct Observation {
     /// Remote messages the run sent (probe runs use this to bound
     /// message-fault sequence numbers).
     pub remote_messages: u64,
+    /// Transient faults (dropped messages) the schedule injected
+    /// (`None` when the scenario does not report fault accounting).
+    pub transient_faults: Option<u32>,
+    /// Hard faults (armed crash failpoints) the schedule injected.
+    pub hard_faults: Option<u32>,
+    /// The per-call retry budget the run's reliability layer had
+    /// (`None` when retries are disabled or unreported).
+    pub retry_budget: Option<u32>,
 }
 
 impl Observation {
@@ -92,6 +104,9 @@ impl Observation {
             trace: String::new(),
             observed_sites: Vec::new(),
             remote_messages: 0,
+            transient_faults: None,
+            hard_faults: None,
+            retry_budget: None,
         }
     }
 }
@@ -112,8 +127,14 @@ impl std::fmt::Display for Violation {
 }
 
 /// Oracle names, in the order [`check_all`] evaluates them.
-pub const ORACLES: &[&str] =
-    &["atomicity", "exactly-once", "compensation", "replay-equivalence", "determinism"];
+pub const ORACLES: &[&str] = &[
+    "atomicity",
+    "exactly-once",
+    "compensation",
+    "replay-equivalence",
+    "determinism",
+    "liveness-under-bounded-faults",
+];
 
 /// Run every single-observation oracle (all but determinism).
 pub fn check_all(obs: &Observation) -> Vec<Violation> {
@@ -122,6 +143,7 @@ pub fn check_all(obs: &Observation) -> Vec<Violation> {
     check_exactly_once(obs, &mut violations);
     check_compensation(obs, &mut violations);
     check_replay(obs, &mut violations);
+    check_liveness(obs, &mut violations);
     violations
 }
 
@@ -235,6 +257,30 @@ fn check_replay(obs: &Observation, out: &mut Vec<Violation>) {
     }
 }
 
+fn check_liveness(obs: &Observation, out: &mut Vec<Violation>) {
+    // The oracle only binds when the scenario reports full fault accounting:
+    // how many transient faults the schedule injected, that no hard fault
+    // was armed, and what the reliability layer's retry budget was.
+    let (Some(transient), Some(hard), Some(budget)) =
+        (obs.transient_faults, obs.hard_faults, obs.retry_budget)
+    else {
+        return;
+    };
+    if hard > 0 || transient > budget {
+        return; // outside the bounded-fault envelope: any outcome is legal
+    }
+    if obs.outcome != RunOutcome::Committed {
+        out.push(Violation {
+            oracle: "liveness-under-bounded-faults",
+            detail: format!(
+                "schedule injected {transient} transient fault(s) within the retry budget \
+                 of {budget} and no hard faults, yet the run ended {:?} instead of Committed",
+                obs.outcome
+            ),
+        });
+    }
+}
+
 /// The determinism oracle: two runs of the same schedule must agree on
 /// every observable fact, byte for byte in the trace.
 pub fn check_determinism(first: &Observation, second: &Observation) -> Vec<Violation> {
@@ -325,6 +371,43 @@ mod tests {
         let v = check_all(&obs);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].oracle, "replay-equivalence");
+    }
+
+    #[test]
+    fn bounded_transient_faults_must_still_commit() {
+        let mut obs = Observation::new(RunOutcome::Aborted);
+        obs.transient_faults = Some(2);
+        obs.hard_faults = Some(0);
+        obs.retry_budget = Some(4);
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "liveness-under-bounded-faults");
+    }
+
+    #[test]
+    fn liveness_oracle_is_silent_outside_the_envelope() {
+        // Over budget: an abort is legal.
+        let mut obs = Observation::new(RunOutcome::Aborted);
+        obs.transient_faults = Some(9);
+        obs.hard_faults = Some(0);
+        obs.retry_budget = Some(4);
+        assert!(check_all(&obs).is_empty());
+        // A hard fault voids the liveness claim too.
+        obs.transient_faults = Some(1);
+        obs.hard_faults = Some(1);
+        assert!(check_all(&obs).is_empty());
+        // No fault accounting reported: oracle does not bind.
+        let obs = Observation::new(RunOutcome::Aborted);
+        assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn committed_run_within_the_envelope_passes() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.transient_faults = Some(3);
+        obs.hard_faults = Some(0);
+        obs.retry_budget = Some(8);
+        assert!(check_all(&obs).is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub use btp_atom::BtpAtomScenario;
 pub use nested::NestedCompensationScenario;
 pub use saga::SagaScenario;
 pub use two_phase::TwoPhaseScenario;
-pub use workflow::WorkflowScenario;
+pub use workflow::{WorkflowNoRetryScenario, WorkflowRetryScenario, WorkflowScenario};
 
 use crate::scenario::Scenario;
 

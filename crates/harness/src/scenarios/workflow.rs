@@ -10,7 +10,7 @@ use activity_service::{
     ActionServant, ActivityService, BroadcastSignalSet, DispatchConfig, ExactlyOnceAction,
     FnAction, Outcome, RemoteActionProxy, Signal, TraceLog,
 };
-use orb::{NetworkConfig, Orb, SimClock, Value};
+use orb::{NetworkConfig, Orb, RetryPolicy, SimClock, Value};
 use recovery_log::{FailpointSet, MemWal, Wal};
 
 use crate::oracle::{EffectCount, Observation, RunOutcome};
@@ -20,10 +20,38 @@ use crate::schedule::FaultSchedule;
 /// Fixed network seed: every run replays the identical latency stream.
 const NETWORK_SEED: u64 = 0x5EED_0001;
 
+/// How the workflow's remote signal delivery handles transport faults.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RetryMode {
+    /// The ORB's legacy immediate at-least-once loop (no policy layer, no
+    /// fault accounting — the liveness oracle does not bind).
+    Legacy,
+    /// The `orb::retry` reliability layer with `attempts` total attempts
+    /// and deterministic backoff. Reports fault accounting, so the
+    /// liveness-under-bounded-faults oracle binds.
+    Policy {
+        /// Total attempts (retry budget is `attempts - 1`).
+        attempts: u32,
+    },
+    /// A single attempt, no retry: the negative control demonstrating that
+    /// without the reliability layer a single dropped message kills
+    /// liveness.
+    None,
+}
+
 /// Shared wiring for the workflow scenario and the intentionally broken
 /// fixture: `exactly_once` selects whether the remote effect is wrapped in
 /// the WAL-backed dedup layer.
 pub(crate) fn run_workflow(schedule: &FaultSchedule, exactly_once: bool) -> Observation {
+    run_workflow_with(schedule, exactly_once, RetryMode::Legacy)
+}
+
+/// Full wiring: `retry` selects the transport reliability layer.
+pub(crate) fn run_workflow_with(
+    schedule: &FaultSchedule,
+    exactly_once: bool,
+    retry: RetryMode,
+) -> Observation {
     let clock = SimClock::new();
     let orb = Orb::builder()
         .network(NetworkConfig::lossy(0.0, 0.0, NETWORK_SEED))
@@ -66,10 +94,18 @@ pub(crate) fn run_workflow(schedule: &FaultSchedule, exactly_once: bool) -> Obse
         .add_signal_set(Box::new(BroadcastSignalSet::new("Bill", "charge", Value::U64(25))))
         .expect("signal set");
     activity.set_completion_signal_set("Bill");
-    activity.coordinator().register_action(
-        "Bill",
-        Arc::new(RemoteActionProxy::new("remote", orb.clone(), "coordinator", obj)) as _,
-    );
+    let mut proxy = RemoteActionProxy::new("remote", orb.clone(), "coordinator", obj);
+    match retry {
+        RetryMode::Legacy => {}
+        RetryMode::Policy { attempts } => {
+            proxy = proxy.with_policy(
+                RetryPolicy::new(attempts)
+                    .with_base_backoff(std::time::Duration::from_millis(1)),
+            );
+        }
+        RetryMode::None => proxy = proxy.with_policy(RetryPolicy::none()),
+    }
+    activity.coordinator().register_action("Bill", Arc::new(proxy) as _);
 
     let result = service.complete();
     let mut obs = Observation::new(match &result {
@@ -93,6 +129,22 @@ pub(crate) fn run_workflow(schedule: &FaultSchedule, exactly_once: bool) -> Obse
     obs.trace = trace.render();
     obs.observed_sites = failpoints.observed_sites();
     obs.remote_messages = orb.network().remote_messages();
+    // Fault accounting for the liveness oracle: only reported when the
+    // run's reliability layer is explicit, so the legacy scenarios'
+    // observations (and fingerprints) are untouched.
+    match retry {
+        RetryMode::Legacy => {}
+        RetryMode::Policy { attempts } => {
+            obs.transient_faults = Some(schedule.transient_fault_count());
+            obs.hard_faults = Some(schedule.hard_fault_count());
+            obs.retry_budget = Some(attempts.saturating_sub(1));
+        }
+        RetryMode::None => {
+            obs.transient_faults = Some(schedule.transient_fault_count());
+            obs.hard_faults = Some(schedule.hard_fault_count());
+            obs.retry_budget = Some(0);
+        }
+    }
     obs
 }
 
@@ -107,6 +159,39 @@ impl Scenario for WorkflowScenario {
 
     fn run(&self, schedule: &FaultSchedule) -> Observation {
         run_workflow(schedule, true)
+    }
+}
+
+/// The workflow with the `orb::retry` reliability layer enabled (8 attempts,
+/// deterministic backoff + jitter on the virtual clock). Reports fault
+/// accounting, so every sweep run additionally checks
+/// **liveness-under-bounded-faults**: a schedule of ≤7 message drops and no
+/// crash failpoints must still commit.
+pub struct WorkflowRetryScenario;
+
+impl Scenario for WorkflowRetryScenario {
+    fn name(&self) -> &'static str {
+        "workflow-retries"
+    }
+
+    fn run(&self, schedule: &FaultSchedule) -> Observation {
+        run_workflow_with(schedule, true, RetryMode::Policy { attempts: 8 })
+    }
+}
+
+/// The negative control: the same workflow with retry compiled down to a
+/// single attempt. Used to demonstrate that the liveness property is really
+/// carried by the reliability layer (a pinned drop schedule aborts here and
+/// commits under [`WorkflowRetryScenario`]).
+pub struct WorkflowNoRetryScenario;
+
+impl Scenario for WorkflowNoRetryScenario {
+    fn name(&self) -> &'static str {
+        "workflow-no-retries"
+    }
+
+    fn run(&self, schedule: &FaultSchedule) -> Observation {
+        run_workflow_with(schedule, true, RetryMode::None)
     }
 }
 
@@ -147,6 +232,41 @@ mod tests {
         assert_eq!(obs.outcome, RunOutcome::Committed);
         assert_eq!(obs.effects[0].observed, 1);
         assert!(oracle::check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn retry_layer_is_invisible_on_the_fault_free_path() {
+        // With no faults scheduled, enabling the reliability layer must not
+        // change a single observable byte: same trace, same outcome, same
+        // effect counts, same message count.
+        let legacy = WorkflowScenario.run(&FaultSchedule::empty());
+        let retrying = WorkflowRetryScenario.run(&FaultSchedule::empty());
+        assert_eq!(legacy.trace, retrying.trace, "fault-free traces must be byte-identical");
+        assert_eq!(legacy.outcome, retrying.outcome);
+        assert_eq!(legacy.effects, retrying.effects);
+        assert_eq!(legacy.remote_messages, retrying.remote_messages);
+        let none = WorkflowNoRetryScenario.run(&FaultSchedule::empty());
+        assert_eq!(legacy.trace, none.trace);
+        assert_eq!(legacy.outcome, none.outcome);
+    }
+
+    #[test]
+    fn bounded_drops_commit_with_retries_and_abort_without() {
+        // One dropped request leg: within the retry budget the run must
+        // commit; with retries disabled the same schedule loses liveness —
+        // and the liveness oracle reports exactly that asymmetry.
+        let schedule = FaultSchedule::from_events(vec![FaultEvent::DropMessage { nth: 0 }]);
+        let retrying = WorkflowRetryScenario.run(&schedule);
+        assert_eq!(retrying.outcome, RunOutcome::Committed);
+        assert_eq!(retrying.transient_faults, Some(1));
+        assert_eq!(retrying.hard_faults, Some(0));
+        assert!(oracle::check_all(&retrying).is_empty(), "{:?}", oracle::check_all(&retrying));
+
+        let bare = WorkflowNoRetryScenario.run(&schedule);
+        assert_ne!(bare.outcome, RunOutcome::Committed, "no retry, no liveness");
+        // Budget 0 < 1 transient fault: outside the envelope, so the oracle
+        // stays silent — aborting is the *correct* bare-transport behaviour.
+        assert!(oracle::check_all(&bare).is_empty(), "{:?}", oracle::check_all(&bare));
     }
 
     #[test]

@@ -107,6 +107,28 @@ impl FaultSchedule {
         }
     }
 
+    /// How many *transient* faults this schedule injects: message drops.
+    /// Duplicates are excluded — a redelivered message can violate
+    /// effect-once accounting but can never prevent termination, so it does
+    /// not count against a retry budget. Feeds
+    /// [`crate::oracle::Observation::transient_faults`].
+    pub fn transient_fault_count(&self) -> u32 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::DropMessage { .. }))
+            .count() as u32
+    }
+
+    /// How many *hard* faults this schedule injects: armed crash
+    /// failpoints. Any hard fault voids the bounded-fault liveness claim.
+    /// Feeds [`crate::oracle::Observation::hard_faults`].
+    pub fn hard_fault_count(&self) -> u32 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::ArmFailpoint { .. }))
+            .count() as u32
+    }
+
     /// The message-level events as an [`orb::FaultScript`] for
     /// `SimulatedNetwork::install_script`.
     pub fn to_fault_script(&self) -> FaultScript {
@@ -224,6 +246,20 @@ mod tests {
         let script = schedule.to_fault_script();
         assert_eq!(script.drops().collect::<Vec<_>>(), vec![3]);
         assert_eq!(script.duplicates().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn fault_counts_split_transient_from_hard() {
+        let schedule = FaultSchedule::from_events(vec![
+            FaultEvent::ArmFailpoint { site: "x.y".into(), after: 0 },
+            FaultEvent::DropMessage { nth: 3 },
+            FaultEvent::DropMessage { nth: 7 },
+            FaultEvent::DuplicateMessage { nth: 5 },
+        ]);
+        assert_eq!(schedule.transient_fault_count(), 2, "duplicates are not transient faults");
+        assert_eq!(schedule.hard_fault_count(), 1);
+        assert_eq!(FaultSchedule::empty().transient_fault_count(), 0);
+        assert_eq!(FaultSchedule::empty().hard_fault_count(), 0);
     }
 
     #[test]

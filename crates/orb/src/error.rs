@@ -32,6 +32,13 @@ pub enum OrbError {
         /// Node hosting the target object.
         to: String,
     },
+    /// A per-call deadline (e.g. one inherited from `Activity::set_timeout`)
+    /// passed before the call could complete; the retry loop stopped rather
+    /// than attempt past it. Not retryable: the budgeted time is gone.
+    DeadlineExceeded {
+        /// Operation whose deadline passed.
+        operation: String,
+    },
     /// The servant rejected the request (application-level failure raised by
     /// the remote object). Not retryable.
     Application(String),
@@ -67,6 +74,9 @@ impl fmt::Display for OrbError {
             OrbError::Partitioned { from, to } => {
                 write!(f, "network partition between {from:?} and {to:?}")
             }
+            OrbError::DeadlineExceeded { operation } => {
+                write!(f, "deadline exceeded before operation {operation:?} completed")
+            }
             OrbError::Application(msg) => write!(f, "application failure: {msg}"),
             OrbError::BadOperation(op) => write!(f, "unknown operation {op:?}"),
             OrbError::Codec(msg) => write!(f, "codec failure: {msg}"),
@@ -90,6 +100,10 @@ mod tests {
         assert!(!OrbError::Application("x".into()).is_retryable());
         assert!(!OrbError::BadOperation("x".into()).is_retryable());
         assert!(!OrbError::NameNotBound("x".into()).is_retryable());
+        assert!(
+            !OrbError::DeadlineExceeded { operation: "x".into() }.is_retryable(),
+            "the budgeted time is gone; retrying cannot help"
+        );
     }
 
     #[test]

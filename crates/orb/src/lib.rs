@@ -47,6 +47,8 @@
 
 pub mod clock;
 pub mod context;
+pub mod dedup;
+pub mod detector;
 pub mod error;
 pub mod interceptor;
 pub mod message;
@@ -55,14 +57,18 @@ pub mod node;
 pub mod object;
 pub mod pool;
 pub mod registry;
+pub mod retry;
 pub mod value;
 
 pub use clock::SimClock;
 pub use context::ServiceContext;
+pub use dedup::{DedupServant, DedupWindow};
+pub use detector::{DetectorConfig, FailureDetector, HealthStatus};
 pub use error::OrbError;
 pub use message::{Reply, Request};
 pub use network::{FaultScript, NetworkConfig, SimulatedNetwork};
 pub use node::{Node, Orb, OrbBuilder};
+pub use retry::RetryPolicy;
 pub use object::{ObjectId, ObjectRef, Servant};
 pub use pool::{CancelToken, DispatchConfig, OrderedResults, TaskOutcome, WorkerPool};
 pub use registry::NameRegistry;

@@ -12,6 +12,7 @@ pub struct Request {
     operation: String,
     args: ValueMap,
     contexts: ServiceContext,
+    delivery_id: Option<String>,
 }
 
 impl Request {
@@ -21,6 +22,7 @@ impl Request {
             operation: operation.into(),
             args: ValueMap::new(),
             contexts: ServiceContext::new(),
+            delivery_id: None,
         }
     }
 
@@ -29,6 +31,26 @@ impl Request {
     pub fn with_arg(mut self, name: impl Into<String>, value: Value) -> Self {
         self.args.insert(name.into(), value);
         self
+    }
+
+    /// Builder-style: stamp the logical delivery id. Every retry and every
+    /// network duplicate of this request carries the same id, so receivers
+    /// behind a [`crate::dedup::DedupWindow`] process it effect-once.
+    #[must_use]
+    pub fn with_delivery_id(mut self, id: impl Into<String>) -> Self {
+        self.delivery_id = Some(id.into());
+        self
+    }
+
+    /// Stamp the logical delivery id in place (the invoke path uses this to
+    /// stamp once per logical call, before the first attempt).
+    pub fn set_delivery_id(&mut self, id: impl Into<String>) {
+        self.delivery_id = Some(id.into());
+    }
+
+    /// The logical delivery id, if stamped.
+    pub fn delivery_id(&self) -> Option<&str> {
+        self.delivery_id.as_deref()
     }
 
     /// The operation name.
@@ -98,6 +120,18 @@ mod tests {
         assert!(req.arg("missing").is_none());
         assert_eq!(req.args().len(), 2);
         assert_eq!(req.to_string(), "book(2 args)");
+    }
+
+    #[test]
+    fn delivery_id_is_stamped_once_and_survives_clones() {
+        let req = Request::new("op");
+        assert!(req.delivery_id().is_none());
+        let mut req = req.with_delivery_id("coordinator#7");
+        assert_eq!(req.delivery_id(), Some("coordinator#7"));
+        // Retries clone the stamped request: the id rides along.
+        assert_eq!(req.clone().delivery_id(), Some("coordinator#7"));
+        req.set_delivery_id("coordinator#8");
+        assert_eq!(req.delivery_id(), Some("coordinator#8"));
     }
 
     #[test]

@@ -7,13 +7,17 @@ use std::sync::{Arc, Weak};
 
 use parking_lot::RwLock;
 
+use std::time::Duration;
+
 use crate::clock::SimClock;
+use crate::detector::FailureDetector;
 use crate::error::OrbError;
 use crate::interceptor::{ClientRequestInterceptor, ServerRequestInterceptor};
 use crate::message::{Reply, Request};
 use crate::network::{Delivery, NetworkConfig, SimulatedNetwork};
 use crate::object::{ObjectId, ObjectRef, Servant};
 use crate::registry::NameRegistry;
+use crate::retry::RetryPolicy;
 
 /// Source name used when a caller invokes straight through [`Orb::invoke`]
 /// without identifying a node (e.g. a test driver outside the simulation).
@@ -123,6 +127,8 @@ struct OrbInner {
     server_interceptors: RwLock<Vec<Arc<dyn ServerRequestInterceptor>>>,
     registry: NameRegistry,
     retry_budget: u32,
+    delivery_seq: AtomicU64,
+    detector: RwLock<Option<FailureDetector>>,
 }
 
 impl fmt::Debug for OrbInner {
@@ -186,6 +192,8 @@ impl OrbBuilder {
                 server_interceptors: RwLock::new(Vec::new()),
                 registry: NameRegistry::new(),
                 retry_budget,
+                delivery_seq: AtomicU64::new(1),
+                detector: RwLock::new(None),
             }),
         }
     }
@@ -308,6 +316,10 @@ impl Orb {
     /// guarantee the paper specifies for Signals (§3.4), which is why Actions
     /// must be idempotent.
     ///
+    /// Expressed as [`RetryPolicy::immediate`] over the configured budget:
+    /// back-to-back attempts with no backoff and no deadline, so virtual
+    /// time and the network trace are exactly what the legacy loop produced.
+    ///
     /// # Errors
     ///
     /// Returns the last transport error when the budget is exhausted, or the
@@ -318,15 +330,63 @@ impl Orb {
         object: &ObjectRef,
         request: Request,
     ) -> Result<Reply, OrbError> {
-        let mut last_err = None;
-        for _ in 0..=self.inner.retry_budget {
-            match self.inner.invoke_from(from, object, request.clone()) {
-                Ok(reply) => return Ok(reply),
-                Err(e) if e.is_retryable() => last_err = Some(e),
-                Err(e) => return Err(e),
-            }
+        let policy = RetryPolicy::immediate(self.inner.retry_budget.saturating_add(1));
+        self.invoke_with_policy(from, object, request, &policy, None)
+    }
+
+    /// Invoke under an explicit [`RetryPolicy`] and optional absolute
+    /// virtual-time `deadline` (the composition point for
+    /// `Activity::set_timeout`: pass the activity's deadline and the retry
+    /// loop can never outlive the activity).
+    ///
+    /// The request is stamped with a [`Request::delivery_id`] — once per
+    /// *logical* call, before the first attempt — so every retry shares the
+    /// id and dedup-guarded receivers process the call effect-once. Per
+    /// attempt, the target node's health is reported to the attached
+    /// [`FailureDetector`] (if any).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors once the policy's budget is spent,
+    /// [`OrbError::DeadlineExceeded`] when the deadline cuts the loop short
+    /// (including mid-backoff), and non-retryable failures immediately.
+    pub fn invoke_with_policy(
+        &self,
+        from: &str,
+        object: &ObjectRef,
+        mut request: Request,
+        policy: &RetryPolicy,
+        deadline: Option<Duration>,
+    ) -> Result<Reply, OrbError> {
+        if request.delivery_id().is_none() {
+            let seq = self.inner.delivery_seq.fetch_add(1, Ordering::Relaxed);
+            request.set_delivery_id(format!("{from}#{seq}"));
         }
-        Err(last_err.unwrap_or(OrbError::Timeout { operation: request.operation().to_owned() }))
+        let delivery_id = request.delivery_id().expect("stamped above").to_owned();
+        let operation = request.operation().to_owned();
+        let detector = self.inner.detector.read().clone();
+        policy.run(self.clock(), deadline, &operation, &delivery_id, |_attempt| {
+            let result = self.inner.invoke_from(from, object, request.clone());
+            if let Some(detector) = &detector {
+                match &result {
+                    Ok(_) => detector.record_success(object.node()),
+                    Err(e) if e.is_retryable() => detector.record_failure(object.node()),
+                    Err(_) => {}
+                }
+            }
+            result
+        })
+    }
+
+    /// Attach a [`FailureDetector`]; every policy-driven invocation feeds it
+    /// per-attempt evidence about the target node.
+    pub fn set_detector(&self, detector: FailureDetector) {
+        *self.inner.detector.write() = Some(detector);
+    }
+
+    /// The attached failure detector, if any.
+    pub fn detector(&self) -> Option<FailureDetector> {
+        self.inner.detector.read().clone()
     }
 }
 
@@ -568,6 +628,89 @@ mod tests {
             .invoke_at_least_once(EXTERNAL_CALLER, &obj, Request::new("fail"))
             .unwrap_err();
         assert!(matches!(err, OrbError::Application(_)));
+    }
+
+    #[test]
+    fn policy_invocation_shares_one_delivery_id_across_redeliveries() {
+        use crate::network::FaultScript;
+        use crate::retry::RetryPolicy;
+        use parking_lot::Mutex;
+
+        let orb = Orb::builder().network(NetworkConfig::lossy(0.0, 0.0, 7)).build();
+        // Drop the first request leg (forcing a retry), duplicate the
+        // retried one (forcing a redelivery): three servant-visible
+        // deliveries of ONE logical call.
+        orb.network().install_script(FaultScript::new().drop_nth(0).duplicate_nth(1));
+        let node = orb.add_node("srv").unwrap();
+        let seen: Arc<Mutex<Vec<Option<String>>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let obj = node
+            .activate("C", move |req: &Request| {
+                seen2.lock().push(req.delivery_id().map(str::to_owned));
+                Ok(Value::Null)
+            })
+            .unwrap();
+        orb.invoke_with_policy(
+            EXTERNAL_CALLER,
+            &obj,
+            Request::new("x"),
+            &RetryPolicy::immediate(3),
+            None,
+        )
+        .unwrap();
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 2, "dropped attempt never reached the servant");
+        assert_eq!(seen[0], seen[1], "retry and duplicate share the logical id");
+        assert!(seen[0].as_deref().unwrap().starts_with(EXTERNAL_CALLER));
+    }
+
+    #[test]
+    fn policy_invocation_feeds_the_failure_detector() {
+        use crate::detector::{DetectorConfig, FailureDetector, HealthStatus};
+        use crate::retry::RetryPolicy;
+        use std::time::Duration;
+
+        let orb = Orb::builder().network(NetworkConfig::lossy(1.0, 0.0, 9)).build();
+        let detector = FailureDetector::with_config(
+            orb.clock().clone(),
+            DetectorConfig {
+                suspect_after: 1,
+                quarantine_after: 3,
+                probe_interval: Duration::from_millis(50),
+            },
+        );
+        orb.set_detector(detector.clone());
+        let node = orb.add_node("srv").unwrap();
+        let obj = node.activate_arc("Counter", counter()).unwrap();
+        let err = orb
+            .invoke_with_policy(
+                EXTERNAL_CALLER,
+                &obj,
+                Request::new("hit"),
+                &RetryPolicy::immediate(3),
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, OrbError::Timeout { .. }));
+        assert_eq!(detector.status("srv"), HealthStatus::Quarantined);
+        assert_eq!(detector.suspicion("srv"), 3, "one failure per attempt");
+    }
+
+    #[test]
+    fn policy_invocation_respects_the_deadline() {
+        use crate::retry::RetryPolicy;
+        use std::time::Duration;
+
+        let orb = Orb::builder().network(NetworkConfig::lossy(1.0, 0.0, 13)).build();
+        let node = orb.add_node("srv").unwrap();
+        let obj = node.activate_arc("Counter", counter()).unwrap();
+        let policy = RetryPolicy::new(64).with_base_backoff(Duration::from_millis(10));
+        let deadline = Some(Duration::from_millis(25));
+        let err = orb
+            .invoke_with_policy(EXTERNAL_CALLER, &obj, Request::new("hit"), &policy, deadline)
+            .unwrap_err();
+        assert!(matches!(err, OrbError::DeadlineExceeded { .. }), "{err:?}");
+        assert!(orb.clock().now() <= Duration::from_millis(25));
     }
 
     #[test]

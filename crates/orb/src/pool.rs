@@ -414,7 +414,7 @@ mod tests {
         // must still see every index.
         assert!(matches!(results.next(), Some(TaskOutcome::Done(0))));
         let mut cancelled = 0;
-        while let Some(outcome) = results.next() {
+        for outcome in results {
             if matches!(outcome, TaskOutcome::Cancelled) {
                 cancelled += 1;
             }

@@ -31,6 +31,7 @@ pub mod failpoints {
 }
 use std::time::Duration;
 
+use orb::detector::FailureDetector;
 use orb::pool::{CancelToken, DispatchConfig, TaskOutcome, WorkerPool};
 use orb::SimClock;
 use parking_lot::Mutex;
@@ -76,6 +77,7 @@ pub struct Coordinator {
     failpoints: FailpointSet,
     clock: Option<SimClock>,
     dispatch: DispatchConfig,
+    detector: Mutex<Option<FailureDetector>>,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -115,7 +117,22 @@ impl Coordinator {
             failpoints,
             clock,
             dispatch,
+            detector: Mutex::new(None),
         })
+    }
+
+    /// Attach a participant [`FailureDetector`]. Phase one feeds it (each
+    /// prepare answer is a success, each transport-style error a failure) and
+    /// consults it: quarantined read-only participants are dropped from the
+    /// protocol, and a quarantined *voter* forces early presumed abort
+    /// instead of burning the full vote timeout on a suspect peer.
+    pub fn set_detector(&self, detector: FailureDetector) {
+        *self.detector.lock() = Some(detector);
+    }
+
+    /// The attached failure detector, if any.
+    pub fn detector(&self) -> Option<FailureDetector> {
+        self.detector.lock().clone()
     }
 
     /// How participant fan-out (prepare / commit / rollback) is scheduled.
@@ -295,6 +312,7 @@ impl Coordinator {
             failpoints: self.failpoints.clone(),
             clock: self.clock.clone(),
             dispatch: self.dispatch,
+            detector: Mutex::new(self.detector.lock().clone()),
         });
         inner.children.push(Arc::clone(&child));
         Ok(child)
@@ -368,6 +386,43 @@ impl Coordinator {
 
         self.failpoints.hit(failpoints::BEFORE_PREPARE).map_err(TxError::from)?;
 
+        // Consult the failure detector before soliciting any vote. Each
+        // participant's skip decision is computed exactly once (`should_skip`
+        // claims half-open probe slots as a side effect).
+        let detector = self.detector.lock().clone();
+        let resources: Vec<Arc<dyn Resource>> = if let Some(detector) = &detector {
+            let mut kept = Vec::with_capacity(resources.len());
+            let mut quarantined_voter = false;
+            for resource in resources {
+                if detector.should_skip(resource.resource_name()) {
+                    if resource.read_only_hint() {
+                        // Its vote could only be ReadOnly; dropping it cannot
+                        // change the outcome, and saves its timeout budget.
+                        continue;
+                    }
+                    // A quarantined voter dooms the transaction: presumed
+                    // abort now, without waiting out a vote that the detector
+                    // predicts will never arrive. The quarantined participant
+                    // itself is *not* contacted — presumed abort lets it
+                    // learn the outcome when it recovers.
+                    quarantined_voter = true;
+                } else {
+                    kept.push(resource);
+                }
+            }
+            if quarantined_voter {
+                self.set_status(TxStatus::RollingBack);
+                self.fan_out(&kept, |resource, id| {
+                    let _ = resource.rollback(id);
+                });
+                self.finish(TxStatus::RolledBack, &synchronizations);
+                return Err(TxError::RolledBack(self.id.clone()));
+            }
+            kept
+        } else {
+            resources
+        };
+
         // One-phase shortcut.
         if resources.len() == 1 {
             let result = resources[0].commit_one_phase(&self.id);
@@ -394,7 +449,14 @@ impl Coordinator {
             // Legacy serial phase one: stop asking for votes at the first
             // veto — resources after the break never see `prepare`.
             for resource in &resources {
-                match resource.prepare(&self.id) {
+                let answer = resource.prepare(&self.id);
+                if let Some(detector) = &detector {
+                    match &answer {
+                        Ok(_) => detector.record_success(resource.resource_name()),
+                        Err(_) => detector.record_failure(resource.resource_name()),
+                    }
+                }
+                match answer {
                     Ok(Vote::Commit) => prepared.push(Arc::clone(resource)),
                     Ok(Vote::ReadOnly) => {}
                     Ok(Vote::Rollback) | Err(_) => {
@@ -410,7 +472,16 @@ impl Coordinator {
             // is simply rolled back, exactly as a prepared resource is on
             // the serial path.
             let votes = self.fan_out(&resources, |resource, id| resource.prepare(id));
+            // Detector feeding happens here at collation (registration
+            // order), not inside the scattered tasks, so suspicion counters
+            // evolve identically under serial and parallel dispatch.
             for (resource, vote) in resources.iter().zip(votes) {
+                if let Some(detector) = &detector {
+                    match &vote {
+                        Ok(_) => detector.record_success(resource.resource_name()),
+                        Err(_) => detector.record_failure(resource.resource_name()),
+                    }
+                }
                 match vote {
                     Ok(Vote::Commit) => prepared.push(Arc::clone(resource)),
                     Ok(Vote::ReadOnly) => {}
@@ -884,5 +955,116 @@ mod tests {
             Err(TxError::TimedOut(_))
         ));
         assert!(matches!(c.commit(true), Err(TxError::RolledBack(_))));
+    }
+
+    fn quarantine(detector: &FailureDetector, who: &str) {
+        while detector.status(who) != orb::detector::HealthStatus::Quarantined {
+            detector.record_failure(who);
+        }
+    }
+
+    #[test]
+    fn quarantined_read_only_participant_is_dropped_from_the_protocol() {
+        let clock = SimClock::new();
+        let c = top(None);
+        let detector = FailureDetector::new(clock);
+        quarantine(&detector, "ro");
+        c.set_detector(detector);
+        let worker = ScriptedResource::voting("w1", Vote::Commit);
+        let worker2 = ScriptedResource::voting("w2", Vote::Commit);
+        let ro = ScriptedResource::voting("ro", Vote::ReadOnly);
+        c.register_resource(worker.clone()).unwrap();
+        c.register_resource(ro.clone()).unwrap();
+        c.register_resource(worker2.clone()).unwrap();
+        assert_eq!(c.commit(true).unwrap(), TxOutcome::Committed);
+        assert!(ro.calls().is_empty(), "quarantined read-only peer never contacted");
+        assert_eq!(worker.calls(), vec!["prepare", "commit", "forget"]);
+        assert_eq!(worker2.calls(), vec!["prepare", "commit", "forget"]);
+    }
+
+    #[test]
+    fn quarantined_voter_forces_early_presumed_abort() {
+        let clock = SimClock::new();
+        let c = top(None);
+        let detector = FailureDetector::new(clock);
+        quarantine(&detector, "voter");
+        c.set_detector(detector);
+        let healthy = ScriptedResource::voting("healthy", Vote::Commit);
+        let voter = ScriptedResource::voting("voter", Vote::Commit);
+        c.register_resource(healthy.clone()).unwrap();
+        c.register_resource(voter.clone()).unwrap();
+        let err = c.commit(true).unwrap_err();
+        assert!(matches!(err, TxError::RolledBack(_)));
+        assert_eq!(c.status(), TxStatus::RolledBack);
+        assert!(voter.calls().is_empty(), "no vote solicited from the quarantined voter");
+        assert_eq!(healthy.calls(), vec!["rollback"], "healthy peer aborted without preparing");
+    }
+
+    #[test]
+    fn half_open_probe_readmits_a_quarantined_voter() {
+        let clock = SimClock::new();
+        let c = top(None);
+        let detector = FailureDetector::new(clock.clone());
+        quarantine(&detector, "voter");
+        // Past the probe interval the detector grants one probe slot, so the
+        // next commit goes through the full protocol; its successful prepare
+        // rehabilitates the participant.
+        clock.advance(Duration::from_secs(10));
+        c.set_detector(detector.clone());
+        let voter = ScriptedResource::voting("voter", Vote::Commit);
+        let peer = ScriptedResource::voting("peer", Vote::Commit);
+        c.register_resource(voter.clone()).unwrap();
+        c.register_resource(peer.clone()).unwrap();
+        assert_eq!(c.commit(true).unwrap(), TxOutcome::Committed);
+        assert_eq!(voter.calls(), vec!["prepare", "commit", "forget"]);
+        assert_eq!(detector.status("voter"), orb::detector::HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn prepare_answers_feed_the_detector_identically_under_both_dispatch_configs() {
+        struct FailingResource;
+        impl Resource for FailingResource {
+            fn prepare(&self, tx: &TxId) -> Result<Vote, TxError> {
+                Err(TxError::Heuristic { tx: tx.clone(), detail: "unreachable".into() })
+            }
+            fn commit(&self, _tx: &TxId) -> Result<(), TxError> {
+                Ok(())
+            }
+            fn rollback(&self, _tx: &TxId) -> Result<(), TxError> {
+                Ok(())
+            }
+            fn resource_name(&self) -> &str {
+                "flaky"
+            }
+        }
+
+        let mut suspicions = Vec::new();
+        for dispatch in [DispatchConfig::serial(), DispatchConfig::default()] {
+            let clock = SimClock::new();
+            let detector = FailureDetector::new(clock);
+            let c = Coordinator::new_top_level(
+                TxId::top_level(9),
+                None,
+                FailpointSet::new(),
+                None,
+                None,
+                dispatch,
+            );
+            c.set_detector(detector.clone());
+            c.register_resource(Arc::new(FailingResource)).unwrap();
+            c.register_resource(ScriptedResource::voting("ok", Vote::Commit)).unwrap();
+            let _ = c.commit(true);
+            suspicions.push((detector.suspicion("flaky"), detector.suspicion("ok")));
+        }
+        assert_eq!(suspicions[0].0, 1, "one failed prepare, one count");
+        assert_eq!(suspicions[0], suspicions[1], "dispatch config is invisible to suspicion");
+    }
+
+    #[test]
+    fn subtransactions_inherit_the_detector() {
+        let c = top(None);
+        c.set_detector(FailureDetector::new(SimClock::new()));
+        let child = c.create_subtransaction().unwrap();
+        assert!(child.detector().is_some());
     }
 }

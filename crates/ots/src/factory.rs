@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use orb::detector::FailureDetector;
 use orb::pool::DispatchConfig;
 use orb::SimClock;
 use parking_lot::RwLock;
@@ -25,6 +26,7 @@ pub struct TransactionFactory {
     failpoints: FailpointSet,
     clock: Option<SimClock>,
     dispatch: DispatchConfig,
+    detector: Option<FailureDetector>,
     inflight: RwLock<HashMap<TxId, Arc<Coordinator>>>,
 }
 
@@ -53,6 +55,7 @@ impl TransactionFactory {
             failpoints: FailpointSet::new(),
             clock: None,
             dispatch: DispatchConfig::default(),
+            detector: None,
             inflight: RwLock::new(HashMap::new()),
         }
     }
@@ -83,6 +86,16 @@ impl TransactionFactory {
     #[must_use]
     pub fn with_dispatch(mut self, dispatch: DispatchConfig) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Attach a participant [`FailureDetector`]: every coordinator this
+    /// factory creates consults it during phase one (see
+    /// [`Coordinator::set_detector`]). The detector is shared — suspicion
+    /// learned in one transaction carries into the next.
+    #[must_use]
+    pub fn with_detector(mut self, detector: FailureDetector) -> Self {
+        self.detector = Some(detector);
         self
     }
 
@@ -124,6 +137,9 @@ impl TransactionFactory {
             deadline,
             self.dispatch,
         );
+        if let Some(detector) = &self.detector {
+            coordinator.set_detector(detector.clone());
+        }
         self.inflight.write().insert(id, Arc::clone(&coordinator));
         Ok(Control::new(coordinator))
     }

@@ -85,6 +85,15 @@ pub trait Resource: Send + Sync {
     fn resource_name(&self) -> &str {
         "resource"
     }
+
+    /// Whether this participant is known up front to have done no work that
+    /// needs phase two (it would vote [`Vote::ReadOnly`]). A coordinator
+    /// consulting a failure detector may silently drop a *quarantined*
+    /// read-only participant from the protocol instead of burning its
+    /// timeout budget on a vote that cannot change the outcome.
+    fn read_only_hint(&self) -> bool {
+        false
+    }
 }
 
 /// Callbacks around completion (mirrors CosTransactions::Synchronization).
@@ -127,6 +136,9 @@ impl<T: Resource + ?Sized> Resource for Arc<T> {
     }
     fn resource_name(&self) -> &str {
         (**self).resource_name()
+    }
+    fn read_only_hint(&self) -> bool {
+        (**self).read_only_hint()
     }
 }
 
@@ -183,6 +195,9 @@ pub(crate) mod test_support {
         }
         fn resource_name(&self) -> &str {
             &self.name
+        }
+        fn read_only_hint(&self) -> bool {
+            *self.vote.lock() == Vote::ReadOnly
         }
     }
 }

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use activity_service::{Activity, ActivityService, CompletionStatus};
+use orb::detector::FailureDetector;
 use orb::{Value, ValueMap};
 use tx_models::workflow_signals::{CompletedSignalSet, COMPLETED_SET};
 
@@ -71,6 +72,7 @@ pub struct WorkflowEngine {
     graph: WorkflowGraph,
     registry: TaskRegistry,
     policy: FailurePolicy,
+    detector: Option<FailureDetector>,
 }
 
 impl std::fmt::Debug for WorkflowEngine {
@@ -102,13 +104,26 @@ impl WorkflowEngine {
                 }
             }
         }
-        Ok(WorkflowEngine { graph, registry, policy: FailurePolicy::default() })
+        Ok(WorkflowEngine { graph, registry, policy: FailurePolicy::default(), detector: None })
     }
 
     /// Override the failure policy.
     #[must_use]
     pub fn with_policy(mut self, policy: FailurePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Attach a participant [`FailureDetector`] keyed by task name. A ready
+    /// task whose participant is quarantined is *not* executed: it fails
+    /// immediately, so [`FailurePolicy::CompensateAndStop`] compensates the
+    /// completed prefix right away and [`FailurePolicy::ContinuePossible`]
+    /// reroutes around it (Any-joins fall through to healthy alternatives)
+    /// instead of burning the task's full retry budget on a dead
+    /// participant. Executed results feed the detector back.
+    #[must_use]
+    pub fn with_detector(mut self, detector: FailureDetector) -> Self {
+        self.detector = Some(detector);
         self
     }
 
@@ -232,9 +247,19 @@ impl WorkflowEngine {
                 pending.remove(task);
             }
 
+            // Quarantined participants fail fast instead of executing: the
+            // detector has given up on them for now, so the policy reroutes
+            // (ContinuePossible) or compensates (CompensateAndStop) without
+            // burning their retry budgets. Skip decisions are computed once
+            // per task (`should_skip` claims half-open probe slots).
+            let (ready, quarantined): (Vec<String>, Vec<String>) = match &self.detector {
+                Some(detector) => ready.into_iter().partition(|t| !detector.should_skip(t)),
+                None => (ready, Vec::new()),
+            };
+
             // Execute the batch's bodies (concurrently when asked); the
             // signalling below stays on this thread.
-            let results: Vec<(String, TaskResult)> = if parallel && ready.len() > 1 {
+            let mut results: Vec<(String, TaskResult)> = if parallel && ready.len() > 1 {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = ready
                         .iter()
@@ -268,6 +293,24 @@ impl WorkflowEngine {
                     })
                     .collect()
             };
+
+            // Feed the detector from *executed* results only, then append
+            // the quarantine failures (after the executed batch, so its
+            // successes still reach the journal and report before a
+            // CompensateAndStop break).
+            if let Some(detector) = &self.detector {
+                for (task, result) in &results {
+                    if result.success {
+                        detector.record_success(task);
+                    } else {
+                        detector.record_failure(task);
+                    }
+                }
+            }
+            results.extend(quarantined.into_iter().map(|task| {
+                let result = TaskResult::failed(format!("participant {task} quarantined"));
+                (task, result)
+            }));
 
             for (task, result) in results {
                 if let Some(journal) = journal {
@@ -457,6 +500,84 @@ mod tests {
             "compensation is newest-first after the forward path"
         );
         assert!(!report.succeeded());
+    }
+
+    #[test]
+    fn quarantined_task_fails_fast_and_compensates_the_completed_prefix() {
+        use orb::detector::{DetectorConfig, FailureDetector};
+        use orb::SimClock;
+
+        let graph = script::parse(
+            "task t1;
+             task t2 after t1;
+             compensate t1 with undo_t1;",
+        )
+        .unwrap();
+        let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut registry = recording_registry(&["t1", "t2"], &log);
+        {
+            let log = Arc::clone(&log);
+            registry.register("undo_t1", move |_i: &TaskInput| {
+                log.lock().push("undo_t1".into());
+                TaskResult::ok(Value::Null)
+            });
+        }
+        let detector = FailureDetector::with_config(
+            SimClock::new(),
+            DetectorConfig {
+                suspect_after: 1,
+                quarantine_after: 2,
+                probe_interval: std::time::Duration::from_secs(1),
+            },
+        );
+        detector.record_failure("t2");
+        detector.record_failure("t2");
+        let engine = WorkflowEngine::new(graph, registry).unwrap().with_detector(detector);
+        let service = ActivityService::new();
+        let report = engine.run(&service, "trip", Value::Null).unwrap();
+        assert_eq!(report.failed, vec!["t2"]);
+        assert_eq!(report.compensations.len(), 1);
+        assert_eq!(
+            *log.lock(),
+            vec!["t1", "undo_t1"],
+            "t2's body never executed; t1 compensated immediately"
+        );
+    }
+
+    #[test]
+    fn detector_reroutes_around_a_quarantined_branch_under_continue_policy() {
+        use orb::detector::{DetectorConfig, FailureDetector};
+        use orb::SimClock;
+
+        let graph = script::parse(
+            "task a;
+             task bad after a;
+             task ok after a;
+             task tail after ok;",
+        )
+        .unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let registry = recording_registry(&["a", "bad", "ok", "tail"], &log);
+        let detector = FailureDetector::with_config(
+            SimClock::new(),
+            DetectorConfig {
+                suspect_after: 1,
+                quarantine_after: 1,
+                probe_interval: std::time::Duration::from_secs(1),
+            },
+        );
+        detector.record_failure("bad");
+        let engine = WorkflowEngine::new(graph, registry)
+            .unwrap()
+            .with_policy(FailurePolicy::ContinuePossible)
+            .with_detector(detector.clone());
+        let service = ActivityService::new();
+        let report = engine.run(&service, "route", Value::Null).unwrap();
+        assert_eq!(report.failed, vec!["bad"]);
+        assert_eq!(report.completed, vec!["a", "ok", "tail"], "healthy branch still ran");
+        assert!(!log.lock().contains(&"bad".to_owned()), "quarantined body not executed");
+        // Executed successes rehabilitate their participants.
+        assert_eq!(detector.suspicion("a"), 0);
     }
 
     #[test]

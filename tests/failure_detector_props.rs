@@ -1,0 +1,155 @@
+//! Property tests for the participant failure detector
+//! ([`orb::FailureDetector`]) backing the self-healing coordination layer:
+//! suspicion accounting under NACK bursts, half-open probe discipline, total
+//! rehabilitation, and replica agreement (two detectors fed the same event
+//! sequence in lockstep reach the same verdicts — the determinism the chaos
+//! harness relies on).
+
+use std::time::Duration;
+
+use orb::{DetectorConfig, FailureDetector, HealthStatus, SimClock};
+use proptest::prelude::*;
+
+/// Severity order for monotonicity checks: Healthy < Suspect < Quarantined.
+fn severity(status: HealthStatus) -> u8 {
+    match status {
+        HealthStatus::Healthy => 0,
+        HealthStatus::Suspect => 1,
+        HealthStatus::Quarantined => 2,
+    }
+}
+
+fn config(suspect_after: u32, quarantine_after: u32) -> DetectorConfig {
+    DetectorConfig {
+        suspect_after,
+        quarantine_after,
+        probe_interval: Duration::from_millis(100),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A burst of consecutive NACKs, for arbitrary thresholds:
+    /// 1. suspicion counts every failure exactly;
+    /// 2. status severity never decreases mid-burst;
+    /// 3. the status after `i` failures is exactly the thresholded one.
+    #[test]
+    fn suspicion_is_monotone_under_nack_bursts(
+        burst in 0u32..64,
+        suspect_after in 1u32..6,
+        margin in 0u32..6,
+    ) {
+        let quarantine_after = suspect_after + margin;
+        let clock = SimClock::new();
+        let detector =
+            FailureDetector::with_config(clock, config(suspect_after, quarantine_after));
+        let mut last_severity = severity(detector.status("p"));
+        for i in 1..=burst {
+            detector.record_failure("p");
+            prop_assert_eq!(detector.suspicion("p"), i, "every NACK counts once");
+            let now = severity(detector.status("p"));
+            prop_assert!(now >= last_severity, "severity never decreases inside a burst");
+            last_severity = now;
+            let expected = if i >= quarantine_after {
+                HealthStatus::Quarantined
+            } else if i >= suspect_after {
+                HealthStatus::Suspect
+            } else {
+                HealthStatus::Healthy
+            };
+            prop_assert_eq!(detector.status("p"), expected, "threshold crossing at {}", i);
+        }
+    }
+
+    /// Quarantine routing and probe pacing, for any overshoot past the
+    /// threshold and any wait: before `probe_interval` elapses every call is
+    /// skipped; once it elapses exactly ONE probe passes; a successful probe
+    /// rehabilitates totally (healthy, zero suspicion, never skipped).
+    #[test]
+    fn half_open_probe_success_fully_rehabilitates(
+        overshoot in 0u32..8,
+        stale_ms in 0u64..100,
+        wait_ms in 100u64..500,
+    ) {
+        let clock = SimClock::new();
+        let detector = FailureDetector::with_config(clock.clone(), config(2, 4));
+        for _ in 0..(4 + overshoot) {
+            detector.record_failure("p");
+        }
+        prop_assert_eq!(detector.status("p"), HealthStatus::Quarantined);
+        prop_assert_eq!(detector.suspicion("p"), 4 + overshoot);
+
+        clock.advance(Duration::from_millis(stale_ms));
+        prop_assert!(detector.should_skip("p"), "no probe before the interval elapses");
+
+        clock.advance(Duration::from_millis(wait_ms));
+        prop_assert!(!detector.should_skip("p"), "the open window grants exactly one probe");
+        prop_assert!(detector.should_skip("p"), "…whose slot is claimed immediately");
+
+        detector.record_success("p");
+        prop_assert_eq!(detector.status("p"), HealthStatus::Healthy);
+        prop_assert_eq!(detector.suspicion("p"), 0, "rehabilitation is total, not partial");
+        prop_assert!(!detector.should_skip("p"), "healthy participants are never skipped");
+    }
+
+    /// Any event sequence ending in a success leaves the participant
+    /// healthy with zero suspicion — history never lingers past an ACK.
+    #[test]
+    fn any_history_ending_in_success_is_forgiven(
+        history in proptest::collection::vec((any::<bool>(), 0u64..150), 0..40),
+    ) {
+        let clock = SimClock::new();
+        let detector = FailureDetector::with_config(clock.clone(), config(2, 4));
+        for (ok, advance_ms) in &history {
+            clock.advance(Duration::from_millis(*advance_ms));
+            if *ok {
+                detector.record_success("p");
+            } else {
+                detector.record_failure("p");
+            }
+        }
+        detector.record_success("p");
+        prop_assert_eq!(detector.status("p"), HealthStatus::Healthy);
+        prop_assert_eq!(detector.suspicion("p"), 0);
+        prop_assert!(!detector.should_skip("p"));
+    }
+
+    /// Two detectors fed the identical event sequence (same clock advances,
+    /// same successes/failures across several participants) agree on every
+    /// skip decision in lockstep AND on the final per-participant verdicts.
+    /// This is the determinism the simulation harness leans on: detector
+    /// state is a pure function of the recorded sequence.
+    #[test]
+    fn detectors_fed_identical_sequences_agree(
+        events in proptest::collection::vec((0u8..3, any::<bool>(), 0u64..150), 0..48),
+    ) {
+        let clock_a = SimClock::new();
+        let clock_b = SimClock::new();
+        let a = FailureDetector::with_config(clock_a.clone(), config(2, 4));
+        let b = FailureDetector::with_config(clock_b.clone(), config(2, 4));
+        for (who, ok, advance_ms) in &events {
+            let name = format!("p{who}");
+            let advance = Duration::from_millis(*advance_ms);
+            clock_a.advance(advance);
+            clock_b.advance(advance);
+            if *ok {
+                a.record_success(&name);
+                b.record_success(&name);
+            } else {
+                a.record_failure(&name);
+                b.record_failure(&name);
+            }
+            // should_skip mutates (it claims probe slots), so querying both
+            // replicas in lockstep must keep them in agreement too.
+            prop_assert_eq!(
+                a.should_skip(&name),
+                b.should_skip(&name),
+                "replicas diverged on a skip decision"
+            );
+            prop_assert_eq!(a.status(&name), b.status(&name));
+            prop_assert_eq!(a.suspicion(&name), b.suspicion(&name));
+        }
+        prop_assert_eq!(a.known_participants(), b.known_participants());
+    }
+}

@@ -96,6 +96,80 @@ fn crash_before_completion_record_recommits_idempotently() {
     assert_eq!(store.read_committed("k"), Some(Value::from(1i64)));
 }
 
+/// Reliability-layer regression: a duplicate commit delivered *after* the
+/// participant has applied, been told to forget, or the log has been
+/// replayed must be acknowledged idempotently — same committed value, no
+/// double-apply, no error. This is the receiver-side contract the
+/// `orb::retry` at-least-once redelivery (and `DedupWindow`) leans on: a
+/// retried commit message surfacing arbitrarily late is always safe.
+#[test]
+fn duplicate_commit_after_forget_and_after_replay_is_acked_idempotently() {
+    let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+    let failpoints = FailpointSet::new();
+    let factory =
+        TransactionFactory::with_wal(Arc::clone(&wal)).with_failpoints(failpoints.clone());
+    let store = Arc::new(TransactionalKv::new("store"));
+    let witness = Arc::new(TransactionalKv::new("witness"));
+
+    let control = factory.create().unwrap();
+    let tx = control.id().clone();
+    store.enlist(&control).unwrap();
+    witness.enlist(&control).unwrap();
+    store.write(&tx, "k", Value::from(1i64)).unwrap();
+    witness.write(&tx, "w", Value::from(2i64)).unwrap();
+
+    // Phase two runs, then the coordinator dies before the completion
+    // record: the log still holds a commit decision, so replay MUST
+    // re-deliver commit to participants that already applied it.
+    failpoints.arm("ots.before_completion_record", 0);
+    assert!(matches!(control.terminator().commit(), Err(TxError::Log(_))));
+    assert_eq!(store.read_committed("k"), Some(Value::from(1i64)), "phase two already ran");
+
+    // First replay: the second commit delivery lands on participants that
+    // have already applied and released their locks.
+    failpoints.clear();
+    let store2 = Arc::clone(&store);
+    let witness2 = Arc::clone(&witness);
+    let resolver = move |name: &str| -> Option<Arc<dyn Resource>> {
+        match name {
+            "store" => Some(store2.clone()),
+            "witness" => Some(witness2.clone()),
+            _ => None,
+        }
+    };
+    let report = TransactionFactory::with_wal(Arc::clone(&wal)).recover(&resolver).unwrap();
+    assert_eq!(report.recommitted.len(), 1);
+    assert_eq!(store.read_committed("k"), Some(Value::from(1i64)));
+    assert_eq!(store.committed_len(), 1, "the redelivered commit must not double-apply");
+    assert_eq!(witness.read_committed("w"), Some(Value::from(2i64)));
+
+    // Even later duplicates — a retried commit message surfacing after the
+    // coordinator told the participant to forget — are still acked with Ok
+    // and change nothing.
+    store.forget(&tx);
+    assert!(store.commit(&tx).is_ok(), "post-Forget duplicate commit must ack, not error");
+    assert!(store.commit(&tx).is_ok(), "and it stays idempotent on every redelivery");
+    assert_eq!(store.read_committed("k"), Some(Value::from(1i64)));
+    assert_eq!(store.committed_len(), 1);
+
+    // The log side is equally idempotent: the completion record appended by
+    // the first replay acks the transaction, so a second replay re-delivers
+    // nothing.
+    let store3 = Arc::clone(&store);
+    let witness3 = Arc::clone(&witness);
+    let resolver = move |name: &str| -> Option<Arc<dyn Resource>> {
+        match name {
+            "store" => Some(store3.clone()),
+            "witness" => Some(witness3.clone()),
+            _ => None,
+        }
+    };
+    let again = TransactionFactory::with_wal(wal).recover(&resolver).unwrap();
+    assert!(again.recommitted.is_empty(), "replay already completed the transaction");
+    assert!(again.presumed_aborted.is_empty());
+    assert_eq!(store.committed_len(), 1, "post-replay state is stable");
+}
+
 /// The torn-record matrix cell: the coordinator "process" dies *inside* the
 /// decision-record append ([`CrashingWal`] counts it down), and the dying
 /// process got half the record onto the real file before the power went.
