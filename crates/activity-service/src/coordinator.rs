@@ -1,6 +1,7 @@
 //! The activity coordinator: drives SignalSets against registered Actions
 //! (fig. 5 of the paper).
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -9,6 +10,7 @@ use std::sync::Arc;
 use orb::detector::FailureDetector;
 use parking_lot::Mutex;
 use recovery_log::FailpointSet;
+use telemetry::{SpanContext, Telemetry, MSC_FROM, MSC_MSG, MSC_REPLY, MSC_TO};
 
 use crate::action::Action;
 use crate::activity::ActivityId;
@@ -69,6 +71,10 @@ pub struct ActivityCoordinator {
     dispatch: Mutex<DispatchConfig>,
     failpoints: Mutex<Option<FailpointSet>>,
     detector: Mutex<Option<FailureDetector>>,
+    telemetry: Mutex<Option<Telemetry>>,
+    /// Lock-free gate mirroring `trace_on`: protocol steps skip the
+    /// telemetry mutex entirely while no recorder is attached.
+    telemetry_on: AtomicBool,
 }
 
 impl std::fmt::Debug for ActivityCoordinator {
@@ -104,6 +110,8 @@ impl ActivityCoordinator {
             dispatch: Mutex::new(dispatch),
             failpoints: Mutex::new(None),
             detector: Mutex::new(None),
+            telemetry: Mutex::new(None),
+            telemetry_on: AtomicBool::new(false),
         }
     }
 
@@ -157,6 +165,24 @@ impl ActivityCoordinator {
     pub fn set_trace(&self, trace: TraceLog) {
         *self.trace.lock() = Some(trace);
         self.trace_on.store(true, Ordering::Release);
+    }
+
+    /// Attach a telemetry recorder: every subsequent protocol run becomes
+    /// a `signal_set:` span with one `transmit:` child span per delivery,
+    /// and each fig. 5 trace event doubles as a span event rendered with
+    /// the exact [`TraceEvent`] `Display` text — which is what lets
+    /// harness oracle #7 pin the span tree's coordinator projection to
+    /// the [`TraceLog`] byte-for-byte.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.telemetry.lock() = Some(telemetry);
+        self.telemetry_on.store(true, Ordering::Release);
+    }
+
+    fn telemetry_handle(&self) -> Option<Telemetry> {
+        if !self.telemetry_on.load(Ordering::Acquire) {
+            return None;
+        }
+        self.telemetry.lock().clone().filter(Telemetry::is_enabled)
     }
 
     /// Associate a signal set with this activity, keyed by its
@@ -293,7 +319,26 @@ impl ActivityCoordinator {
             }
         };
 
-        let result = self.drive(set_name, &mut entry);
+        // A protocol run is one `signal_set:` span; it is entered on the
+        // driving thread so remote-Action invocations (and their retry
+        // attempts) parent under it via the ORB interceptors, and it is
+        // closed on *every* exit path — a crash-failpoint error must not
+        // leak an open span (oracle #7 rejects never-closed spans).
+        let scope = self.telemetry_handle().map(|t| {
+            let span = t.start_span(&format!("signal_set:{set_name}"));
+            t.set_attr(&span, "activity", &self.activity.to_string());
+            t.enter(span);
+            (t, span)
+        });
+        let result = self.drive(set_name, &mut entry, scope.as_ref());
+        if let Some((t, span)) = scope {
+            match &result {
+                Ok(outcome) => t.set_attr(&span, "outcome", outcome.name()),
+                Err(e) => t.set_attr(&span, "error", &e.to_string()),
+            }
+            t.exit();
+            t.end(&span);
+        }
         entry.state = SignalSetState::End;
         // Return the (ended) set so late outcome queries and inactive-reuse
         // errors behave per the IDL.
@@ -301,7 +346,12 @@ impl ActivityCoordinator {
         result
     }
 
-    fn drive(&self, set_name: &str, entry: &mut SetEntry) -> Result<Outcome, ActivityError> {
+    fn drive(
+        &self,
+        set_name: &str,
+        entry: &mut SetEntry,
+        tel: Option<&(Telemetry, SpanContext)>,
+    ) -> Result<Outcome, ActivityError> {
         let config = *self.dispatch.lock();
         let detector = self.detector.lock().clone();
         let mut signal_seq = 0u64;
@@ -311,7 +361,9 @@ impl ActivityCoordinator {
         let mut id_buf = String::new();
         loop {
             self.hit_failpoint(failpoints::BEFORE_GET_SIGNAL)?;
-            self.record(|| TraceEvent::GetSignal { set: set_name.to_owned() });
+            self.record(tel.map(|(t, s)| (t, s)), || TraceEvent::GetSignal {
+                set: set_name.to_owned(),
+            });
             let next = entry.set.get_signal();
             entry.state = entry
                 .state
@@ -370,15 +422,35 @@ impl ActivityCoordinator {
             // same success/failure sequence under serial and parallel
             // dispatch.
             let mut collated = 0usize;
+            // Per-delivery span handoff between the `before` and `after`
+            // hooks; both run sequentially at collation on the driving
+            // thread, so one slot is enough even under parallel fan-out.
+            let open_transmit: Cell<Option<SpanContext>> = Cell::new(None);
             let request_next = dispatch::dispatch_signal(
                 config,
                 &actions,
                 &signal,
                 |action| {
-                    self.record(|| TraceEvent::Transmit {
-                        signal: signal.name().to_owned(),
-                        action: action.name().to_owned(),
+                    let span = tel.map(|(t, parent)| {
+                        let span =
+                            t.start_child(parent, &format!("transmit:{}", signal.name()));
+                        t.set_attr(&span, MSC_FROM, "coordinator");
+                        t.set_attr(&span, MSC_TO, action.name());
+                        t.set_attr(&span, MSC_MSG, signal.name());
+                        if let Some(id) = signal.delivery_id() {
+                            t.set_attr(&span, "delivery_id", id);
+                        }
+                        t.metrics()
+                            .incr(&format!("signals_transmitted_total{{set=\"{set_name}\"}}"));
+                        span
                     });
+                    self.record(tel.map(|(t, _)| t).zip(span.as_ref()), || {
+                        TraceEvent::Transmit {
+                            signal: signal.name().to_owned(),
+                            action: action.name().to_owned(),
+                        }
+                    });
+                    open_transmit.set(span);
                 },
                 |outcome| {
                     if let Some(detector) = &detector {
@@ -391,10 +463,16 @@ impl ActivityCoordinator {
                         }
                     }
                     collated += 1;
-                    self.record(|| TraceEvent::SetResponse {
+                    self.record(tel.map(|(t, s)| (t, s)), || TraceEvent::SetResponse {
                         set: set_name.to_owned(),
                         outcome: outcome.name().to_owned(),
                     });
+                    if let Some((t, _)) = tel {
+                        if let Some(span) = open_transmit.take() {
+                            t.set_attr(&span, MSC_REPLY, outcome.name());
+                            t.end(&span);
+                        }
+                    }
                     set.set_response(&outcome) == AfterResponse::RequestNext
                 },
             );
@@ -406,22 +484,32 @@ impl ActivityCoordinator {
         entry.state.check_outcome_readable(set_name)?;
         self.hit_failpoint(failpoints::BEFORE_OUTCOME)?;
         let outcome = entry.set.get_outcome();
-        self.record(|| TraceEvent::GetOutcome {
+        self.record(tel.map(|(t, s)| (t, s)), || TraceEvent::GetOutcome {
             set: set_name.to_owned(),
             outcome: outcome.name().to_owned(),
         });
         Ok(outcome)
     }
 
-    fn record(&self, event: impl FnOnce() -> TraceEvent) {
+    /// Record one protocol step into the trace log and — when a span is
+    /// given — as a span event with the same `Display` text, from the
+    /// same call site, so the two views cannot drift apart.
+    fn record(&self, span: Option<(&Telemetry, &SpanContext)>, event: impl FnOnce() -> TraceEvent) {
         // Fast path: with no trace attached (the common case for
         // production coordinators) this is one relaxed-ish atomic load —
         // no mutex, no event construction.
-        if !self.trace_on.load(Ordering::Acquire) {
+        let trace_on = self.trace_on.load(Ordering::Acquire);
+        if !trace_on && span.is_none() {
             return;
         }
-        if let Some(trace) = self.trace.lock().as_ref() {
-            trace.record(event());
+        let event = event();
+        if trace_on {
+            if let Some(trace) = self.trace.lock().as_ref() {
+                trace.record(event.clone());
+            }
+        }
+        if let Some((telemetry, span)) = span {
+            telemetry.event(span, &event.to_string());
         }
     }
 }
@@ -563,6 +651,52 @@ mod tests {
                 TraceEvent::GetOutcome { set: "S".into(), outcome: "done".into() },
             ]
         );
+    }
+
+    #[test]
+    fn telemetry_projection_matches_the_trace_byte_for_byte() {
+        let c = coordinator();
+        let trace = TraceLog::new();
+        let tel = Telemetry::new();
+        c.set_trace(trace.clone());
+        c.set_telemetry(tel.clone());
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("S", "go", Value::Null)))
+            .unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        c.register_action("S", counting_action("a1", Arc::clone(&hits)));
+        c.register_action("S", counting_action("a2", Arc::clone(&hits)));
+        c.process_signal_set("S").unwrap();
+
+        let tree = tel.span_tree();
+        assert_eq!(tree.verify(), Vec::<String>::new());
+        assert_eq!(tree.coordinator_projection(), trace.render());
+
+        // One signal_set root carrying one transmit child per delivery.
+        let roots = tree.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "signal_set:S");
+        assert_eq!(roots[0].attr("outcome"), Some("done"));
+        let children = tree.children(roots[0].context.span_id);
+        assert_eq!(children.len(), 2);
+        assert!(children.iter().all(|s| s.name == "transmit:go"));
+        assert!(children.iter().all(|s| s.attr(MSC_REPLY) == Some("done")));
+        assert_eq!(tel.metrics().family_total("signals_transmitted_total"), 2);
+    }
+
+    #[test]
+    fn failpoint_crash_still_closes_the_signal_set_span() {
+        let c = coordinator();
+        let tel = Telemetry::new();
+        c.set_telemetry(tel.clone());
+        let fp = FailpointSet::new();
+        fp.arm(failpoints::BEFORE_OUTCOME, 0);
+        c.set_failpoints(fp);
+        c.add_signal_set(Box::new(BroadcastSignalSet::new("S", "go", Value::Null)))
+            .unwrap();
+        assert!(c.process_signal_set("S").is_err());
+        let tree = tel.span_tree();
+        assert_eq!(tree.verify(), Vec::<String>::new(), "error path must close spans");
+        assert!(tree.roots()[0].attr("error").is_some());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! durable logging.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
@@ -10,8 +11,10 @@ use orb::interceptor::{ClientRequestInterceptor, ServerRequestInterceptor};
 use orb::{Orb, Reply, Request, SimClock};
 use parking_lot::Mutex;
 use recovery_log::Wal;
+use telemetry::{SpanContext, Telemetry};
 
 use crate::activity::Activity;
+use crate::activity::ActivityId;
 use crate::completion::CompletionStatus;
 use crate::context::ActivityContext;
 use crate::error::ActivityError;
@@ -32,6 +35,12 @@ struct ServiceInner {
     roots: Mutex<Vec<Activity>>,
     /// Node-local stores backing by-reference property groups (§3.3).
     shared_groups: crate::property::PropertyGroupManager,
+    telemetry: Mutex<Option<Telemetry>>,
+    /// Live activity → its `activity:` span, so child activities parent
+    /// under their *enclosing activity's* span (fig. 4 nesting) rather
+    /// than whatever happens to be ambient, and suspend/resume can move
+    /// the ambient association between threads.
+    activity_spans: Mutex<HashMap<ActivityId, SpanContext>>,
 }
 
 /// The Activity Service: creates activities, associates them with threads,
@@ -101,6 +110,8 @@ impl ActivityServiceBuilder {
                 id_source: Arc::new(AtomicU64::new(self.first_id.max(1))),
                 roots: Mutex::new(Vec::new()),
                 shared_groups: crate::property::PropertyGroupManager::new(),
+                telemetry: Mutex::new(None),
+                activity_spans: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -128,6 +139,29 @@ impl ActivityService {
         &self.inner.clock
     }
 
+    /// Attach a telemetry recorder: every `begin`/`complete` pair becomes
+    /// an `activity:` span, nested to mirror the fig. 4 activity tree.
+    /// Attach the *same* recorder to the ORB (via
+    /// [`orb::node::OrbBuilder::telemetry`]) and to coordinators so
+    /// remote invocations and protocol runs land in the same traces.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.inner.telemetry.lock() = Some(telemetry);
+    }
+
+    fn telemetry_handle(&self) -> Option<Telemetry> {
+        self.inner.telemetry.lock().clone().filter(Telemetry::is_enabled)
+    }
+
+    fn close_activity_span(&self, id: ActivityId, outcome: &Outcome) {
+        if let Some(telemetry) = self.telemetry_handle() {
+            if let Some(span) = self.inner.activity_spans.lock().remove(&id) {
+                telemetry.set_attr(&span, "outcome", outcome.name());
+                telemetry.exit();
+                telemetry.end(&span);
+            }
+        }
+    }
+
     /// Begin an activity and associate it with the calling thread. When the
     /// thread already has an activity, the new one is its child.
     ///
@@ -136,7 +170,7 @@ impl ActivityService {
     /// Propagates [`Activity::begin_child`] failures.
     pub fn begin(&self, name: impl Into<String>) -> Result<Activity, ActivityError> {
         let parent = Self::peek();
-        let activity = match parent {
+        let activity = match &parent {
             Some(parent) => parent.begin_child(name)?,
             None => {
                 let root = Activity::new_root_with(
@@ -149,6 +183,23 @@ impl ActivityService {
                 root
             }
         };
+        if let Some(telemetry) = self.telemetry_handle() {
+            // Mirror the fig. 4 activity tree: a nested activity's span is
+            // a child of its enclosing activity's span; a root activity
+            // parents under whatever is ambient (e.g. a `serve:` span on
+            // an interposed node) or starts a fresh trace.
+            let parent_span = parent
+                .as_ref()
+                .and_then(|p| self.inner.activity_spans.lock().get(&p.id()).copied());
+            let span_name = format!("activity:{}", activity.name());
+            let span = match parent_span {
+                Some(parent_span) => telemetry.start_child(&parent_span, &span_name),
+                None => telemetry.start_span(&span_name),
+            };
+            telemetry.set_attr(&span, "id", &activity.id().to_string());
+            telemetry.enter(span);
+            self.inner.activity_spans.lock().insert(activity.id(), span);
+        }
         CURRENT.with(|c| c.borrow_mut().push(activity.clone()));
         Ok(activity)
     }
@@ -174,6 +225,7 @@ impl ActivityService {
     pub fn complete(&self) -> Result<Outcome, ActivityError> {
         let activity = Self::peek().ok_or(ActivityError::NoCurrentActivity)?;
         let outcome = activity.complete()?;
+        self.close_activity_span(activity.id(), &outcome);
         Self::pop();
         Ok(outcome)
     }
@@ -189,6 +241,7 @@ impl ActivityService {
     ) -> Result<Outcome, ActivityError> {
         let activity = Self::peek().ok_or(ActivityError::NoCurrentActivity)?;
         let outcome = activity.complete_with_status(status)?;
+        self.close_activity_span(activity.id(), &outcome);
         Self::pop();
         Ok(outcome)
     }
@@ -200,13 +253,26 @@ impl ActivityService {
     ///
     /// [`ActivityError::NoCurrentActivity`] when the thread has none.
     pub fn suspend(&self) -> Result<Activity, ActivityError> {
-        CURRENT
+        let activity = CURRENT
             .with(|c| c.borrow_mut().pop())
-            .ok_or(ActivityError::NoCurrentActivity)
+            .ok_or(ActivityError::NoCurrentActivity)?;
+        if let Some(telemetry) = self.telemetry_handle() {
+            // The span stays open (the activity is alive); only the
+            // thread's ambient association moves with the activity.
+            if self.inner.activity_spans.lock().contains_key(&activity.id()) {
+                telemetry.exit();
+            }
+        }
+        Ok(activity)
     }
 
     /// Re-associate a previously suspended activity with this thread.
     pub fn resume(&self, activity: Activity) {
+        if let Some(telemetry) = self.telemetry_handle() {
+            if let Some(span) = self.inner.activity_spans.lock().get(&activity.id()).copied() {
+                telemetry.enter(span);
+            }
+        }
         CURRENT.with(|c| c.borrow_mut().push(activity));
     }
 
@@ -345,6 +411,53 @@ mod tests {
         svc.complete().unwrap();
         assert!(svc.current().is_none());
         assert_eq!(svc.roots().len(), 1);
+    }
+
+    #[test]
+    fn activity_spans_mirror_fig4_nesting() {
+        let svc = ActivityService::new();
+        let tel = Telemetry::new();
+        svc.set_telemetry(tel.clone());
+        svc.begin("outer").unwrap();
+        svc.begin("inner").unwrap();
+        svc.complete().unwrap();
+        svc.complete().unwrap();
+
+        let tree = tel.span_tree();
+        assert_eq!(tree.verify(), Vec::<String>::new());
+        let roots = tree.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "activity:outer");
+        let children = tree.children(roots[0].context.span_id);
+        assert_eq!(children.len(), 1);
+        assert_eq!(children[0].name, "activity:inner");
+        assert_eq!(children[0].attr("outcome"), Some("done"));
+    }
+
+    #[test]
+    fn suspended_activity_resumes_its_span_on_another_thread() {
+        let svc = ActivityService::new();
+        let tel = Telemetry::new();
+        svc.set_telemetry(tel.clone());
+        svc.begin("mobile").unwrap();
+        let detached = svc.suspend().unwrap();
+        assert!(tel.current().is_none(), "suspend detaches the ambient span");
+        let svc2 = svc.clone();
+        let tel2 = tel.clone();
+        std::thread::spawn(move || {
+            svc2.resume(detached);
+            // Work on the resuming thread parents under the activity span.
+            let span = tel2.start_span("work");
+            tel2.end(&span);
+            svc2.complete().unwrap();
+        })
+        .join()
+        .unwrap();
+        let tree = tel.span_tree();
+        assert_eq!(tree.verify(), Vec::<String>::new());
+        let root = &tree.roots()[0];
+        assert_eq!(root.name, "activity:mobile");
+        assert_eq!(tree.children(root.context.span_id)[0].name, "work");
     }
 
     #[test]

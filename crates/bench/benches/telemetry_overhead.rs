@@ -1,0 +1,42 @@
+//! O1 — telemetry disabled-path overhead: the fig. 5 signal broadcast and
+//! the fig. 8 native 2PC fan-out with a *disabled* span recorder attached
+//! vs the uninstrumented seed path. Every instrumentation site still runs
+//! but collapses to an atomic `is_enabled` load. The budget pinned in
+//! EXPERIMENTS.md: <2% regression on either hot loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for actions in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_bare", actions),
+            &actions,
+            |b, &n| b.iter(|| assert_eq!(bench::fig5_dispatch_telemetry(n, false), n as u64)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dispatch_disabled_recorder", actions),
+            &actions,
+            |b, &n| b.iter(|| assert_eq!(bench::fig5_dispatch_telemetry(n, true), n as u64)),
+        );
+    }
+    for participants in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("2pc_bare", participants),
+            &participants,
+            |b, &n| b.iter(|| assert!(bench::two_phase_with_telemetry(n, false))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("2pc_disabled_recorder", participants),
+            &participants,
+            |b, &n| b.iter(|| assert!(bench::two_phase_with_telemetry(n, true))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -197,6 +197,95 @@ pub fn fig5_dispatch_traced(actions: usize, traced: bool) -> u64 {
     outcome.data().as_u64().unwrap_or(0)
 }
 
+/// Telemetry-gate micro-workload (DESIGN.md §11): the fig. 5 broadcast over
+/// trivial actions with a *disabled* span recorder either attached to the
+/// coordinator or absent. Every signal dispatch still reaches the
+/// instrumentation sites, but `Telemetry::is_enabled` short-circuits them
+/// to an atomic load — the delta is the whole disabled-path cost.
+pub fn fig5_dispatch_telemetry(actions: usize, instrumented: bool) -> u64 {
+    let activity = Activity::new_root("dispatch", SimClock::new());
+    activity
+        .coordinator()
+        .set_dispatch_config(activity_service::DispatchConfig::serial());
+    if instrumented {
+        activity.coordinator().set_telemetry(telemetry::Telemetry::disabled());
+    }
+    activity
+        .coordinator()
+        .add_signal_set(Box::new(activity_service::BroadcastSignalSet::new(
+            "Bench",
+            "ping",
+            Value::Null,
+        )))
+        .expect("add set");
+    for i in 0..actions {
+        activity.coordinator().register_action(
+            "Bench",
+            Arc::new(FnAction::new(format!("a{i}"), |_s: &Signal| Ok(Outcome::done()))) as _,
+        );
+    }
+    let outcome = activity.signal("Bench").expect("signal");
+    outcome.data().as_u64().unwrap_or(0)
+}
+
+/// Telemetry-gate 2PC workload (DESIGN.md §11): a native-OTS commit over
+/// `participants` healthy stores, with a disabled recorder either attached
+/// to the factory (so every coordinator it mints carries the gate through
+/// both protocol phases) or absent. All spans are skipped at the
+/// `is_enabled` check; the delta is pure disabled-path bookkeeping.
+pub fn two_phase_with_telemetry(participants: usize, instrumented: bool) -> bool {
+    let mut factory = TransactionFactory::new();
+    if instrumented {
+        factory = factory.with_telemetry(telemetry::Telemetry::disabled());
+    }
+    let control = factory.create().expect("create");
+    for i in 0..participants {
+        let store = Arc::new(TransactionalKv::new(format!("s{i}")));
+        store.enlist(&control).expect("enlist");
+        store.write(control.id(), "k", Value::from(i as i64)).expect("write");
+    }
+    control.terminator().commit().is_ok()
+}
+
+/// Run the two §11 workloads once with an *enabled* recorder and return
+/// the populated registry's JSON snapshot — the artifact the CI telemetry
+/// job archives next to the overhead table.
+pub fn instrumented_metrics_snapshot() -> String {
+    let tel = telemetry::Telemetry::new();
+
+    let activity = Activity::new_root("dispatch", SimClock::new());
+    activity
+        .coordinator()
+        .set_dispatch_config(activity_service::DispatchConfig::serial());
+    activity.coordinator().set_telemetry(tel.clone());
+    activity
+        .coordinator()
+        .add_signal_set(Box::new(activity_service::BroadcastSignalSet::new(
+            "Bench",
+            "ping",
+            Value::Null,
+        )))
+        .expect("add set");
+    for i in 0..8 {
+        activity.coordinator().register_action(
+            "Bench",
+            Arc::new(FnAction::new(format!("a{i}"), |_s: &Signal| Ok(Outcome::done()))) as _,
+        );
+    }
+    activity.signal("Bench").expect("signal");
+
+    let factory = TransactionFactory::new().with_telemetry(tel.clone());
+    let control = factory.create().expect("create");
+    for i in 0..8 {
+        let store = Arc::new(TransactionalKv::new(format!("s{i}")));
+        store.enlist(&control).expect("enlist");
+        store.write(control.id(), "k", Value::from(i as i64)).expect("write");
+    }
+    control.terminator().commit().expect("commit");
+
+    tel.metrics().snapshot_json()
+}
+
 /// Reliability-layer overhead workload (the fig. 5 broadcast *over the
 /// wire*): one activity signalling `actions` remote actions behind the
 /// simulated ORB, with the `orb::retry` policy layer either enabled
@@ -634,6 +723,14 @@ mod tests {
         assert_eq!(remote_dispatch_with_retry(5, true), 5);
         assert!(two_phase_with_detector(4, false));
         assert!(two_phase_with_detector(4, true));
+    }
+
+    #[test]
+    fn telemetry_overhead_workloads_agree_across_modes() {
+        assert_eq!(fig5_dispatch_telemetry(5, false), 5);
+        assert_eq!(fig5_dispatch_telemetry(5, true), 5);
+        assert!(two_phase_with_telemetry(4, false));
+        assert!(two_phase_with_telemetry(4, true));
     }
 
     #[test]

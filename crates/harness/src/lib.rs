@@ -16,11 +16,13 @@
 //!   figure-test: 2PC with WAL replay, fig. 9 open nesting, Sagas, the
 //!   fig. 10 workflow over the simulated ORB, BTP atoms, plus an
 //!   intentionally broken fixture the sweep must catch.
-//! * [`oracle`] — six invariants checked after every run: atomicity,
+//! * [`oracle`] — seven invariants checked after every run: atomicity,
 //!   exactly-once effect counts, reverse-order compensation completeness,
 //!   WAL-replay equivalence, trace determinism (same seed ⇒ byte-identical
-//!   trace), and liveness under bounded transient faults (drops within the
-//!   retry budget must not prevent commit).
+//!   trace), liveness under bounded transient faults (drops within the
+//!   retry budget must not prevent commit), and telemetry conformance (the
+//!   span tree is well-formed and its projection onto coordinator events is
+//!   byte-identical to the trace).
 //! * [`explorer`] — the sweep loop: probe the schedule space (failpoint
 //!   sites are *discovered* from the run, not hardcoded), generate seeded
 //!   schedules, run each twice, oracle-check, and greedily shrink any

@@ -19,7 +19,12 @@
 //! 6. **liveness-under-bounded-faults** — a run whose schedule injects only
 //!    *transient* faults (message drops), no more of them than the retry
 //!    budget and no hard faults (crash failpoints), must still reach a
-//!    terminal forward outcome: the reliability layer absorbs bounded loss.
+//!    terminal forward outcome: the reliability layer absorbs bounded loss;
+//! 7. **telemetry-conformance** — when the scenario records spans, the span
+//!    tree must be well-formed (single-rooted per trace, no orphans, no
+//!    never-closed spans) and its projection onto coordinator events must be
+//!    byte-identical to the rendered [`TraceLog`]: the telemetry plane may
+//!    never disagree with the protocol's own account of what happened.
 
 /// Terminal outcome of one simulated run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +91,15 @@ pub struct Observation {
     /// The per-call retry budget the run's reliability layer had
     /// (`None` when retries are disabled or unreported).
     pub retry_budget: Option<u32>,
+    /// Span-tree well-formedness defects from `SpanTree::verify`
+    /// (`None` when the scenario records no telemetry).
+    pub span_wellformed: Option<Vec<String>>,
+    /// The span tree's projection onto coordinator events
+    /// (`None` when the scenario records no telemetry).
+    pub span_projection: Option<String>,
+    /// Canonical span-tree fingerprint; compared across the determinism
+    /// oracle's two runs (`None` when the scenario records no telemetry).
+    pub span_fingerprint: Option<u64>,
 }
 
 impl Observation {
@@ -107,6 +121,9 @@ impl Observation {
             transient_faults: None,
             hard_faults: None,
             retry_budget: None,
+            span_wellformed: None,
+            span_projection: None,
+            span_fingerprint: None,
         }
     }
 }
@@ -134,6 +151,7 @@ pub const ORACLES: &[&str] = &[
     "replay-equivalence",
     "determinism",
     "liveness-under-bounded-faults",
+    "telemetry-conformance",
 ];
 
 /// Run every single-observation oracle (all but determinism).
@@ -144,6 +162,7 @@ pub fn check_all(obs: &Observation) -> Vec<Violation> {
     check_compensation(obs, &mut violations);
     check_replay(obs, &mut violations);
     check_liveness(obs, &mut violations);
+    check_telemetry(obs, &mut violations);
     violations
 }
 
@@ -281,6 +300,30 @@ fn check_liveness(obs: &Observation, out: &mut Vec<Violation>) {
     }
 }
 
+fn check_telemetry(obs: &Observation, out: &mut Vec<Violation>) {
+    // The oracle binds only when the scenario records spans at all.
+    if let Some(defects) = &obs.span_wellformed {
+        for defect in defects {
+            out.push(Violation {
+                oracle: "telemetry-conformance",
+                detail: format!("span tree malformed: {defect}"),
+            });
+        }
+    }
+    if let Some(projection) = &obs.span_projection {
+        if *projection != obs.trace {
+            out.push(Violation {
+                oracle: "telemetry-conformance",
+                detail: format!(
+                    "span projection disagrees with the coordinator trace:\n\
+                     --- projection ---\n{projection}\n--- trace ---\n{}",
+                    obs.trace
+                ),
+            });
+        }
+    }
+}
+
 /// The determinism oracle: two runs of the same schedule must agree on
 /// every observable fact, byte for byte in the trace.
 pub fn check_determinism(first: &Observation, second: &Observation) -> Vec<Violation> {
@@ -317,6 +360,16 @@ pub fn check_determinism(first: &Observation, second: &Observation) -> Vec<Viola
                 first.effects, second.effects
             ),
         });
+    }
+    if let (Some(a), Some(b)) = (first.span_fingerprint, second.span_fingerprint) {
+        if a != b {
+            out.push(Violation {
+                oracle: "determinism",
+                detail: format!(
+                    "same schedule, span-tree fingerprints {a:#018x} vs {b:#018x}"
+                ),
+            });
+        }
     }
     out
 }
@@ -408,6 +461,50 @@ mod tests {
         obs.hard_faults = Some(0);
         obs.retry_budget = Some(8);
         assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn telemetry_oracle_does_not_bind_without_spans() {
+        let obs = Observation::new(RunOutcome::Committed);
+        assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn malformed_span_tree_is_a_violation() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.span_wellformed = Some(vec!["span 3 never closed".into()]);
+        obs.span_projection = Some(String::new());
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "telemetry-conformance");
+    }
+
+    #[test]
+    fn span_projection_must_match_the_trace_byte_for_byte() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.trace = "get_signal(Bill)\n".into();
+        obs.span_wellformed = Some(Vec::new());
+        obs.span_projection = Some("get_signal(Bill)\n".into());
+        assert!(check_all(&obs).is_empty());
+        obs.span_projection = Some("get_signal(Bill)".into());
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "telemetry-conformance");
+    }
+
+    #[test]
+    fn determinism_compares_span_fingerprints() {
+        let mut a = Observation::new(RunOutcome::Committed);
+        a.span_fingerprint = Some(0xDEAD);
+        let mut b = a.clone();
+        assert!(check_determinism(&a, &b).is_empty());
+        b.span_fingerprint = Some(0xBEEF);
+        let v = check_determinism(&a, &b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "determinism");
+        // One-sided telemetry does not bind.
+        b.span_fingerprint = None;
+        assert!(check_determinism(&a, &b).is_empty());
     }
 
     #[test]

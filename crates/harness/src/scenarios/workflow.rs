@@ -53,10 +53,15 @@ pub(crate) fn run_workflow_with(
     retry: RetryMode,
 ) -> Observation {
     let clock = SimClock::new();
+    // Spans are timestamped off the run's virtual clock, and the recorder
+    // feeds oracle #7: the tree must stay well-formed on every schedule and
+    // its event projection byte-identical to the coordinator trace.
+    let telemetry = telemetry::Telemetry::with_time(Arc::new(clock.clone()));
     let orb = Orb::builder()
         .network(NetworkConfig::lossy(0.0, 0.0, NETWORK_SEED))
         .clock(clock)
         .retry_budget(64)
+        .telemetry(telemetry.clone())
         .build();
     orb.add_node("coordinator").expect("coordinator node");
     let worker = orb.add_node("worker").expect("worker node");
@@ -84,11 +89,20 @@ pub(crate) fn run_workflow_with(
         schedule.arm_into(&failpoints);
     }
     let service = ActivityService::new();
+    // A crashed completion intentionally keeps the thread association (so a
+    // real caller can repair and retry); the harness drains any leftover
+    // association instead, so every run is hermetic. A leaked activity would
+    // re-parent this run's activity and shift its id, and that id lands in
+    // span attrs — tripping the span-fingerprint half of oracle #7.
+    while service.depth() > 0 {
+        let _ = service.suspend();
+    }
     let activity = service.begin("billing-run").expect("begin activity");
     activity.coordinator().set_dispatch_config(DispatchConfig::serial());
     activity.coordinator().set_failpoints(failpoints.clone());
     let trace = TraceLog::new();
     activity.coordinator().set_trace(trace.clone());
+    activity.coordinator().set_telemetry(telemetry.clone());
     activity
         .coordinator()
         .add_signal_set(Box::new(BroadcastSignalSet::new("Bill", "charge", Value::U64(25))))
@@ -108,6 +122,9 @@ pub(crate) fn run_workflow_with(
     activity.coordinator().register_action("Bill", Arc::new(proxy) as _);
 
     let result = service.complete();
+    while service.depth() > 0 {
+        let _ = service.suspend();
+    }
     let mut obs = Observation::new(match &result {
         Ok(outcome) if outcome.is_done() => RunOutcome::Committed,
         Ok(_) => RunOutcome::Aborted,
@@ -127,6 +144,10 @@ pub(crate) fn run_workflow_with(
         max,
     }];
     obs.trace = trace.render();
+    let span_tree = telemetry.span_tree();
+    obs.span_wellformed = Some(span_tree.verify());
+    obs.span_projection = Some(span_tree.coordinator_projection());
+    obs.span_fingerprint = Some(span_tree.fingerprint());
     obs.observed_sites = failpoints.observed_sites();
     obs.remote_messages = orb.network().remote_messages();
     // Fault accounting for the liveness oracle: only reported when the

@@ -18,6 +18,14 @@ pub struct SimClock {
     nanos: Arc<AtomicU64>,
 }
 
+/// The clock doubles as the telemetry plane's time source, so span trees
+/// recorded under the simulation carry deterministic virtual timestamps.
+impl telemetry::TimeSource for SimClock {
+    fn virtual_now(&self) -> Duration {
+        self.now()
+    }
+}
+
 impl SimClock {
     /// A clock starting at virtual time zero.
     pub fn new() -> Self {

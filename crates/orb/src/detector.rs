@@ -112,6 +112,7 @@ struct DetectorInner {
     config: DetectorConfig,
     participants: Mutex<HashMap<String, Participant>>,
     hooks: Mutex<Vec<QuarantineHook>>,
+    telemetry: Mutex<Option<telemetry::Telemetry>>,
 }
 
 /// The failure detector. Cheap to clone; clones share state, so the ORB,
@@ -151,7 +152,26 @@ impl FailureDetector {
                 config,
                 participants: Mutex::new(HashMap::new()),
                 hooks: Mutex::new(Vec::new()),
+                telemetry: Mutex::new(None),
             }),
+        }
+    }
+
+    /// Count status transitions in the given recorder's metrics registry
+    /// as `detector_transitions_total{from=...,to=...}` series.
+    pub fn set_telemetry(&self, telemetry: telemetry::Telemetry) {
+        *self.inner.telemetry.lock() = Some(telemetry);
+    }
+
+    fn count_transition(&self, was: HealthStatus, now: HealthStatus) {
+        if was == now {
+            return;
+        }
+        let telemetry = self.inner.telemetry.lock();
+        if let Some(telemetry) = telemetry.as_ref().filter(|t| t.is_enabled()) {
+            telemetry.metrics().incr(&format!(
+                "detector_transitions_total{{from=\"{was}\",to=\"{now}\"}}"
+            ));
         }
     }
 
@@ -169,10 +189,18 @@ impl FailureDetector {
     /// (an absent entry already means healthy with zero suspicion), so the
     /// fault-free fast path allocates nothing.
     pub fn record_success(&self, who: &str) {
-        let mut participants = self.inner.participants.lock();
-        if let Some(entry) = participants.get_mut(who) {
-            *entry = Participant::new();
-        }
+        let was = {
+            let mut participants = self.inner.participants.lock();
+            match participants.get_mut(who) {
+                Some(entry) => {
+                    let was = entry.status;
+                    *entry = Participant::new();
+                    was
+                }
+                None => return,
+            }
+        };
+        self.count_transition(was, HealthStatus::Healthy);
     }
 
     /// Record a failed interaction (timeout, partition, NACK). Consecutive
@@ -182,7 +210,7 @@ impl FailureDetector {
     /// detector's lock). A failure while quarantined — a failed probe —
     /// pushes the next probe a full `probe_interval` out.
     pub fn record_failure(&self, who: &str) {
-        let newly_quarantined = {
+        let (was, now) = {
             let mut participants = self.inner.participants.lock();
             let entry = participants.entry(who.to_owned()).or_insert_with(Participant::new);
             entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
@@ -197,8 +225,10 @@ impl FailureDetector {
             if entry.status == HealthStatus::Quarantined {
                 entry.next_probe_at = self.inner.clock.now() + self.inner.config.probe_interval;
             }
-            was != HealthStatus::Quarantined && entry.status == HealthStatus::Quarantined
+            (was, entry.status)
         };
+        self.count_transition(was, now);
+        let newly_quarantined = was != HealthStatus::Quarantined && now == HealthStatus::Quarantined;
         if newly_quarantined {
             let hooks: Vec<QuarantineHook> = self.inner.hooks.lock().clone();
             for hook in hooks {

@@ -10,6 +10,8 @@
 
 use crate::error::OrbError;
 use crate::message::{Reply, Request};
+use crate::value::Value;
+use telemetry::{SpanContext, Telemetry, SPAN_CONTEXT_KEY};
 
 /// Client-side interception points.
 ///
@@ -35,6 +37,15 @@ pub trait ClientRequestInterceptor: Send + Sync {
     fn receive_reply(&self, request: &Request, reply: &mut Reply) {
         let _ = (request, reply);
     }
+
+    /// Called when the invocation fails without a reply leg (transport
+    /// loss, partition, servant failure, or a later interceptor's veto) —
+    /// the counterpart of `receive_reply` for the error path, so
+    /// interceptors that open per-request state in `send_request` can
+    /// always close it.
+    fn receive_exception(&self, request: &Request, error: &OrbError) {
+        let _ = (request, error);
+    }
 }
 
 /// Server-side interception points.
@@ -58,6 +69,127 @@ pub trait ServerRequestInterceptor: Send + Sync {
     /// contexts and must tear down whatever `receive_request` established.
     fn send_reply(&self, request: &Request, reply: &mut Reply) {
         let _ = (request, reply);
+    }
+}
+
+/// Client half of distributed-span propagation: opens a `call:` span per
+/// attempt (a child of the calling thread's ambient span, so retries nest
+/// under their logical call) and stamps its [`SpanContext`] into the
+/// request's service contexts under [`SPAN_CONTEXT_KEY`] — the same §3
+/// piggybacking mechanism the Activity Service uses for activity
+/// contexts. The span closes in `receive_reply` on success and in
+/// `receive_exception` on every failure path.
+pub struct SpanClientInterceptor {
+    telemetry: Telemetry,
+}
+
+impl SpanClientInterceptor {
+    pub fn new(telemetry: Telemetry) -> Self {
+        SpanClientInterceptor { telemetry }
+    }
+
+    fn stamped_span(&self, request: &Request) -> Option<SpanContext> {
+        request
+            .contexts()
+            .get(SPAN_CONTEXT_KEY)
+            .and_then(Value::as_str)
+            .and_then(SpanContext::from_wire)
+    }
+}
+
+impl ClientRequestInterceptor for SpanClientInterceptor {
+    fn name(&self) -> &str {
+        "telemetry-span-client"
+    }
+
+    fn send_request(&self, request: &mut Request) -> Result<(), OrbError> {
+        if !self.telemetry.is_enabled() {
+            return Ok(());
+        }
+        let span = self
+            .telemetry
+            .start_span(&format!("call:{}", request.operation()));
+        if let Some(id) = request.delivery_id() {
+            self.telemetry.set_attr(&span, "delivery_id", id);
+        }
+        if span.is_recording() {
+            request
+                .contexts_mut()
+                .set(SPAN_CONTEXT_KEY, Value::Str(span.to_wire()));
+        }
+        Ok(())
+    }
+
+    fn receive_reply(&self, request: &Request, _reply: &mut Reply) {
+        if let Some(span) = self.stamped_span(request) {
+            self.telemetry.end(&span);
+        }
+    }
+
+    fn receive_exception(&self, request: &Request, error: &OrbError) {
+        if let Some(span) = self.stamped_span(request) {
+            self.telemetry.set_attr(&span, "error", &error.to_string());
+            self.telemetry.end(&span);
+        }
+    }
+}
+
+/// Server half of distributed-span propagation: reads the propagated
+/// [`SpanContext`] before the servant dispatches, opens a `serve:` span
+/// *continuing the caller's trace id*, and makes it the receiving
+/// thread's ambient parent — so whatever the servant does (nested
+/// invocations, subordinate-coordinator fan-out under interposition)
+/// stays in the superior's trace. `send_reply` tears the ambient state
+/// down and closes the span, mirroring the activity-context server
+/// interceptor.
+pub struct SpanServerInterceptor {
+    telemetry: Telemetry,
+}
+
+impl SpanServerInterceptor {
+    pub fn new(telemetry: Telemetry) -> Self {
+        SpanServerInterceptor { telemetry }
+    }
+
+    fn remote_span(&self, request: &Request) -> Option<SpanContext> {
+        request
+            .contexts()
+            .get(SPAN_CONTEXT_KEY)
+            .and_then(Value::as_str)
+            .and_then(SpanContext::from_wire)
+    }
+}
+
+impl ServerRequestInterceptor for SpanServerInterceptor {
+    fn name(&self) -> &str {
+        "telemetry-span-server"
+    }
+
+    fn receive_request(&self, request: &Request) -> Result<(), OrbError> {
+        if !self.telemetry.is_enabled() {
+            return Ok(());
+        }
+        let Some(remote) = self.remote_span(request) else {
+            return Ok(());
+        };
+        let span = self
+            .telemetry
+            .adopt(&remote, &format!("serve:{}", request.operation()));
+        if let Some(id) = request.delivery_id() {
+            self.telemetry.set_attr(&span, "delivery_id", id);
+        }
+        self.telemetry.enter(span);
+        Ok(())
+    }
+
+    fn send_reply(&self, request: &Request, _reply: &mut Reply) {
+        if !self.telemetry.is_enabled() || self.remote_span(request).is_none() {
+            return;
+        }
+        if let Some(span) = self.telemetry.current() {
+            self.telemetry.end(&span);
+        }
+        self.telemetry.exit();
     }
 }
 

@@ -65,6 +65,7 @@ pub use context::ServiceContext;
 pub use dedup::{DedupServant, DedupWindow};
 pub use detector::{DetectorConfig, FailureDetector, HealthStatus};
 pub use error::OrbError;
+pub use interceptor::{SpanClientInterceptor, SpanServerInterceptor};
 pub use message::{Reply, Request};
 pub use network::{FaultScript, NetworkConfig, SimulatedNetwork};
 pub use node::{Node, Orb, OrbBuilder};

@@ -9,10 +9,15 @@ use parking_lot::RwLock;
 
 use std::time::Duration;
 
+use telemetry::Telemetry;
+
 use crate::clock::SimClock;
 use crate::detector::FailureDetector;
 use crate::error::OrbError;
-use crate::interceptor::{ClientRequestInterceptor, ServerRequestInterceptor};
+use crate::interceptor::{
+    ClientRequestInterceptor, ServerRequestInterceptor, SpanClientInterceptor,
+    SpanServerInterceptor,
+};
 use crate::message::{Reply, Request};
 use crate::network::{Delivery, NetworkConfig, SimulatedNetwork};
 use crate::object::{ObjectId, ObjectRef, Servant};
@@ -129,6 +134,7 @@ struct OrbInner {
     retry_budget: u32,
     delivery_seq: AtomicU64,
     detector: RwLock<Option<FailureDetector>>,
+    telemetry: RwLock<Option<Telemetry>>,
 }
 
 impl fmt::Debug for OrbInner {
@@ -150,11 +156,23 @@ pub struct Orb {
 }
 
 /// Configures and builds an [`Orb`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct OrbBuilder {
     config: NetworkConfig,
     clock: Option<SimClock>,
     retry_budget: u32,
+    telemetry: Option<Telemetry>,
+}
+
+impl fmt::Debug for OrbBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrbBuilder")
+            .field("config", &self.config)
+            .field("clock", &self.clock)
+            .field("retry_budget", &self.retry_budget)
+            .field("telemetry", &self.telemetry.is_some())
+            .finish()
+    }
 }
 
 impl OrbBuilder {
@@ -179,11 +197,19 @@ impl OrbBuilder {
         self
     }
 
+    /// Attach a telemetry recorder; `build` registers the span-propagation
+    /// interceptor pair automatically (see [`Orb::install_telemetry`]).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Build the ORB.
     pub fn build(self) -> Orb {
         let clock = self.clock.unwrap_or_default();
         let retry_budget = if self.retry_budget == 0 { 8 } else { self.retry_budget };
-        Orb {
+        let orb = Orb {
             inner: Arc::new(OrbInner {
                 network: SimulatedNetwork::new(self.config, clock),
                 nodes: RwLock::new(HashMap::new()),
@@ -194,8 +220,13 @@ impl OrbBuilder {
                 retry_budget,
                 delivery_seq: AtomicU64::new(1),
                 detector: RwLock::new(None),
+                telemetry: RwLock::new(None),
             }),
+        };
+        if let Some(telemetry) = self.telemetry {
+            orb.install_telemetry(telemetry);
         }
+        orb
     }
 }
 
@@ -365,8 +396,31 @@ impl Orb {
         let delivery_id = request.delivery_id().expect("stamped above").to_owned();
         let operation = request.operation().to_owned();
         let detector = self.inner.detector.read().clone();
-        policy.run(self.clock(), deadline, &operation, &delivery_id, |_attempt| {
+        let telemetry = self.inner.telemetry.read().clone();
+        policy.run(self.clock(), deadline, &operation, &delivery_id, |attempt| {
+            // Each attempt is its own span, tagged with the shared logical
+            // delivery id; re-attempts (attempt > 0) bump the retry
+            // counter. Both are single-atomic-load no-ops when telemetry
+            // is absent or disabled.
+            let span = telemetry.as_ref().filter(|t| t.is_enabled()).map(|t| {
+                if attempt > 0 {
+                    t.metrics().incr("retry_attempts_total");
+                }
+                let span = t.start_span(&format!("attempt:{operation}"));
+                t.set_attr(&span, "delivery_id", &delivery_id);
+                t.set_attr(&span, "attempt", &attempt.to_string());
+                t.set_attr(&span, "to", object.node());
+                t.enter(span);
+                span
+            });
             let result = self.inner.invoke_from(from, object, request.clone());
+            if let (Some(telemetry), Some(span)) = (&telemetry, &span) {
+                if let Err(e) = &result {
+                    telemetry.set_attr(span, "error", &e.to_string());
+                }
+                telemetry.exit();
+                telemetry.end(span);
+            }
             if let Some(detector) = &detector {
                 match &result {
                     Ok(_) => detector.record_success(object.node()),
@@ -379,8 +433,13 @@ impl Orb {
     }
 
     /// Attach a [`FailureDetector`]; every policy-driven invocation feeds it
-    /// per-attempt evidence about the target node.
+    /// per-attempt evidence about the target node. If telemetry is
+    /// installed, the detector's state transitions are counted in the
+    /// metrics registry.
     pub fn set_detector(&self, detector: FailureDetector) {
+        if let Some(telemetry) = self.inner.telemetry.read().as_ref() {
+            detector.set_telemetry(telemetry.clone());
+        }
         *self.inner.detector.write() = Some(detector);
     }
 
@@ -388,40 +447,96 @@ impl Orb {
     pub fn detector(&self) -> Option<FailureDetector> {
         self.inner.detector.read().clone()
     }
+
+    /// Install a telemetry recorder: registers the
+    /// [`SpanClientInterceptor`]/[`SpanServerInterceptor`] pair so span
+    /// contexts ride every request's service contexts, and wires the
+    /// metrics registry into the attached failure detector (if any).
+    pub fn install_telemetry(&self, telemetry: Telemetry) {
+        self.add_client_interceptor(Arc::new(SpanClientInterceptor::new(telemetry.clone())));
+        self.add_server_interceptor(Arc::new(SpanServerInterceptor::new(telemetry.clone())));
+        if let Some(detector) = self.inner.detector.read().as_ref() {
+            detector.set_telemetry(telemetry.clone());
+        }
+        *self.inner.telemetry.write() = Some(telemetry);
+    }
+
+    /// The installed telemetry recorder, if any.
+    pub fn telemetry(&self) -> Option<Telemetry> {
+        self.inner.telemetry.read().clone()
+    }
 }
 
 impl OrbInner {
     fn invoke_oneway(&self, from: &str, object: &ObjectRef, mut request: Request) -> bool {
         let client_interceptors: Vec<_> = self.client_interceptors.read().clone();
-        for ci in &client_interceptors {
-            if ci.send_request(&mut request).is_err() {
+        for (ran, ci) in client_interceptors.iter().enumerate() {
+            if let Err(e) = ci.send_request(&mut request) {
+                notify_exception(&client_interceptors[..ran], &request, &e);
                 return false;
             }
         }
-        let Some(node) = self.nodes.read().get(object.node()).cloned() else {
-            return false;
-        };
-        let Some(servant) = node.servants.read().get(&object.id()).cloned() else {
-            return false;
-        };
+        let result = self.oneway_transport(from, object, &request);
+        match result {
+            Ok(()) => {
+                // No reply leg exists for a oneway; `receive_reply` fires
+                // with a synthetic local reply so per-request interceptor
+                // state (e.g. the span opened in `send_request`) closes.
+                let mut scratch = Reply::new(crate::value::Value::Null);
+                for ci in client_interceptors.iter().rev() {
+                    ci.receive_reply(&request, &mut scratch);
+                }
+                true
+            }
+            Err(e) => {
+                notify_exception(&client_interceptors, &request, &e);
+                false
+            }
+        }
+    }
+
+    fn oneway_transport(
+        &self,
+        from: &str,
+        object: &ObjectRef,
+        request: &Request,
+    ) -> Result<(), OrbError> {
+        let node = self
+            .nodes
+            .read()
+            .get(object.node())
+            .cloned()
+            .ok_or_else(|| OrbError::NodeNotFound(object.node().to_owned()))?;
+        let servant = node
+            .servants
+            .read()
+            .get(&object.id())
+            .cloned()
+            .ok_or(OrbError::ObjectNotFound(object.id()))?;
         let copies = match self.network.transmit(from, object.node()) {
             Delivery::Delivered { copies, .. } => copies,
-            Delivery::Dropped | Delivery::Partitioned => return false,
+            Delivery::Dropped => {
+                return Err(OrbError::Timeout { operation: request.operation().to_owned() })
+            }
+            Delivery::Partitioned => {
+                return Err(OrbError::Partitioned {
+                    from: from.to_owned(),
+                    to: object.node().to_owned(),
+                })
+            }
         };
         let server_interceptors: Vec<_> = self.server_interceptors.read().clone();
         for _ in 0..copies {
             for si in &server_interceptors {
-                if si.receive_request(&request).is_err() {
-                    return false;
-                }
+                si.receive_request(request)?;
             }
-            let _ = servant.dispatch(&request);
+            let _ = servant.dispatch(request);
             let mut scratch = Reply::new(crate::value::Value::Null);
             for si in server_interceptors.iter().rev() {
-                si.send_reply(&request, &mut scratch);
+                si.send_reply(request, &mut scratch);
             }
         }
-        true
+        Ok(())
     }
 
     fn invoke_from(
@@ -430,15 +545,44 @@ impl OrbInner {
         object: &ObjectRef,
         mut request: Request,
     ) -> Result<Reply, OrbError> {
-        // 1. Client interceptors stamp the outgoing request.
+        // 1. Client interceptors stamp the outgoing request. A veto
+        //    partway through still notifies the interceptors that already
+        //    ran, so their per-request state unwinds.
         let client_interceptors: Vec<_> = self.client_interceptors.read().clone();
-        for ci in &client_interceptors {
-            ci.send_request(&mut request).map_err(|e| match e {
-                veto @ OrbError::InterceptorVeto(_) => veto,
-                other => OrbError::InterceptorVeto(format!("{}: {other}", ci.name())),
-            })?;
+        for (ran, ci) in client_interceptors.iter().enumerate() {
+            if let Err(e) = ci.send_request(&mut request) {
+                let veto = match e {
+                    veto @ OrbError::InterceptorVeto(_) => veto,
+                    other => OrbError::InterceptorVeto(format!("{}: {other}", ci.name())),
+                };
+                notify_exception(&client_interceptors[..ran], &request, &veto);
+                return Err(veto);
+            }
         }
 
+        match self.invoke_transport(from, object, &request) {
+            Ok(mut reply) => {
+                for ci in client_interceptors.iter().rev() {
+                    ci.receive_reply(&request, &mut reply);
+                }
+                Ok(reply)
+            }
+            Err(e) => {
+                // No reply came back (transport loss, servant failure, or
+                // a server-side veto): the error-path counterpart of
+                // `receive_reply`.
+                notify_exception(&client_interceptors, &request, &e);
+                Err(e)
+            }
+        }
+    }
+
+    fn invoke_transport(
+        &self,
+        from: &str,
+        object: &ObjectRef,
+        request: &Request,
+    ) -> Result<Reply, OrbError> {
         // 2. Locate the target servant.
         let node = self
             .nodes
@@ -474,12 +618,12 @@ impl OrbInner {
         let mut outcome: Option<Result<crate::value::Value, OrbError>> = None;
         for _ in 0..copies {
             for si in &server_interceptors {
-                si.receive_request(&request)?;
+                si.receive_request(request)?;
             }
-            let result = servant.dispatch(&request);
+            let result = servant.dispatch(request);
             let mut scratch = Reply::new(crate::value::Value::Null);
             for si in server_interceptors.iter().rev() {
-                si.send_reply(&request, &mut scratch);
+                si.send_reply(request, &mut scratch);
             }
             if outcome.is_none() {
                 outcome = Some(result);
@@ -505,10 +649,15 @@ impl OrbInner {
 
         let mut reply = Reply::new(result?);
         reply.deliveries = copies;
-        for ci in client_interceptors.iter().rev() {
-            ci.receive_reply(&request, &mut reply);
-        }
         Ok(reply)
+    }
+}
+
+/// Tell every interceptor in `ran` (reverse order) that the invocation
+/// failed without a reply.
+fn notify_exception(ran: &[Arc<dyn ClientRequestInterceptor>], request: &Request, error: &OrbError) {
+    for ci in ran.iter().rev() {
+        ci.receive_exception(request, error);
     }
 }
 
@@ -797,6 +946,65 @@ mod tests {
         let mut req = Request::new("x");
         req.contexts_mut().set("token", Value::Bool(true));
         assert!(orb.invoke(&obj, req).is_ok());
+    }
+
+    #[test]
+    fn span_interceptors_record_propagated_trees() {
+        let telemetry = telemetry::Telemetry::new();
+        let orb = Orb::builder().telemetry(telemetry.clone()).build();
+        let node = orb.add_node("srv").unwrap();
+        let obj = node.activate("C", |_r: &Request| Ok(Value::Null)).unwrap();
+        orb.invoke(&obj, Request::new("ping")).unwrap();
+        let tree = telemetry.span_tree();
+        assert!(tree.verify().is_empty(), "{:?}", tree.verify());
+        let call = tree.find("call:ping").expect("client span");
+        let serve = tree.find("serve:ping").expect("server span");
+        assert_eq!(serve.context.trace_id, call.context.trace_id, "one trace end to end");
+        assert_eq!(serve.context.parent, Some(call.context.span_id));
+    }
+
+    #[test]
+    fn retry_attempts_become_tagged_child_spans() {
+        use crate::network::FaultScript;
+        use crate::retry::RetryPolicy;
+
+        let telemetry = telemetry::Telemetry::new();
+        let orb = Orb::builder().telemetry(telemetry.clone()).build();
+        orb.network().install_script(FaultScript::new().drop_nth(0));
+        let node = orb.add_node("srv").unwrap();
+        let obj = node.activate("C", |_r: &Request| Ok(Value::Null)).unwrap();
+        orb.invoke_with_policy(
+            EXTERNAL_CALLER,
+            &obj,
+            Request::new("x"),
+            &RetryPolicy::immediate(3),
+            None,
+        )
+        .unwrap();
+        let tree = telemetry.span_tree();
+        assert!(tree.verify().is_empty(), "{:?}", tree.verify());
+        let attempts: Vec<_> =
+            tree.spans().iter().filter(|s| s.name == "attempt:x").collect();
+        assert_eq!(attempts.len(), 2, "dropped first attempt plus the retry");
+        assert_eq!(attempts[0].attr("attempt"), Some("0"));
+        assert!(attempts[0].attr("error").is_some(), "first attempt timed out");
+        assert_eq!(attempts[1].attr("attempt"), Some("1"));
+        assert_eq!(
+            attempts[0].attr("delivery_id"),
+            attempts[1].attr("delivery_id"),
+            "attempts share the logical delivery id"
+        );
+        assert_eq!(telemetry.metrics().counter_value("retry_attempts_total"), 1);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing_on_the_invoke_path() {
+        let telemetry = telemetry::Telemetry::disabled();
+        let orb = Orb::builder().telemetry(telemetry.clone()).build();
+        let node = orb.add_node("srv").unwrap();
+        let obj = node.activate("C", |_r: &Request| Ok(Value::Null)).unwrap();
+        orb.invoke(&obj, Request::new("ping")).unwrap();
+        assert_eq!(telemetry.span_count(), 0);
     }
 
     #[test]

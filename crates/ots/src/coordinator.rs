@@ -36,6 +36,7 @@ use orb::pool::{CancelToken, DispatchConfig, TaskOutcome, WorkerPool};
 use orb::SimClock;
 use parking_lot::Mutex;
 use recovery_log::{FailpointSet, Wal};
+use telemetry::{SpanContext, Telemetry};
 
 use crate::error::TxError;
 use crate::resource::{Resource, SubtransactionAwareResource, Synchronization, Vote};
@@ -78,6 +79,7 @@ pub struct Coordinator {
     clock: Option<SimClock>,
     dispatch: DispatchConfig,
     detector: Mutex<Option<FailureDetector>>,
+    telemetry: Mutex<Option<Telemetry>>,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -118,6 +120,7 @@ impl Coordinator {
             clock,
             dispatch,
             detector: Mutex::new(None),
+            telemetry: Mutex::new(None),
         })
     }
 
@@ -133,6 +136,24 @@ impl Coordinator {
     /// The attached failure detector, if any.
     pub fn detector(&self) -> Option<FailureDetector> {
         self.detector.lock().clone()
+    }
+
+    /// Attach a telemetry recorder: every commit becomes a `commit:` span
+    /// with `prepare` / `phase2` child spans, per-vote latencies land in
+    /// the `twopc_vote_latency_seconds` histogram, and top-level outcomes
+    /// are counted as `twopc_commits_total` / `twopc_aborts_total`.
+    /// Subtransactions inherit the recorder, like the detector.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.telemetry.lock() = Some(telemetry);
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn telemetry(&self) -> Option<Telemetry> {
+        self.telemetry.lock().clone()
+    }
+
+    fn telemetry_handle(&self) -> Option<Telemetry> {
+        self.telemetry.lock().clone().filter(Telemetry::is_enabled)
     }
 
     /// How participant fan-out (prepare / commit / rollback) is scheduled.
@@ -313,6 +334,7 @@ impl Coordinator {
             clock: self.clock.clone(),
             dispatch: self.dispatch,
             detector: Mutex::new(self.detector.lock().clone()),
+            telemetry: Mutex::new(self.telemetry.lock().clone()),
         });
         inner.children.push(Arc::clone(&child));
         Ok(child)
@@ -340,6 +362,43 @@ impl Coordinator {
     /// [`TxError::Log`] when the decision could not be made durable (the
     /// transaction rolls back) or a crash was injected.
     pub fn commit(&self, report_heuristics: bool) -> Result<TxOutcome, TxError> {
+        // The whole commit is one span, entered on the driving thread so
+        // participant invocations (and, on a remote resource proxy, their
+        // retry-attempt spans) nest under it. It closes on every exit
+        // path, including injected crashes — oracle #7 rejects open spans.
+        let scope = self.telemetry_handle().map(|t| {
+            let span = t.start_span(&format!("commit:{}", self.id));
+            t.set_attr(&span, "top_level", if self.is_top_level() { "true" } else { "false" });
+            t.enter(span);
+            (t, span)
+        });
+        let result = self.commit_inner(report_heuristics, scope.as_ref());
+        if let Some((t, span)) = scope {
+            match &result {
+                Ok(TxOutcome::Committed) => t.set_attr(&span, "outcome", "committed"),
+                Ok(TxOutcome::RolledBack) => t.set_attr(&span, "outcome", "rolled_back"),
+                Err(e) => t.set_attr(&span, "error", &e.to_string()),
+            }
+            if self.is_top_level() {
+                match &result {
+                    Ok(TxOutcome::Committed) => t.metrics().incr("twopc_commits_total"),
+                    Ok(TxOutcome::RolledBack) | Err(TxError::RolledBack(_)) => {
+                        t.metrics().incr("twopc_aborts_total");
+                    }
+                    Err(_) => {}
+                }
+            }
+            t.exit();
+            t.end(&span);
+        }
+        result
+    }
+
+    fn commit_inner(
+        &self,
+        report_heuristics: bool,
+        tel: Option<&(Telemetry, SpanContext)>,
+    ) -> Result<TxOutcome, TxError> {
         // Settle children and collect a snapshot under the lock, then drive
         // the protocol outside it (participants may call back in).
         let (resources, synchronizations, doomed) = {
@@ -437,19 +496,30 @@ impl Coordinator {
             };
         }
 
-        // Phase one.
+        // Phase one. The `prepare` span closes before the AFTER_PREPARE
+        // failpoint so an injected crash there cannot leak it open.
         self.set_status(TxStatus::Preparing);
         if let Some(wal) = &self.wal {
             let names: Vec<&str> = resources.iter().map(|r| r.resource_name()).collect();
             txlog::log_prepared(wal.as_ref(), &self.id, &names)?;
         }
+        let prepare_span = tel.map(|(t, parent)| {
+            let span = t.start_child(parent, "prepare");
+            t.set_attr(&span, "participants", &resources.len().to_string());
+            span
+        });
         let mut prepared: Vec<Arc<dyn Resource>> = Vec::new();
         let mut voted_rollback = false;
         if self.dispatch.is_serial() {
             // Legacy serial phase one: stop asking for votes at the first
             // veto — resources after the break never see `prepare`.
             for resource in &resources {
+                let vote_started = tel.and_then(|_| self.clock.as_ref().map(SimClock::now));
                 let answer = resource.prepare(&self.id);
+                if let Some((t, _)) = tel {
+                    t.metrics()
+                        .observe("twopc_vote_latency_seconds", self.elapsed_since(vote_started));
+                }
                 if let Some(detector) = &detector {
                     match &answer {
                         Ok(_) => detector.record_success(resource.resource_name()),
@@ -466,6 +536,7 @@ impl Coordinator {
                 }
             }
         } else {
+            let phase_started = tel.and_then(|_| self.clock.as_ref().map(SimClock::now));
             // Parallel phase one: every vote is solicited concurrently and
             // all are joined before the decision. Speculatively preparing a
             // resource whose peer vetoes is safe — presumed abort means it
@@ -476,6 +547,12 @@ impl Coordinator {
             // order), not inside the scattered tasks, so suspicion counters
             // evolve identically under serial and parallel dispatch.
             for (resource, vote) in resources.iter().zip(votes) {
+                if let Some((t, _)) = tel {
+                    // Votes are joined, so per-vote latency is the phase
+                    // latency — the time this coordinator actually waited.
+                    t.metrics()
+                        .observe("twopc_vote_latency_seconds", self.elapsed_since(phase_started));
+                }
                 if let Some(detector) = &detector {
                     match &vote {
                         Ok(_) => detector.record_success(resource.resource_name()),
@@ -488,6 +565,11 @@ impl Coordinator {
                     Ok(Vote::Rollback) | Err(_) => voted_rollback = true,
                 }
             }
+        }
+        if let Some(((t, _), span)) = tel.zip(prepare_span.as_ref()) {
+            t.set_attr(span, "prepared", &prepared.len().to_string());
+            t.set_attr(span, "voted_rollback", if voted_rollback { "true" } else { "false" });
+            t.end(span);
         }
         self.failpoints.hit(failpoints::AFTER_PREPARE).map_err(TxError::from)?;
 
@@ -519,8 +601,14 @@ impl Coordinator {
         self.failpoints.hit(failpoints::AFTER_DECISION).map_err(TxError::from)?;
 
         // Phase two. The decision is durable, so the commit deliveries are
-        // independent; heuristics are collated in registration order.
+        // independent; heuristics are collated in registration order. The
+        // span closes before the BEFORE_COMPLETION_RECORD failpoint.
         self.set_status(TxStatus::Committing);
+        let phase2_span = tel.map(|(t, parent)| {
+            let span = t.start_child(parent, "phase2");
+            t.set_attr(&span, "participants", &prepared.len().to_string());
+            span
+        });
         let heuristics: Vec<String> = self
             .fan_out(&prepared, |resource, id| {
                 if let Err(e) = resource.commit(id) {
@@ -533,6 +621,10 @@ impl Coordinator {
             .into_iter()
             .flatten()
             .collect();
+        if let Some(((t, _), span)) = tel.zip(phase2_span.as_ref()) {
+            t.set_attr(span, "heuristics", &heuristics.len().to_string());
+            t.end(span);
+        }
         self.failpoints.hit(failpoints::BEFORE_COMPLETION_RECORD).map_err(TxError::from)?;
         self.finish(TxStatus::Committed, &synchronizations);
 
@@ -608,6 +700,16 @@ impl Coordinator {
         self.inner.lock().status = status;
     }
 
+    /// Virtual time elapsed since `started`; zero without a clock, so the
+    /// vote-latency histogram stays well-defined (and deterministic) on
+    /// clockless coordinators.
+    fn elapsed_since(&self, started: Option<Duration>) -> Duration {
+        match (&self.clock, started) {
+            (Some(clock), Some(started)) => clock.now().saturating_sub(started),
+            _ => Duration::ZERO,
+        }
+    }
+
     fn finish(&self, status: TxStatus, synchronizations: &[Arc<dyn Synchronization>]) {
         self.set_status(status);
         if self.is_top_level() {
@@ -649,6 +751,66 @@ mod tests {
         assert_eq!(c.status(), TxStatus::Committed);
         assert_eq!(r1.calls(), vec!["prepare", "commit", "forget"]);
         assert_eq!(r2.calls(), vec!["prepare", "commit", "forget"]);
+    }
+
+    #[test]
+    fn commit_records_phase_spans_and_metrics() {
+        let tel = Telemetry::new();
+        let c = top(None);
+        c.set_telemetry(tel.clone());
+        c.register_resource(ScriptedResource::voting("r1", Vote::Commit)).unwrap();
+        c.register_resource(ScriptedResource::voting("r2", Vote::Commit)).unwrap();
+        assert_eq!(c.commit(true).unwrap(), TxOutcome::Committed);
+
+        let tree = tel.span_tree();
+        assert_eq!(tree.verify(), Vec::<String>::new());
+        let root = &tree.roots()[0];
+        assert_eq!(root.name, "commit:tx-1");
+        assert_eq!(root.attr("outcome"), Some("committed"));
+        let phases: Vec<&str> =
+            tree.children(root.context.span_id).iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(phases, vec!["prepare", "phase2"]);
+        assert_eq!(tel.metrics().counter_value("twopc_commits_total"), 1);
+        assert_eq!(tel.metrics().histogram_count("twopc_vote_latency_seconds"), 2);
+    }
+
+    #[test]
+    fn injected_crash_still_closes_twopc_spans() {
+        let tel = Telemetry::new();
+        let fps = FailpointSet::new();
+        fps.arm(failpoints::AFTER_PREPARE, 0);
+        let c = Coordinator::new_top_level(
+            TxId::top_level(1),
+            None,
+            fps,
+            None,
+            None,
+            DispatchConfig::default(),
+        );
+        c.set_telemetry(tel.clone());
+        c.register_resource(ScriptedResource::voting("a", Vote::Commit)).unwrap();
+        c.register_resource(ScriptedResource::voting("b", Vote::Commit)).unwrap();
+        assert!(c.commit(true).is_err());
+        let tree = tel.span_tree();
+        assert_eq!(tree.verify(), Vec::<String>::new(), "crash path must close spans");
+        assert!(tree.roots()[0].attr("error").is_some());
+    }
+
+    #[test]
+    fn subtransactions_inherit_the_telemetry_recorder() {
+        let tel = Telemetry::new();
+        let c = top(None);
+        c.set_telemetry(tel.clone());
+        let child = c.create_subtransaction().unwrap();
+        assert!(child.telemetry().is_some());
+        child.commit(true).unwrap();
+        c.commit(true).unwrap();
+        // The provisional commit is a span too, tagged non-top-level, and
+        // only the top-level outcome is counted.
+        let tree = tel.span_tree();
+        let names: Vec<&str> = tree.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"commit:tx-1.0"));
+        assert_eq!(tel.metrics().counter_value("twopc_commits_total"), 1);
     }
 
     #[test]

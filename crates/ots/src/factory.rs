@@ -27,6 +27,7 @@ pub struct TransactionFactory {
     clock: Option<SimClock>,
     dispatch: DispatchConfig,
     detector: Option<FailureDetector>,
+    telemetry: Option<telemetry::Telemetry>,
     inflight: RwLock<HashMap<TxId, Arc<Coordinator>>>,
 }
 
@@ -56,6 +57,7 @@ impl TransactionFactory {
             clock: None,
             dispatch: DispatchConfig::default(),
             detector: None,
+            telemetry: None,
             inflight: RwLock::new(HashMap::new()),
         }
     }
@@ -99,6 +101,15 @@ impl TransactionFactory {
         self
     }
 
+    /// Attach a telemetry recorder: every coordinator this factory creates
+    /// records its commits as spans and its votes/outcomes as metrics (see
+    /// [`Coordinator::set_telemetry`]). Shared, like the detector.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: telemetry::Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// The factory's failpoints (shared handle).
     pub fn failpoints(&self) -> &FailpointSet {
         &self.failpoints
@@ -139,6 +150,9 @@ impl TransactionFactory {
         );
         if let Some(detector) = &self.detector {
             coordinator.set_detector(detector.clone());
+        }
+        if let Some(telemetry) = &self.telemetry {
+            coordinator.set_telemetry(telemetry.clone());
         }
         self.inflight.write().insert(id, Arc::clone(&coordinator));
         Ok(Control::new(coordinator))

@@ -66,6 +66,9 @@ pub struct LockManager {
     locks: Mutex<HashMap<String, LockState>>,
     stats: Mutex<LockStats>,
     clock: SimClock,
+    /// Pre-resolved `lock_acquired_total` / `lock_conflicts_total` counter
+    /// handles, mirroring [`LockStats`] into the telemetry registry.
+    counters: Mutex<Option<(telemetry::Counter, telemetry::Counter)>>,
 }
 
 impl Default for LockManager {
@@ -77,7 +80,35 @@ impl Default for LockManager {
 impl LockManager {
     /// A lock manager measuring hold times against `clock`.
     pub fn new(clock: SimClock) -> Self {
-        LockManager { locks: Mutex::new(HashMap::new()), stats: Mutex::new(LockStats::default()), clock }
+        LockManager {
+            locks: Mutex::new(HashMap::new()),
+            stats: Mutex::new(LockStats::default()),
+            clock,
+            counters: Mutex::new(None),
+        }
+    }
+
+    /// Mirror grant/conflict counts into `telemetry`'s metrics registry as
+    /// `lock_acquired_total` and `lock_conflicts_total`.
+    pub fn set_telemetry(&self, telemetry: &telemetry::Telemetry) {
+        *self.counters.lock() = Some((
+            telemetry.metrics().counter("lock_acquired_total"),
+            telemetry.metrics().counter("lock_conflicts_total"),
+        ));
+    }
+
+    fn count_acquired(&self) {
+        self.stats.lock().acquired += 1;
+        if let Some((acquired, _)) = self.counters.lock().as_ref() {
+            acquired.incr();
+        }
+    }
+
+    fn count_conflict(&self) {
+        self.stats.lock().conflicts += 1;
+        if let Some((_, conflicts)) = self.counters.lock().as_ref() {
+            conflicts.incr();
+        }
     }
 
     /// Try to acquire `key` in `mode` on behalf of `tx`.
@@ -102,7 +133,7 @@ impl LockManager {
                     key.to_owned(),
                     LockState { mode, holders: vec![tx.clone()], acquired_at: now },
                 );
-                self.stats.lock().acquired += 1;
+                self.count_acquired();
                 Ok(())
             }
             Some(state) => {
@@ -114,7 +145,7 @@ impl LockManager {
                     // Same lineage: grant, recording the strongest mode.
                     if !state.holders.contains(tx) {
                         state.holders.push(tx.clone());
-                        self.stats.lock().acquired += 1;
+                        self.count_acquired();
                     }
                     if mode == LockMode::Exclusive {
                         state.mode = LockMode::Exclusive;
@@ -124,11 +155,11 @@ impl LockManager {
                 if mode == LockMode::Shared && state.mode == LockMode::Shared {
                     if !state.holders.contains(tx) {
                         state.holders.push(tx.clone());
-                        self.stats.lock().acquired += 1;
+                        self.count_acquired();
                     }
                     return Ok(());
                 }
-                self.stats.lock().conflicts += 1;
+                self.count_conflict();
                 Err(TxError::LockConflict {
                     key: key.to_owned(),
                     holder: state.holders[0].clone(),

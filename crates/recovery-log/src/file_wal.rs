@@ -19,6 +19,7 @@ use crate::wal::Wal;
 pub struct FileWal {
     inner: Mutex<FileWalInner>,
     path: PathBuf,
+    appends: Mutex<Option<telemetry::Counter>>,
 }
 
 #[derive(Debug)]
@@ -64,12 +65,22 @@ impl FileWal {
             file.seek(SeekFrom::End(0))?;
         }
         let next = records.last().map(|r| r.lsn.raw() + 1).unwrap_or(1);
-        Ok(FileWal { inner: Mutex::new(FileWalInner { file, records, next }), path })
+        Ok(FileWal {
+            inner: Mutex::new(FileWalInner { file, records, next }),
+            path,
+            appends: Mutex::new(None),
+        })
     }
 
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Attach a telemetry recorder: every durable append bumps
+    /// `wal_appends_total`.
+    pub fn set_telemetry(&self, telemetry: &telemetry::Telemetry) {
+        *self.appends.lock() = Some(telemetry.metrics().counter("wal_appends_total"));
     }
 }
 
@@ -81,6 +92,10 @@ impl Wal for FileWal {
         inner.file.write_all(&record.encode())?;
         inner.next += 1;
         inner.records.push(record);
+        drop(inner);
+        if let Some(counter) = &*self.appends.lock() {
+            counter.incr();
+        }
         Ok(lsn)
     }
 

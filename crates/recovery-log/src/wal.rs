@@ -62,6 +62,7 @@ pub trait Wal: Send + Sync {
 #[derive(Debug, Default)]
 pub struct MemWal {
     inner: Mutex<MemWalInner>,
+    appends: Mutex<Option<telemetry::Counter>>,
 }
 
 #[derive(Debug, Default)]
@@ -74,7 +75,16 @@ struct MemWalInner {
 impl MemWal {
     /// An empty in-memory log.
     pub fn new() -> Self {
-        MemWal { inner: Mutex::new(MemWalInner { records: Vec::new(), next: 1, sealed: false }) }
+        MemWal {
+            inner: Mutex::new(MemWalInner { records: Vec::new(), next: 1, sealed: false }),
+            appends: Mutex::new(None),
+        }
+    }
+
+    /// Attach a telemetry recorder: every durable append bumps
+    /// `wal_appends_total`.
+    pub fn set_telemetry(&self, telemetry: &telemetry::Telemetry) {
+        *self.appends.lock() = Some(telemetry.metrics().counter("wal_appends_total"));
     }
 
     /// Seal the log: further appends fail with [`LogError::Sealed`]. Used to
@@ -98,6 +108,10 @@ impl Wal for MemWal {
         let lsn = Lsn::new(inner.next);
         inner.next += 1;
         inner.records.push(LogRecord::new(lsn, kind, payload.to_vec()));
+        drop(inner);
+        if let Some(counter) = &*self.appends.lock() {
+            counter.incr();
+        }
         Ok(lsn)
     }
 

@@ -1,0 +1,360 @@
+//! Cross-layer metrics registry: counters and virtual-time histograms.
+//!
+//! The registry follows the `TraceLog` gate discipline from
+//! `activity-service::coordinator`: one `AtomicBool` load on the hot path,
+//! and when the gate is off nothing else runs — no name formatting, no map
+//! lookup, no allocation. Hot loops that cannot even afford the name
+//! lookup hold a pre-resolved [`Counter`] handle (one `Arc<AtomicU64>`),
+//! so the enabled path is a single relaxed fetch-add.
+//!
+//! Histograms bucket virtual-time durations (read from `SimClock` by the
+//! caller) on a fixed log scale, so exports are deterministic under the
+//! simulation harness.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fixed histogram bucket upper bounds, in virtual seconds.
+const BUCKET_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// A pre-resolved counter handle: one atomic add when enabled, one atomic
+/// load when not. Cloning shares the underlying cell.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Acquire) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket virtual-time histogram.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: Default::default(),
+            sum_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: Duration) {
+        let secs = value.as_secs_f64();
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(value.as_nanos() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative bucket counts paired with their `le` bound rendering
+    /// (the last entry is `+Inf`).
+    pub fn cumulative(&self) -> Vec<(String, u64)> {
+        let mut total = 0;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            total += bucket.load(Ordering::Relaxed);
+            let le = match BUCKET_BOUNDS.get(i) {
+                Some(bound) => format!("{bound}"),
+                None => "+Inf".to_string(),
+            };
+            out.push((le, total));
+        }
+        out
+    }
+}
+
+/// The registry. Keys are full Prometheus-style series names, labels
+/// included (e.g. `signals_transmitted_total{set="Bill"}`); the exporter
+/// groups series into families by the name before the `{`.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<MetricsInner>,
+}
+
+struct MetricsInner {
+    enabled: Arc<AtomicBool>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// A registry sharing the recorder's enabled gate.
+    pub(crate) fn with_gate(enabled: Arc<AtomicBool>) -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Arc::new(MetricsInner {
+                enabled,
+                counters: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// A standalone always-enabled registry (tests, exporters).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::with_gate(Arc::new(AtomicBool::new(true)))
+    }
+
+    fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Acquire)
+    }
+
+    /// Resolve (registering on first use) a counter handle for hot loops.
+    /// The handle stays valid for the life of the registry and costs one
+    /// atomic add per increment.
+    pub fn counter(&self, name: &str) -> Counter {
+        let cell = {
+            let mut counters = self.inner.counters.lock();
+            counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .clone()
+        };
+        Counter {
+            enabled: self.inner.enabled.clone(),
+            cell,
+        }
+    }
+
+    /// One-shot increment by name. Gated before any lookup or allocation.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// One-shot add by name. Gated before any lookup or allocation.
+    pub fn add(&self, name: &str, n: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let cell = {
+            let mut counters = self.inner.counters.lock();
+            counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .clone()
+        };
+        cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one observation into a histogram. Gated before any lookup.
+    pub fn observe(&self, name: &str, value: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        let hist = {
+            let mut histograms = self.inner.histograms.lock();
+            histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new()))
+                .clone()
+        };
+        hist.observe(value);
+    }
+
+    /// Current value of a counter series (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .counters
+            .lock()
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Sum of every counter series whose family name (the part before any
+    /// `{`) equals `family` — e.g. total detector transitions across all
+    /// `{from=...,to=...}` label sets.
+    pub fn family_total(&self, family: &str) -> u64 {
+        self.inner
+            .counters
+            .lock()
+            .iter()
+            .filter(|(name, _)| {
+                let base = name.split('{').next().unwrap_or(name);
+                base == family
+            })
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Count of observations in a histogram series (0 if never touched).
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.inner
+            .histograms
+            .lock()
+            .get(name)
+            .map(|h| h.count())
+            .unwrap_or(0)
+    }
+
+    /// Prometheus text exposition (text/plain; version 0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let counters = self.inner.counters.lock();
+        let mut last_family = String::new();
+        for (name, cell) in counters.iter() {
+            let family = name.split('{').next().unwrap_or(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} counter");
+                last_family = family.to_string();
+            }
+            let _ = writeln!(out, "{name} {}", cell.load(Ordering::Relaxed));
+        }
+        drop(counters);
+        let histograms = self.inner.histograms.lock();
+        for (name, hist) in histograms.iter() {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (le, count) in hist.cumulative() {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {count}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", hist.sum().as_secs_f64());
+            let _ = writeln!(out, "{name}_count {}", hist.count());
+        }
+        out
+    }
+
+    /// JSON snapshot (for the `telemetry_overhead` bin / CI artifact).
+    pub fn snapshot_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters = self.inner.counters.lock();
+        for (i, (name, cell)) in counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {}",
+                escape(name),
+                cell.load(Ordering::Relaxed)
+            );
+        }
+        drop(counters);
+        out.push_str("\n  },\n  \"histograms\": {");
+        let histograms = self.inner.histograms.lock();
+        for (i, (name, hist)) in histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum_seconds\": {}, \"buckets\": {{",
+                escape(name),
+                hist.count(),
+                hist.sum().as_secs_f64()
+            );
+            for (j, (le, count)) in hist.cumulative().iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}\"{le}\": {count}");
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_export() {
+        let m = MetricsRegistry::new();
+        m.incr("retry_attempts_total");
+        m.add("retry_attempts_total", 2);
+        m.incr("signals_transmitted_total{set=\"Bill\"}");
+        assert_eq!(m.counter_value("retry_attempts_total"), 3);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE retry_attempts_total counter"));
+        assert!(text.contains("retry_attempts_total 3"));
+        assert!(text.contains("signals_transmitted_total{set=\"Bill\"} 1"));
+    }
+
+    #[test]
+    fn disabled_gate_blocks_everything() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let m = MetricsRegistry::with_gate(gate.clone());
+        m.incr("x_total");
+        m.observe("h", Duration::from_micros(3));
+        let handle = m.counter("y_total");
+        handle.incr();
+        assert_eq!(m.counter_value("x_total"), 0);
+        assert_eq!(m.histogram_count("h"), 0);
+        assert_eq!(handle.get(), 0);
+        gate.store(true, Ordering::Release);
+        handle.incr();
+        assert_eq!(handle.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = MetricsRegistry::new();
+        m.observe("lat", Duration::from_micros(1)); // le 1e-6
+        m.observe("lat", Duration::from_millis(2)); // le 1e-2
+        m.observe("lat", Duration::from_secs(100)); // +Inf
+        let text = m.render_prometheus();
+        assert!(text.contains("lat_bucket{le=\"0.000001\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_count 3"));
+        assert_eq!(m.histogram_count("lat"), 3);
+    }
+
+    #[test]
+    fn family_total_sums_label_sets() {
+        let m = MetricsRegistry::new();
+        m.incr("detector_transitions_total{from=\"healthy\",to=\"suspect\"}");
+        m.add("detector_transitions_total{from=\"suspect\",to=\"quarantined\"}", 2);
+        m.incr("other_total");
+        assert_eq!(m.family_total("detector_transitions_total"), 3);
+    }
+
+    #[test]
+    fn json_snapshot_is_parseable_shape() {
+        let m = MetricsRegistry::new();
+        m.incr("a_total");
+        m.observe("h", Duration::from_micros(5));
+        let json = m.snapshot_json();
+        assert!(json.contains("\"a_total\": 1"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

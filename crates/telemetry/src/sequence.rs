@@ -1,0 +1,193 @@
+//! ASCII message-sequence charts from span trees.
+//!
+//! The paper explains its protocols with message-sequence charts
+//! (figs. 8 and 10); `render_sequence` reconstructs that view from a
+//! recorded span tree. Instrumentation marks spans with `msc.*`
+//! attributes; anything unmarked is structural and skipped:
+//!
+//! - [`MSC_FROM`] / [`MSC_TO`]: lifelines of an arrow (`MSC_FROM`
+//!   defaults to the first participant seen).
+//! - [`MSC_MSG`]: the request label (defaults to the span name).
+//! - [`MSC_REPLY`]: when present, a return arrow with this label.
+//! - [`MSC_NOTE`]: a local event box on the `MSC_FROM` lifeline.
+
+use crate::span::SpanRecord;
+use crate::tree::SpanTree;
+
+pub const MSC_FROM: &str = "msc.from";
+pub const MSC_TO: &str = "msc.to";
+pub const MSC_MSG: &str = "msc.msg";
+pub const MSC_REPLY: &str = "msc.reply";
+pub const MSC_NOTE: &str = "msc.note";
+
+enum Step {
+    Arrow { from: usize, to: usize, label: String },
+    Note { at: usize, text: String },
+}
+
+/// Render a fig. 8/10-style chart: participants across the top, virtual
+/// time flowing down, one row per message or local event.
+pub fn render_sequence(tree: &SpanTree) -> String {
+    let mut order: Vec<&SpanRecord> = tree.spans().iter().collect();
+    order.sort_by_key(|s| s.start);
+
+    let mut participants: Vec<String> = Vec::new();
+    let intern = |participants: &mut Vec<String>, name: &str| -> usize {
+        match participants.iter().position(|p| p == name) {
+            Some(i) => i,
+            None => {
+                participants.push(name.to_string());
+                participants.len() - 1
+            }
+        }
+    };
+
+    let mut steps = Vec::new();
+    for span in &order {
+        if let Some(note) = span.attr(MSC_NOTE) {
+            let actor = span.attr(MSC_FROM).unwrap_or_else(|| {
+                participants.first().map(String::as_str).unwrap_or("node")
+            });
+            let actor = actor.to_string();
+            let at = intern(&mut participants, &actor);
+            steps.push(Step::Note {
+                at,
+                text: note.to_string(),
+            });
+        }
+        if let Some(to) = span.attr(MSC_TO) {
+            let from = span
+                .attr(MSC_FROM)
+                .unwrap_or_else(|| {
+                    participants.first().map(String::as_str).unwrap_or("node")
+                })
+                .to_string();
+            let to = to.to_string();
+            let from = intern(&mut participants, &from);
+            let to = intern(&mut participants, &to);
+            let label = span.attr(MSC_MSG).unwrap_or(&span.name).to_string();
+            steps.push(Step::Arrow { from, to, label });
+            if let Some(reply) = span.attr(MSC_REPLY) {
+                steps.push(Step::Arrow {
+                    from: to,
+                    to: from,
+                    label: reply.to_string(),
+                });
+            }
+        }
+    }
+
+    if participants.is_empty() {
+        return String::from("(no sequence-chart events recorded)");
+    }
+
+    let label_max = steps
+        .iter()
+        .map(|s| match s {
+            Step::Arrow { label, .. } => label.len(),
+            Step::Note { text, .. } => text.len(),
+        })
+        .max()
+        .unwrap_or(0);
+    let name_max = participants.iter().map(String::len).max().unwrap_or(0);
+    let pitch = (label_max + 6).max(name_max + 2).max(14);
+    let centers: Vec<usize> = (0..participants.len())
+        .map(|i| i * pitch + pitch / 2)
+        .collect();
+    let width = participants.len() * pitch;
+
+    let lifelines = |row: &mut [char]| {
+        for &c in &centers {
+            row[c] = '|';
+        }
+    };
+    let render_row = |row: Vec<char>| -> String {
+        row.into_iter().collect::<String>().trim_end().to_string()
+    };
+
+    let mut out = Vec::new();
+    let mut header: Vec<char> = vec![' '; width];
+    for (i, name) in participants.iter().enumerate() {
+        let start = centers[i].saturating_sub(name.len() / 2).min(width - name.len());
+        for (j, ch) in name.chars().enumerate() {
+            header[start + j] = ch;
+        }
+    }
+    out.push(render_row(header));
+    let mut idle: Vec<char> = vec![' '; width];
+    lifelines(&mut idle);
+    out.push(render_row(idle));
+
+    for step in steps {
+        let mut row: Vec<char> = vec![' '; width];
+        lifelines(&mut row);
+        match step {
+            Step::Arrow { from, to, label } => {
+                let (a, b) = (centers[from], centers[to]);
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                for cell in row.iter_mut().take(hi).skip(lo + 1) {
+                    *cell = '-';
+                }
+                if a < b {
+                    row[hi - 1] = '>';
+                } else {
+                    row[lo + 1] = '<';
+                }
+                let corridor = hi.saturating_sub(lo + 3);
+                let text: String = label.chars().take(corridor).collect();
+                if !text.is_empty() {
+                    let start = lo + 2 + (corridor - text.len()) / 2;
+                    for (j, ch) in text.chars().enumerate() {
+                        row[start + j] = ch;
+                    }
+                }
+            }
+            Step::Note { at, text } => {
+                let start = centers[at] + 2;
+                let mut full = render_row(row).chars().collect::<Vec<char>>();
+                while full.len() < start {
+                    full.push(' ');
+                }
+                full.truncate(start);
+                full.extend(format!("* {text}").chars());
+                out.push(render_row(full));
+                continue;
+            }
+        }
+        out.push(render_row(row));
+    }
+    out.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Telemetry, MSC_FROM, MSC_MSG, MSC_NOTE, MSC_REPLY, MSC_TO};
+
+    #[test]
+    fn chart_shows_arrows_and_notes() {
+        let tel = Telemetry::new();
+        let root = tel.start_root("activity");
+        tel.set_attr(&root, MSC_FROM, "coordinator");
+        tel.set_attr(&root, MSC_NOTE, "get_signal(Bill)");
+        let transmit = tel.start_child(&root, "transmit:charge");
+        tel.set_attr(&transmit, MSC_FROM, "coordinator");
+        tel.set_attr(&transmit, MSC_TO, "hotel");
+        tel.set_attr(&transmit, MSC_MSG, "charge");
+        tel.set_attr(&transmit, MSC_REPLY, "success");
+        tel.end(&transmit);
+        tel.end(&root);
+        let chart = tel.span_tree().render_sequence();
+        assert!(chart.contains("coordinator"), "{chart}");
+        assert!(chart.contains("hotel"), "{chart}");
+        assert!(chart.contains("charge"), "{chart}");
+        assert!(chart.contains('>'), "{chart}");
+        assert!(chart.contains('<'), "{chart}");
+        assert!(chart.contains("* get_signal(Bill)"), "{chart}");
+    }
+
+    #[test]
+    fn empty_tree_renders_placeholder() {
+        let tel = Telemetry::new();
+        assert!(tel.span_tree().render_sequence().contains("no sequence"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Span-tree reconstruction, well-formedness checking, canonical
+//! fingerprinting and the coordinator-event projection.
+//!
+//! The tree is the telemetry plane's ground truth: oracle #7 in the
+//! harness asserts per seed that it is well-formed (single root per trace,
+//! no orphans, parents open-before/close-after children, no span left
+//! open) and that the merged point-event stream is byte-identical to the
+//! `TraceLog` the figure-regeneration pipeline already trusts.
+
+use crate::span::{SpanId, SpanRecord, TraceId};
+use std::collections::{HashMap, HashSet};
+
+/// An immutable snapshot of every span a recorder has seen, in
+/// allocation order.
+#[derive(Debug, Clone)]
+pub struct SpanTree {
+    spans: Vec<SpanRecord>,
+}
+
+impl SpanTree {
+    pub(crate) fn new(spans: Vec<SpanRecord>) -> SpanTree {
+        SpanTree { spans }
+    }
+
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Distinct trace ids, in first-appearance order.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for span in &self.spans {
+            if seen.insert(span.context.trace_id) {
+                out.push(span.context.trace_id);
+            }
+        }
+        out
+    }
+
+    /// Spans with no parent, in allocation order.
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.context.parent.is_none())
+            .collect()
+    }
+
+    /// Children of `parent`, in allocation order.
+    pub fn children(&self, parent: SpanId) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.context.parent == Some(parent))
+            .collect()
+    }
+
+    /// First span whose name matches, in allocation order.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Well-formedness check; an empty vector means the tree is sound.
+    ///
+    /// Invariants (oracle #7, tentpole §3): per trace id exactly one
+    /// root; every parent id resolves within the same trace (no
+    /// orphans); every span was closed; parents open before and close
+    /// after each of their children.
+    pub fn verify(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        let by_id: HashMap<SpanId, &SpanRecord> =
+            self.spans.iter().map(|s| (s.context.span_id, s)).collect();
+        let mut roots_per_trace: HashMap<TraceId, Vec<&str>> = HashMap::new();
+        for span in &self.spans {
+            if span.end.is_none() {
+                errors.push(format!("span '{}' was never closed", span.name));
+            }
+            match span.context.parent {
+                None => roots_per_trace
+                    .entry(span.context.trace_id)
+                    .or_default()
+                    .push(&span.name),
+                Some(parent_id) => match by_id.get(&parent_id) {
+                    None => errors.push(format!(
+                        "span '{}' is an orphan: parent {} not in tree",
+                        span.name, parent_id
+                    )),
+                    Some(parent) => {
+                        if parent.context.trace_id != span.context.trace_id {
+                            errors.push(format!(
+                                "span '{}' crosses traces: parent '{}' has a different trace id",
+                                span.name, parent.name
+                            ));
+                        }
+                        if span.start < parent.start {
+                            errors.push(format!(
+                                "span '{}' opens before its parent '{}'",
+                                span.name, parent.name
+                            ));
+                        }
+                        if let (Some(child_end), Some(parent_end)) = (span.end, parent.end) {
+                            if child_end > parent_end {
+                                errors.push(format!(
+                                    "span '{}' closes after its parent '{}'",
+                                    span.name, parent.name
+                                ));
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        for (trace, roots) in roots_per_trace {
+            if roots.len() != 1 {
+                errors.push(format!(
+                    "trace {trace} has {} roots ({}), expected exactly one",
+                    roots.len(),
+                    roots.join(", ")
+                ));
+            }
+        }
+        errors.sort();
+        errors
+    }
+
+    /// Canonical structural fingerprint: FNV-1a over a rendering that
+    /// ignores raw id allocation order (children are sorted by their
+    /// canonical form), so the same causal structure hashes identically
+    /// even if ids were handed out in a different interleaving.
+    pub fn fingerprint(&self) -> u64 {
+        let mut children: HashMap<Option<SpanId>, Vec<&SpanRecord>> = HashMap::new();
+        for span in &self.spans {
+            children.entry(span.context.parent).or_default().push(span);
+        }
+        let mut roots: Vec<String> = children
+            .get(&None)
+            .map(|roots| roots.iter().map(|r| canonical(r, &children)).collect())
+            .unwrap_or_default();
+        roots.sort();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for canon in roots {
+            for byte in canon.as_bytes() {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    /// The coordinator projection: every point event on every span,
+    /// merged back into emission order (the recorder-wide sequence
+    /// number) and joined with newlines — the exact shape of
+    /// `TraceLog::render()`. Oracle #7 compares the two byte for byte.
+    pub fn coordinator_projection(&self) -> String {
+        let mut events: Vec<(u64, &str)> = self
+            .spans
+            .iter()
+            .flat_map(|s| s.events.iter().map(|(seq, text)| (*seq, text.as_str())))
+            .collect();
+        events.sort_by_key(|(seq, _)| *seq);
+        events
+            .iter()
+            .map(|(_, text)| *text)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Fig. 8/10-style ASCII message-sequence chart; see
+    /// [`crate::sequence::render_sequence`].
+    pub fn render_sequence(&self) -> String {
+        crate::sequence::render_sequence(self)
+    }
+}
+
+fn canonical(span: &SpanRecord, children: &HashMap<Option<SpanId>, Vec<&SpanRecord>>) -> String {
+    let mut kids: Vec<String> = children
+        .get(&Some(span.context.span_id))
+        .map(|kids| kids.iter().map(|k| canonical(k, children)).collect())
+        .unwrap_or_default();
+    kids.sort();
+    let attrs = span
+        .attrs
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let events = span
+        .events
+        .iter()
+        .map(|(_, text)| text.as_str())
+        .collect::<Vec<_>>()
+        .join("&");
+    let end = span.end.map(|e| e.as_nanos() as u64).unwrap_or(u64::MAX);
+    format!(
+        "{}[{attrs}]@{}..{end}<{events}>({})",
+        span.name,
+        span.start.as_nanos() as u64,
+        kids.join(";")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanContext;
+    use std::time::Duration;
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        start: u64,
+        end: Option<u64>,
+    ) -> SpanRecord {
+        SpanRecord {
+            context: SpanContext {
+                trace_id: TraceId(1),
+                span_id: SpanId(id),
+                parent: parent.map(SpanId),
+            },
+            name: name.to_string(),
+            start: Duration::from_nanos(start),
+            end: end.map(Duration::from_nanos),
+            attrs: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sound_tree_verifies_clean() {
+        let tree = SpanTree::new(vec![
+            span(1, None, "root", 0, Some(10)),
+            span(2, Some(1), "child", 1, Some(5)),
+            span(3, Some(1), "child2", 5, Some(9)),
+        ]);
+        assert!(tree.verify().is_empty(), "{:?}", tree.verify());
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        let tree = SpanTree::new(vec![
+            span(1, None, "root", 5, Some(10)),
+            span(2, Some(1), "early", 1, Some(6)),
+            span(3, Some(1), "late", 6, Some(12)),
+            span(4, Some(99), "orphan", 6, Some(7)),
+            span(5, Some(1), "open", 6, None),
+            span(6, None, "second-root", 0, Some(1)),
+        ]);
+        let errors = tree.verify();
+        assert!(errors.iter().any(|e| e.contains("opens before")));
+        assert!(errors.iter().any(|e| e.contains("closes after")));
+        assert!(errors.iter().any(|e| e.contains("orphan")));
+        assert!(errors.iter().any(|e| e.contains("never closed")));
+        assert!(errors.iter().any(|e| e.contains("expected exactly one")));
+    }
+
+    #[test]
+    fn fingerprint_ignores_id_allocation_order() {
+        // Same structure, ids handed out in a different order: spans 2/3
+        // swap ids but keep identical (name, start, end) shape.
+        let a = SpanTree::new(vec![
+            span(1, None, "root", 0, Some(10)),
+            span(2, Some(1), "left", 1, Some(4)),
+            span(3, Some(1), "right", 5, Some(9)),
+        ]);
+        let b = SpanTree::new(vec![
+            span(7, None, "root", 0, Some(10)),
+            span(9, Some(7), "right", 5, Some(9)),
+            span(8, Some(7), "left", 1, Some(4)),
+        ]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = SpanTree::new(vec![
+            span(1, None, "root", 0, Some(10)),
+            span(2, Some(1), "left", 1, Some(4)),
+        ]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn projection_merges_events_by_sequence() {
+        let mut root = span(1, None, "root", 0, Some(10));
+        let mut child = span(2, Some(1), "child", 1, Some(5));
+        root.events.push((0, "get_signal(Bill)".to_string()));
+        child.events.push((1, "\"charge\" -> debit".to_string()));
+        root.events.push((2, "get_outcome(Bill) = success".to_string()));
+        let tree = SpanTree::new(vec![root, child]);
+        assert_eq!(
+            tree.coordinator_projection(),
+            "get_signal(Bill)\n\"charge\" -> debit\nget_outcome(Bill) = success"
+        );
+    }
+}

@@ -63,6 +63,23 @@ pub fn execute(
     params: &Value,
     outputs: &BTreeMap<String, Value>,
 ) -> Result<Vec<CompensationRecord>, WorkflowError> {
+    execute_traced(plan, registry, params, outputs, None)
+}
+
+/// [`execute`], but each step additionally records a `compensate:{task}`
+/// span (under the caller's ambient span) and bumps
+/// `wf_compensations_total{status=...}` on the given recorder.
+///
+/// # Errors
+///
+/// Same as [`execute`].
+pub fn execute_traced(
+    plan: &[CompensationStep],
+    registry: &TaskRegistry,
+    params: &Value,
+    outputs: &BTreeMap<String, Value>,
+    telemetry: Option<&telemetry::Telemetry>,
+) -> Result<Vec<CompensationRecord>, WorkflowError> {
     // Validate the whole plan first so a missing body cannot strand a
     // half-compensated workflow.
     for step in plan {
@@ -78,7 +95,24 @@ pub fn execute(
             upstream.insert(step.task.clone(), output.clone());
         }
         let input = TaskInput { params: params.clone(), upstream };
+        let span = telemetry.map(|t| {
+            let span = t.start_span(&format!("compensate:{}", step.task));
+            t.set_attr(&span, "compensation", &step.compensation);
+            t.set_attr(&span, telemetry::MSC_FROM, "coordinator");
+            t.set_attr(
+                &span,
+                telemetry::MSC_NOTE,
+                &format!("compensate {} via {}", step.task, step.compensation),
+            );
+            span
+        });
         let TaskResult { success, .. } = body.execute(&input);
+        if let (Some(t), Some(span)) = (telemetry, span.as_ref()) {
+            let status = if success { "ok" } else { "failed" };
+            t.set_attr(span, "outcome", status);
+            t.end(span);
+            t.metrics().incr(&format!("wf_compensations_total{{status=\"{status}\"}}"));
+        }
         records.push(CompensationRecord { step: step.clone(), success });
     }
     Ok(records)

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use activity_service::{Activity, ActivityService, CompletionStatus};
 use orb::detector::FailureDetector;
 use orb::{Value, ValueMap};
+use telemetry::Telemetry;
 use tx_models::workflow_signals::{CompletedSignalSet, COMPLETED_SET};
 
 use crate::compensate::{self, CompensationRecord};
@@ -29,19 +30,22 @@ pub enum FailurePolicy {
 }
 
 /// Run a body, re-executing on failure up to `retries` extra times.
+/// Returns the final result and how many attempts were made.
 fn execute_with_retries(
     body: &dyn crate::task::Task,
     input: &TaskInput,
     retries: u32,
-) -> TaskResult {
+) -> (TaskResult, u32) {
+    let mut attempts = 1;
     let mut result = body.execute(input);
     for _ in 0..retries {
         if result.success {
             break;
         }
+        attempts += 1;
         result = body.execute(input);
     }
-    result
+    (result, attempts)
 }
 
 /// Result of one workflow run.
@@ -73,6 +77,7 @@ pub struct WorkflowEngine {
     registry: TaskRegistry,
     policy: FailurePolicy,
     detector: Option<FailureDetector>,
+    telemetry: Option<Telemetry>,
 }
 
 impl std::fmt::Debug for WorkflowEngine {
@@ -104,7 +109,13 @@ impl WorkflowEngine {
                 }
             }
         }
-        Ok(WorkflowEngine { graph, registry, policy: FailurePolicy::default(), detector: None })
+        Ok(WorkflowEngine {
+            graph,
+            registry,
+            policy: FailurePolicy::default(),
+            detector: None,
+            telemetry: None,
+        })
     }
 
     /// Override the failure policy.
@@ -124,6 +135,17 @@ impl WorkflowEngine {
     #[must_use]
     pub fn with_detector(mut self, detector: FailureDetector) -> Self {
         self.detector = Some(detector);
+        self
+    }
+
+    /// Attach a telemetry recorder: each run opens a `workflow:{name}` span,
+    /// each finished task a `task:{name}` child (tagged with its attempt
+    /// count and outcome), and each compensation a `compensate:{task}` child.
+    /// Give the [`ActivityService`] the same recorder and the activity spans
+    /// interleave into the same tree.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -190,6 +212,40 @@ impl WorkflowEngine {
         parallel: bool,
         journal: Option<&WorkflowJournal>,
     ) -> Result<WorkflowReport, WorkflowError> {
+        // The `workflow:{name}` span wraps the whole run so every exit path
+        // (including activity-machinery errors) closes it.
+        let scope = self.telemetry.as_ref().filter(|t| t.is_enabled()).map(|t| {
+            let span = t.start_span(&format!("workflow:{name}"));
+            t.set_attr(&span, "tasks", &self.graph.len().to_string());
+            t.enter(span);
+            (t, span)
+        });
+        let result = self.run_exec(service, name, params, parallel, journal);
+        if let Some((t, span)) = scope {
+            match &result {
+                Ok(report) => {
+                    t.set_attr(&span, "completed", &report.completed.len().to_string());
+                    t.set_attr(&span, "failed", &report.failed.len().to_string());
+                    let outcome = if report.succeeded() { "success" } else { "failed" };
+                    t.set_attr(&span, "outcome", outcome);
+                }
+                Err(e) => t.set_attr(&span, "error", &e.to_string()),
+            }
+            t.exit();
+            t.end(&span);
+        }
+        result
+    }
+
+    fn run_exec(
+        &self,
+        service: &ActivityService,
+        name: &str,
+        params: Value,
+        parallel: bool,
+        journal: Option<&WorkflowJournal>,
+    ) -> Result<WorkflowReport, WorkflowError> {
+        let tel = self.telemetry.as_ref().filter(|t| t.is_enabled());
         let workflow = service.begin(name)?;
         let mut controllers: BTreeMap<String, Arc<TaskController>> = BTreeMap::new();
         for task in self.graph.task_names() {
@@ -259,7 +315,7 @@ impl WorkflowEngine {
 
             // Execute the batch's bodies (concurrently when asked); the
             // signalling below stays on this thread.
-            let mut results: Vec<(String, TaskResult)> = if parallel && ready.len() > 1 {
+            let mut results: Vec<(String, TaskResult, u32)> = if parallel && ready.len() > 1 {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = ready
                         .iter()
@@ -272,8 +328,9 @@ impl WorkflowEngine {
                             };
                             let task = task.clone();
                             scope.spawn(move || {
-                                let result = execute_with_retries(&*body, &input, retries);
-                                (task, result)
+                                let (result, attempts) =
+                                    execute_with_retries(&*body, &input, retries);
+                                (task, result, attempts)
                             })
                         })
                         .collect();
@@ -289,7 +346,8 @@ impl WorkflowEngine {
                             params: params.clone(),
                             upstream: controllers[task].inputs(),
                         };
-                        (task.clone(), execute_with_retries(&*body, &input, retries))
+                        let (result, attempts) = execute_with_retries(&*body, &input, retries);
+                        (task.clone(), result, attempts)
                     })
                     .collect()
             };
@@ -299,7 +357,7 @@ impl WorkflowEngine {
             // successes still reach the journal and report before a
             // CompensateAndStop break).
             if let Some(detector) = &self.detector {
-                for (task, result) in &results {
+                for (task, result, _) in &results {
                     if result.success {
                         detector.record_success(task);
                     } else {
@@ -309,14 +367,37 @@ impl WorkflowEngine {
             }
             results.extend(quarantined.into_iter().map(|task| {
                 let result = TaskResult::failed(format!("participant {task} quarantined"));
-                (task, result)
+                (task, result, 0)
             }));
 
-            for (task, result) in results {
-                if let Some(journal) = journal {
-                    journal.record(&task, result.success, &result.output)?;
+            for (task, result, attempts) in results {
+                // The `task:{name}` span covers journaling plus the fig. 10
+                // outcome exchange (the Completed child activity itself
+                // parents under the workflow activity, per fig. 4).
+                let status = if result.success { "ok" } else { "failed" };
+                let task_scope = tel.map(|t| {
+                    let span = t.start_span(&format!("task:{task}"));
+                    t.set_attr(&span, "attempts", &attempts.to_string());
+                    t.set_attr(&span, "outcome", status);
+                    t.enter(span);
+                    (t, span)
+                });
+                let notified = (|| {
+                    if let Some(journal) = journal {
+                        journal.record(&task, result.success, &result.output)?;
+                    }
+                    self.notify_completion(&workflow, &task, &result, &controllers)
+                })();
+                if let Some((t, span)) = task_scope {
+                    if let Err(e) = &notified {
+                        t.set_attr(&span, "error", &e.to_string());
+                    }
+                    t.exit();
+                    t.end(&span);
+                    t.metrics().incr(&format!("wf_tasks_total{{status=\"{status}\"}}"));
+                    t.metrics().add("wf_task_attempts_total", u64::from(attempts));
                 }
-                self.notify_completion(&workflow, &task, &result, &controllers)?;
+                notified?;
                 if result.success {
                     report.outputs.insert(task.clone(), result.output);
                     report.completed.push(task);
@@ -345,8 +426,22 @@ impl WorkflowEngine {
 
         if !report.failed.is_empty() && self.policy == FailurePolicy::CompensateAndStop {
             let plan = compensate::plan(&self.graph, &report.completed);
-            report.compensations =
-                compensate::execute(&plan, &self.registry, &params, &report.outputs)?;
+            let comp_scope = tel.map(|t| {
+                let span = t.start_span("compensation");
+                t.set_attr(&span, "planned", &plan.len().to_string());
+                t.enter(span);
+                (t, span)
+            });
+            let executed =
+                compensate::execute_traced(&plan, &self.registry, &params, &report.outputs, tel);
+            if let Some((t, span)) = comp_scope {
+                if let Err(e) = &executed {
+                    t.set_attr(&span, "error", &e.to_string());
+                }
+                t.exit();
+                t.end(&span);
+            }
+            report.compensations = executed?;
         }
 
         if report.failed.is_empty() {
@@ -368,6 +463,11 @@ impl WorkflowEngine {
         controllers: &BTreeMap<String, Arc<TaskController>>,
     ) -> Result<(), WorkflowError> {
         let child = workflow.begin_child(task)?;
+        if let Some(t) = self.telemetry.as_ref().filter(|t| t.is_enabled()) {
+            // The Completed dispatch then shows up as a `signal_set:` span
+            // (with its `transmit:` fan-out) under the ambient task span.
+            child.coordinator().set_telemetry(t.clone());
+        }
         let mut payload = ValueMap::new();
         payload.insert("task".into(), Value::from(task));
         child
@@ -866,3 +966,101 @@ mod journal_tests {
         assert_eq!(journal.replay().unwrap().len(), 1);
     }
 }
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use crate::script;
+    use telemetry::Telemetry;
+
+    #[test]
+    fn task_spans_join_the_activity_tree() {
+        let graph = script::parse("task a;\ntask b after a;").unwrap();
+        let mut registry = TaskRegistry::new();
+        registry.register("a", |_i: &TaskInput| TaskResult::ok(Value::Null));
+        registry.register("b", |_i: &TaskInput| TaskResult::ok(Value::Null));
+        let tel = Telemetry::new();
+        let engine = WorkflowEngine::new(graph, registry).unwrap().with_telemetry(tel.clone());
+        let service = ActivityService::new();
+        service.set_telemetry(tel.clone());
+        let report = engine.run(&service, "wf", Value::Null).unwrap();
+        assert!(report.succeeded());
+
+        let tree = tel.span_tree();
+        assert_eq!(tree.verify(), Vec::<String>::new());
+        let roots = tree.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "workflow:wf");
+        assert_eq!(roots[0].attr("outcome"), Some("success"));
+        let wf_activity = tree.children(roots[0].context.span_id)[0];
+        assert_eq!(wf_activity.name, "activity:wf");
+        let names: Vec<&str> = tree
+            .children(wf_activity.context.span_id)
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["task:a", "task:b"]);
+        // Each task span covers its fig. 10 outcome exchange: the Completed
+        // SignalSet run nests underneath.
+        let task_a = tree.find("task:a").unwrap();
+        let exchanges: Vec<&str> = tree
+            .children(task_a.context.span_id)
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(exchanges.contains(&"signal_set:CompletedSignalSet"), "{exchanges:?}");
+        assert_eq!(task_a.attr("attempts"), Some("1"));
+        assert_eq!(tel.metrics().counter_value("wf_tasks_total{status=\"ok\"}"), 2);
+    }
+
+    #[test]
+    fn compensation_sweep_is_traced() {
+        let graph =
+            script::parse("task t1;\ntask t2 after t1;\ncompensate t1 with undo_t1;").unwrap();
+        let mut registry = TaskRegistry::new();
+        registry.register("t1", |_i: &TaskInput| TaskResult::ok(Value::Null));
+        registry.register("t2", |_i: &TaskInput| TaskResult::failed("hotel full"));
+        registry.register("undo_t1", |_i: &TaskInput| TaskResult::ok(Value::Null));
+        let tel = Telemetry::new();
+        let engine = WorkflowEngine::new(graph, registry).unwrap().with_telemetry(tel.clone());
+        let service = ActivityService::new();
+        let report = engine.run(&service, "trip", Value::Null).unwrap();
+        assert_eq!(report.compensations.len(), 1);
+
+        let tree = tel.span_tree();
+        assert_eq!(tree.verify(), Vec::<String>::new());
+        let root = &tree.roots()[0];
+        assert_eq!(root.name, "workflow:trip");
+        assert_eq!(root.attr("outcome"), Some("failed"));
+        let sweep = tree.find("compensation").expect("sweep span recorded");
+        let steps = tree.children(sweep.context.span_id);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].name, "compensate:t1");
+        assert_eq!(steps[0].attr("outcome"), Some("ok"));
+        assert_eq!(steps[0].attr("compensation"), Some("undo_t1"));
+        assert_eq!(tel.metrics().counter_value("wf_compensations_total{status=\"ok\"}"), 1);
+        assert_eq!(tel.metrics().counter_value("wf_tasks_total{status=\"failed\"}"), 1);
+    }
+
+    #[test]
+    fn retry_attempts_land_in_the_task_span() {
+        let graph = script::parse("task flaky;\nretry flaky 3;").unwrap();
+        let attempts = Arc::new(parking_lot::Mutex::new(0u32));
+        let attempts2 = Arc::clone(&attempts);
+        let mut registry = TaskRegistry::new();
+        registry.register("flaky", move |_i: &TaskInput| {
+            let mut a = attempts2.lock();
+            *a += 1;
+            if *a < 3 { TaskResult::failed("transient") } else { TaskResult::ok(Value::Null) }
+        });
+        let tel = Telemetry::new();
+        let engine = WorkflowEngine::new(graph, registry).unwrap().with_telemetry(tel.clone());
+        let service = ActivityService::new();
+        let report = engine.run(&service, "retry-wf", Value::Null).unwrap();
+        assert!(report.succeeded());
+        let tree = tel.span_tree();
+        assert_eq!(tree.find("task:flaky").unwrap().attr("attempts"), Some("3"));
+        assert_eq!(tel.metrics().counter_value("wf_task_attempts_total"), 3);
+    }
+}
+

@@ -16,6 +16,7 @@ use std::time::Duration;
 use activity_service::ActivityService;
 use orb::{SimClock, Value};
 use ots::{TransactionFactory, TransactionalKv, TxError};
+use telemetry::{Telemetry, MSC_FROM, MSC_MSG, MSC_NOTE, MSC_REPLY, MSC_TO};
 use tx_models::{Saga, SagaOutcome};
 
 const STEPS: [&str; 4] = ["taxi", "restaurant", "theatre", "hotel"];
@@ -54,14 +55,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------- Fig. 1: the happy path. ----------------
     println!("== fig. 1: logical long-running transaction, no failure ==");
     let clock = SimClock::new();
+    // Record the whole trip as a span tree on the virtual clock; the
+    // activity begin/complete pairs become nested `activity:` spans and the
+    // msc.* attributes below make the run renderable as a fig. 1 chart.
+    let tel = Telemetry::with_time(Arc::new(clock.clone()));
     let service = ActivityService::builder().clock(clock.clone()).build();
+    service.set_telemetry(tel.clone());
     let factory = TransactionFactory::new().with_clock(clock.clone());
     let store = Arc::new(TransactionalKv::with_clock("bookings", clock.clone()));
 
     service.begin("trip")?;
     for what in STEPS {
         let activity = service.begin(format!("book-{what}"))?;
+        let span = tel.start_span(&format!("book:{what}"));
+        tel.set_attr(&span, MSC_FROM, "client");
+        tel.set_attr(&span, MSC_TO, what);
+        tel.set_attr(&span, MSC_MSG, "book");
         let reference = book(&factory, &store, &clock, what)?;
+        tel.set_attr(&span, MSC_REPLY, &reference);
+        tel.end(&span);
         println!("  t: booked {what} -> {reference} (locks released immediately)");
         // Each step's resources are free the moment its transaction
         // commits — a competitor can touch them while later steps run.
@@ -80,6 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.conflicts,
         stats.total_hold / stats.released.max(1) as u32
     );
+    let tree = tel.span_tree();
+    assert!(tree.verify().is_empty(), "span tree must be well-formed: {:?}", tree.verify());
+    println!("\n-- recorded message-sequence chart (fig. 1 view) --");
+    println!("{}", tree.render_sequence());
 
     // Contrast: the monolithic version holds EVERY lock to the end.
     let mono_store = Arc::new(TransactionalKv::with_clock("mono", clock.clone()));
@@ -108,6 +124,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------- Fig. 2: t4 aborts; compensate and continue. --------
     println!("\n== fig. 2: failure, compensation, alternative continuation ==");
     let service = ActivityService::new();
+    let tel = Telemetry::new();
+    service.set_telemetry(tel.clone());
     let factory = Arc::new(TransactionFactory::new());
     let store = Arc::new(TransactionalKv::new("bookings-2"));
 
@@ -118,12 +136,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (fu, su) = (Arc::clone(&factory), Arc::clone(&store));
             let what_owned = what.to_owned();
             let what_undo = what.to_owned();
+            let (tb, tc) = (tel.clone(), tel.clone());
             saga = saga.step(
                 what,
                 move || {
-                    book(&f, &s, &SimClock::new(), &what_owned).map(|_| ()).map_err(|e| e.to_string())
+                    let span = tb.start_span(&format!("book:{what_owned}"));
+                    tb.set_attr(&span, MSC_FROM, "client");
+                    tb.set_attr(&span, MSC_TO, &what_owned);
+                    tb.set_attr(&span, MSC_MSG, "book");
+                    let result = book(&f, &s, &SimClock::new(), &what_owned)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string());
+                    tb.set_attr(&span, MSC_REPLY, "booked");
+                    tb.end(&span);
+                    result
                 },
                 move || {
+                    // The compensation sweep shows up on the chart as tc's
+                    // local event boxes, in reverse booking order (fig. 2).
+                    let span = tc.start_span(&format!("compensate:{what_undo}"));
+                    tc.set_attr(&span, MSC_FROM, "tc");
+                    tc.set_attr(&span, MSC_NOTE, &format!("compensate {what_undo}"));
+                    tc.end(&span);
                     println!("  tc: compensating {what_undo}");
                     unbook(&fu, &su, &what_undo)
                 },
@@ -149,5 +183,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     service.complete()?;
     assert!(store.read_committed("cinema").is_some());
     println!("  application made forward progress despite t4's abort");
+
+    let tree = tel.span_tree();
+    assert!(tree.verify().is_empty(), "span tree must be well-formed: {:?}", tree.verify());
+    println!("\n-- recorded message-sequence chart (fig. 2 view) --");
+    println!("{}", tree.render_sequence());
     Ok(())
 }

@@ -7,6 +7,7 @@
 
 use activity_service::ActivityService;
 use orb::Value;
+use telemetry::Telemetry;
 use wfengine::{script, FailurePolicy, TaskInput, TaskRegistry, TaskResult, WorkflowEngine};
 
 const SCRIPT: &str = "
@@ -61,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("parsed workflow: tasks {:?}, roots {:?}", graph.task_names(), graph.roots());
 
     println!("\n== happy path (parallel middle stage) ==");
-    let engine = WorkflowEngine::new(graph.clone(), registry(false))?;
+    let telemetry = Telemetry::new();
+    let engine =
+        WorkflowEngine::new(graph.clone(), registry(false))?.with_telemetry(telemetry.clone());
     let service = ActivityService::new();
     let report = engine.run_parallel(&service, "order-1", Value::from("order#1"))?;
     println!(
@@ -70,9 +73,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(report.succeeded());
 
+    // Every run records a span tree; the coordinator marks its outcome
+    // fan-out with msc.* attributes, so the recorded execution renders as
+    // the paper's fig. 10-style message-sequence chart.
+    let tree = telemetry.span_tree();
+    assert!(tree.verify().is_empty(), "span tree must be well-formed: {:?}", tree.verify());
+    println!("\n-- recorded message-sequence chart (fig. 10 view) --");
+    println!("{}", tree.render_sequence());
+
     println!("\n== payment declined: compensation sweep ==");
+    let telemetry = Telemetry::new();
     let engine = WorkflowEngine::new(graph, registry(true))?
-        .with_policy(FailurePolicy::CompensateAndStop);
+        .with_policy(FailurePolicy::CompensateAndStop)
+        .with_telemetry(telemetry.clone());
     let report = engine.run(&service, "order-2", Value::from("order#2"))?;
     println!(
         "failed {:?}; skipped {:?}; compensated {:?}",
@@ -89,5 +102,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .compensations
         .iter()
         .any(|c| c.step.compensation == "release_stock"));
+
+    let tree = telemetry.span_tree();
+    assert!(tree.verify().is_empty(), "span tree must be well-formed: {:?}", tree.verify());
+    println!("\n-- recorded message-sequence chart (with compensation) --");
+    println!("{}", tree.render_sequence());
     Ok(())
 }

@@ -150,6 +150,69 @@ fn subordinate_abort_vote_aborts_the_whole_transaction() {
 }
 
 #[test]
+fn interposed_spans_continue_the_superior_trace() {
+    // Span propagation across interposition: the superior's 2PC signals
+    // cross the wire to the subordinate node, and the `serve:` spans on
+    // the far side must continue the superior's trace id — one causal
+    // trace spanning both organisations, not one per node.
+    let telemetry = telemetry::Telemetry::new();
+    let orb = Orb::builder()
+        .network(NetworkConfig::reliable())
+        .telemetry(telemetry.clone())
+        .build();
+    orb.add_node("superior").unwrap();
+    let node = orb.add_node("org-a").unwrap();
+    let activity = Activity::new_root("cross-org-commit", SimClock::new());
+    activity
+        .coordinator()
+        .add_signal_set(Box::new(TwoPhaseCommitSignalSet::new()))
+        .unwrap();
+    activity.set_completion_signal_set(TWO_PC_SET);
+    activity.coordinator().set_telemetry(telemetry.clone());
+    let tx = TxId::top_level(1);
+    let relay =
+        interpose(activity.coordinator(), TWO_PC_SET, &orb, &node, "org-a-relay").unwrap();
+    let store = Arc::new(TransactionalKv::new("store"));
+    store.write(&tx, "k", Value::from(9i64)).unwrap();
+    relay.register_local(Arc::new(ResourceAction::new(
+        "store",
+        tx,
+        Arc::clone(&store) as Arc<dyn Resource>,
+    )) as _);
+
+    let outcome = activity.complete().unwrap();
+    assert_eq!(outcome.name(), "committed");
+
+    let tree = telemetry.span_tree();
+    assert_eq!(tree.verify(), Vec::<String>::new());
+
+    // Everything recorded — protocol drive, client calls, remote serves —
+    // belongs to the single trace rooted at the superior's signal-set span.
+    assert_eq!(tree.trace_ids().len(), 1, "expected one causal trace");
+    let roots = tree.roots();
+    assert_eq!(roots.len(), 1);
+    assert_eq!(roots[0].name, format!("signal_set:{TWO_PC_SET}"));
+    let trace = roots[0].context.trace_id;
+
+    // Prepare and commit each crossed the wire once: two server-side spans,
+    // each adopted into the superior's trace and parented under the client
+    // call that carried the context.
+    let serves: Vec<_> =
+        tree.spans().iter().filter(|s| s.name == "serve:process_signal").collect();
+    assert_eq!(serves.len(), 2, "one serve per protocol phase");
+    for serve in serves {
+        assert_eq!(serve.context.trace_id, trace, "subordinate must continue the trace");
+        let parent_id = serve.context.parent.expect("serve span has a remote parent");
+        let parent = tree
+            .spans()
+            .iter()
+            .find(|s| s.context.span_id == parent_id)
+            .expect("parent is in the same recorder");
+        assert_eq!(parent.name, "call:process_signal");
+    }
+}
+
+#[test]
 fn interposition_survives_a_lossy_network() {
     let orb = Orb::builder()
         .network(NetworkConfig::lossy(0.25, 0.25, 777))
