@@ -150,7 +150,11 @@ impl ActivityLogger {
         status: CompletionStatus,
         outcome: &str,
     ) -> Result<(), ActivityError> {
-        self.wal.append(
+        // The completion record is the activity's decision point: it alone
+        // is awaited durably. Earlier lifecycle records ride the same group
+        // barrier (presumed-incomplete on replay is safe — the application
+        // re-drives any activity without a completion record).
+        self.wal.append_durable(
             KIND_ACT_COMPLETED,
             &record(&[
                 ("id", Value::U64(id.raw())),
@@ -295,7 +299,9 @@ pub fn recover_activities(
     clock: SimClock,
 ) -> Result<RecoveredService, ActivityError> {
     let mut logged: BTreeMap<u64, LoggedActivity> = BTreeMap::new();
-    for rec in wal.scan(Lsn::new(0))? {
+    // Stream records in place (`scan_with`): nothing is cloned out of the
+    // log while rebuilding the tree.
+    let mut classify = |rec: &recovery_log::LogRecord| -> Result<(), ActivityError> {
         let payload = || {
             Value::decode(&rec.payload)
                 .map_err(|e| ActivityError::Log(e.to_string()))
@@ -355,7 +361,11 @@ pub fn recover_activities(
             }
             _ => {}
         }
-    }
+        Ok(())
+    };
+    wal.scan_with(Lsn::new(0), &mut |rec| {
+        classify(rec).map_err(|e| recovery_log::LogError::Handler(e.to_string()))
+    })?;
 
     let next_id = logged.keys().max().map_or(1, |m| m + 1);
     let id_source = Arc::new(AtomicU64::new(next_id));

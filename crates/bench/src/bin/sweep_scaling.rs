@@ -11,7 +11,7 @@ use harness::{sweep, SweepConfig};
 
 fn main() {
     println!("## Simulation sweep: schedule population vs wall-clock");
-    println!("# 5 scenarios, max 4 fault events/schedule, every run executed");
+    println!("# 6 scenarios, max 4 fault events/schedule, every run executed");
     println!("# twice (trace-determinism oracle), shrinking enabled.");
     println!(
         "{:>14} {:>12} {:>12} {:>14}",

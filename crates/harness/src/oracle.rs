@@ -1,7 +1,7 @@
 //! Invariant oracles checked after every simulated run.
 //!
 //! Scenarios report *facts* in an [`Observation`]; the oracles here turn
-//! facts into [`Violation`]s. Five oracles cover the §3.4 guarantees:
+//! facts into [`Violation`]s. Eight oracles cover the §3.4 guarantees:
 //!
 //! 1. **atomicity** — participant effects are all-or-nothing with respect
 //!    to the run outcome;
@@ -24,7 +24,12 @@
 //!    tree must be well-formed (single-rooted per trace, no orphans, no
 //!    never-closed spans) and its projection onto coordinator events must be
 //!    byte-identical to the rendered [`TraceLog`]: the telemetry plane may
-//!    never disagree with the protocol's own account of what happened.
+//!    never disagree with the protocol's own account of what happened;
+//! 8. **durability** — every record the log acknowledged as durable before
+//!    an injected crash must survive replay: if the scenario reports the
+//!    highest acked LSN and the set of LSNs found after restart, LSNs
+//!    `1..=acked` must all be present. The unacked tail may tear; acked
+//!    records may not.
 
 /// Terminal outcome of one simulated run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +105,12 @@ pub struct Observation {
     /// Canonical span-tree fingerprint; compared across the determinism
     /// oracle's two runs (`None` when the scenario records no telemetry).
     pub span_fingerprint: Option<u64>,
+    /// Highest LSN the log acknowledged as durable before the crash
+    /// (`None` when the scenario does not report durability accounting).
+    pub durable_acked_lsn: Option<u64>,
+    /// Raw LSNs found in the log after the post-crash restart
+    /// (`None` when the scenario does not report durability accounting).
+    pub survived_lsns: Option<Vec<u64>>,
 }
 
 impl Observation {
@@ -124,6 +135,8 @@ impl Observation {
             span_wellformed: None,
             span_projection: None,
             span_fingerprint: None,
+            durable_acked_lsn: None,
+            survived_lsns: None,
         }
     }
 }
@@ -152,6 +165,7 @@ pub const ORACLES: &[&str] = &[
     "determinism",
     "liveness-under-bounded-faults",
     "telemetry-conformance",
+    "durability",
 ];
 
 /// Run every single-observation oracle (all but determinism).
@@ -163,6 +177,7 @@ pub fn check_all(obs: &Observation) -> Vec<Violation> {
     check_replay(obs, &mut violations);
     check_liveness(obs, &mut violations);
     check_telemetry(obs, &mut violations);
+    check_durability(obs, &mut violations);
     violations
 }
 
@@ -318,6 +333,25 @@ fn check_telemetry(obs: &Observation, out: &mut Vec<Violation>) {
                     "span projection disagrees with the coordinator trace:\n\
                      --- projection ---\n{projection}\n--- trace ---\n{}",
                     obs.trace
+                ),
+            });
+        }
+    }
+}
+
+fn check_durability(obs: &Observation, out: &mut Vec<Violation>) {
+    // The oracle binds only when the scenario reports both sides of the
+    // durability contract: what the log acked and what the restart found.
+    let (Some(acked), Some(survived)) = (obs.durable_acked_lsn, &obs.survived_lsns) else {
+        return;
+    };
+    for lsn in 1..=acked {
+        if !survived.contains(&lsn) {
+            out.push(Violation {
+                oracle: "durability",
+                detail: format!(
+                    "LSN {lsn} was acknowledged durable (acked up to {acked}) \
+                     but did not survive the crash; survivors: {survived:?}"
                 ),
             });
         }
@@ -505,6 +539,36 @@ mod tests {
         // One-sided telemetry does not bind.
         b.span_fingerprint = None;
         assert!(check_determinism(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn durability_oracle_does_not_bind_without_accounting() {
+        let mut obs = Observation::new(RunOutcome::Crashed);
+        assert!(check_all(&obs).is_empty());
+        // One-sided reports do not bind either.
+        obs.durable_acked_lsn = Some(3);
+        assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn acked_records_must_survive_the_crash() {
+        let mut obs = Observation::new(RunOutcome::Crashed);
+        obs.durable_acked_lsn = Some(3);
+        obs.survived_lsns = Some(vec![1, 2]); // lost LSN 3 after acking it
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "durability");
+        assert!(v[0].detail.contains("LSN 3"));
+    }
+
+    #[test]
+    fn unacked_tail_may_tear() {
+        let mut obs = Observation::new(RunOutcome::Crashed);
+        obs.durable_acked_lsn = Some(2);
+        // LSNs 3 and 4 were staged but never acked: losing them is legal,
+        // and so is their (partial) survival.
+        obs.survived_lsns = Some(vec![1, 2, 4]);
+        assert!(check_all(&obs).is_empty());
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod tests {
     };
     use orb::Value;
     use ots::{TransactionFactory, TransactionalKv};
-    use recovery_log::{FailpointSet, MemWal, Wal};
+    use recovery_log::{FailpointSet, FileWal, GroupCommitWal, Lsn, MemWal, Wal};
 
     fn sorted(sites: &[&str]) -> BTreeSet<String> {
         sites.iter().map(|s| (*s).to_owned()).collect()
@@ -63,6 +63,43 @@ mod tests {
             sorted(ots::failpoints::FAILPOINT_SITES),
             "ots constants out of sync with actual hit() call sites"
         );
+    }
+
+    #[test]
+    fn wal_length_audit_agrees_across_implementations() {
+        // The audit leans on the O(1) `Wal::len` overrides: a full commit
+        // writes the same record count to every log implementation, and
+        // `len()` must agree with what a scan actually returns.
+        fn probe(wal: Arc<dyn Wal>) -> (usize, usize) {
+            let factory = TransactionFactory::with_wal(Arc::clone(&wal));
+            let store = Arc::new(TransactionalKv::new("store"));
+            let witness = Arc::new(TransactionalKv::new("witness"));
+            let control = factory.create().unwrap();
+            store.enlist(&control).unwrap();
+            witness.enlist(&control).unwrap();
+            store.write(control.id(), "k", Value::from(1i64)).unwrap();
+            witness.write(control.id(), "w", Value::from(2i64)).unwrap();
+            control.terminator().commit().unwrap();
+            wal.sync().unwrap();
+            (wal.len(), wal.scan(Lsn::new(0)).unwrap().len())
+        }
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("harness-registry-len-audit-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let (mem_len, mem_scan) = probe(Arc::new(MemWal::new()));
+        let (file_len, file_scan) = probe(Arc::new(FileWal::open(&path).unwrap()));
+        let (group_len, group_scan) =
+            probe(Arc::new(GroupCommitWal::new(MemWal::new())));
+        std::fs::remove_file(&path).unwrap();
+
+        assert_eq!(mem_len, mem_scan);
+        assert_eq!(file_len, file_scan);
+        assert_eq!(group_len, group_scan);
+        assert_eq!(mem_len, file_len, "same protocol, same record count");
+        assert_eq!(mem_len, group_len, "same protocol, same record count");
+        assert!(mem_len > 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub use broken::BrokenWorkflowScenario;
 pub use btp_atom::BtpAtomScenario;
 pub use nested::NestedCompensationScenario;
 pub use saga::SagaScenario;
-pub use two_phase::TwoPhaseScenario;
+pub use two_phase::{TwoPhaseGroupCommitScenario, TwoPhaseScenario};
 pub use workflow::{WorkflowNoRetryScenario, WorkflowRetryScenario, WorkflowScenario};
 
 use crate::scenario::Scenario;
@@ -21,6 +21,7 @@ use crate::scenario::Scenario;
 pub fn all() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(TwoPhaseScenario),
+        Box::new(TwoPhaseGroupCommitScenario),
         Box::new(NestedCompensationScenario),
         Box::new(SagaScenario),
         Box::new(WorkflowScenario),

@@ -595,8 +595,13 @@ impl Coordinator {
         self.set_status(TxStatus::Prepared);
         self.failpoints.hit(failpoints::BEFORE_DECISION).map_err(TxError::from)?;
         if let Some(wal) = &self.wal {
+            // Forcing discipline: this is the protocol's only awaited-durable
+            // write. `log_decision_commit` forces via `append_durable`, so the
+            // earlier BEGUN/PREPARED records (and any interposed
+            // subcoordinator's) ride the same flush barrier under a
+            // group-commit log; the COMPLETED record below is free to lag —
+            // presumed abort re-derives it on replay.
             txlog::log_decision_commit(wal.as_ref(), &self.id)?;
-            wal.sync()?;
         }
         self.failpoints.hit(failpoints::AFTER_DECISION).map_err(TxError::from)?;
 

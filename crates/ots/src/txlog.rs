@@ -104,13 +104,17 @@ pub fn log_prepared(wal: &dyn Wal, tx: &TxId, participants: &[&str]) -> Result<L
     wal.append(KIND_TX_PREPARED, &Value::Map(m).encode())
 }
 
-/// Force the commit decision.
+/// Force the commit decision: the one record of the protocol that must be
+/// durable before phase two (presumed abort covers every other loss). The
+/// durability barrier is [`Wal::append_durable`], so a group-commit log
+/// coalesces concurrent decisions — and any records staged before them,
+/// including an interposed subcoordinator's — into one sync.
 ///
 /// # Errors
 ///
 /// Propagates log failures.
 pub fn log_decision_commit(wal: &dyn Wal, tx: &TxId) -> Result<Lsn, LogError> {
-    wal.append(KIND_TX_DECISION, &txid_to_value(tx).encode())
+    wal.append_durable(KIND_TX_DECISION, &txid_to_value(tx).encode())
 }
 
 /// Record that the outcome was fully delivered.
@@ -169,7 +173,10 @@ struct TxTrace {
 /// malformed.
 pub fn recover(wal: &dyn Wal, resolver: &dyn ParticipantResolver) -> Result<TxRecoveryReport, TxError> {
     let mut traces: BTreeMap<TxId, TxTrace> = BTreeMap::new();
-    for record in wal.scan(Lsn::new(0))? {
+    // Zero-copy pass: records are decoded in place, never cloned out of
+    // the log. Malformed records surface as `LogError::Handler` and are
+    // rethrown as `TxError::Log` below.
+    let mut classify = |record: &recovery_log::LogRecord| -> Result<(), TxError> {
         match record.kind {
             KIND_TX_BEGUN => {
                 let tx = txid_from_value(&decode(&record.payload)?)?;
@@ -204,7 +211,11 @@ pub fn recover(wal: &dyn Wal, resolver: &dyn ParticipantResolver) -> Result<TxRe
             }
             _ => {}
         }
-    }
+        Ok(())
+    };
+    wal.scan_with(Lsn::new(0), &mut |record| {
+        classify(record).map_err(|e| LogError::Handler(e.to_string()))
+    })?;
 
     let mut report = TxRecoveryReport::default();
     for (tx, trace) in traces {

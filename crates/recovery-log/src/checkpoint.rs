@@ -21,18 +21,41 @@ pub const CHECKPOINT_KIND: u32 = u32::MAX;
 ///
 /// Propagates append/compaction failures from the log.
 pub fn take_checkpoint(wal: &dyn Wal, snapshot: &[u8], compact: bool) -> Result<Lsn, LogError> {
-    let lsn = wal.append(CHECKPOINT_KIND, snapshot)?;
-    wal.sync()?;
+    // Forced write: the checkpoint must be durable before the prefix it
+    // supersedes may be compacted away. Under a group-commit log this is a
+    // barrier covering exactly the checkpoint's LSN.
+    let lsn = wal.append_durable(CHECKPOINT_KIND, snapshot)?;
     if compact {
         wal.truncate_prefix(lsn)?;
     }
     Ok(lsn)
 }
 
+/// Locate the most recent checkpoint record in the log, cloning only that
+/// one record (its snapshot payload) — the zero-copy path replay uses
+/// before streaming the tail with [`Wal::scan_with`].
+///
+/// # Errors
+///
+/// Propagates scan failures from the log.
+pub fn latest_checkpoint_record(wal: &dyn Wal) -> Result<Option<LogRecord>, LogError> {
+    let mut checkpoint: Option<LogRecord> = None;
+    wal.scan_with(Lsn::new(0), &mut |record| {
+        if record.kind == CHECKPOINT_KIND {
+            checkpoint = Some(record.clone());
+        }
+        Ok(())
+    })?;
+    Ok(checkpoint)
+}
+
 /// Locate the most recent checkpoint in the log, returning the checkpoint
 /// record (with its snapshot payload) and the records after it.
 ///
 /// When no checkpoint exists, returns `None` and the full record list.
+/// Callers that only need to *visit* the tail should prefer
+/// [`latest_checkpoint_record`] + [`Wal::scan_with`], which clone nothing
+/// but the snapshot.
 ///
 /// # Errors
 ///
@@ -40,14 +63,12 @@ pub fn take_checkpoint(wal: &dyn Wal, snapshot: &[u8], compact: bool) -> Result<
 pub fn latest_checkpoint(
     wal: &dyn Wal,
 ) -> Result<(Option<LogRecord>, Vec<LogRecord>), LogError> {
-    let records = wal.scan(Lsn::new(0))?;
-    let checkpoint_idx = records.iter().rposition(|r| r.kind == CHECKPOINT_KIND);
-    match checkpoint_idx {
-        Some(i) => {
-            let tail = records[i + 1..].to_vec();
-            Ok((Some(records[i].clone()), tail))
+    match latest_checkpoint_record(wal)? {
+        Some(cp) => {
+            let tail = wal.scan(cp.lsn.next())?;
+            Ok((Some(cp), tail))
         }
-        None => Ok((None, records)),
+        None => Ok((None, wal.scan(Lsn::new(0))?)),
     }
 }
 

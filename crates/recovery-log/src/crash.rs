@@ -33,9 +33,9 @@
 //! | `activity.before_transmit`     | `activity-service` | signal obtained, before fan-out to actions |
 //! | `activity.before_outcome`      | `activity-service` | protocol ended, before the collated outcome is read |
 //!
-//! `wal.append` is not in the table: it is the synthetic site name
-//! [`CrashingWal`] reports for its append-counting crashes and has no
-//! `hit` call site to audit.
+//! `wal.append` and `wal.sync` are not in the table: they are the synthetic
+//! site names [`CrashingWal`] reports for its append-counting and
+//! sync-counting crashes and have no `hit` call site to audit.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -126,23 +126,43 @@ impl FailpointSet {
 }
 
 /// A [`Wal`] decorator that injects a crash after a configured number of
-/// successful appends.
+/// successful appends, or (with [`CrashingWal::with_sync_crash`]) after a
+/// configured number of successful syncs — the "between buffer write and
+/// `sync_data`" window a group-commit crash matrix needs to reach.
 #[derive(Debug)]
 pub struct CrashingWal<W> {
     inner: W,
     remaining: Mutex<Option<u32>>,
+    sync_remaining: Mutex<Option<u32>>,
 }
 
 impl<W: Wal> CrashingWal<W> {
     /// Wrap `inner`, crashing on the append after `appends_before_crash`
     /// successful ones.
     pub fn new(inner: W, appends_before_crash: u32) -> Self {
-        CrashingWal { inner, remaining: Mutex::new(Some(appends_before_crash)) }
+        CrashingWal {
+            inner,
+            remaining: Mutex::new(Some(appends_before_crash)),
+            sync_remaining: Mutex::new(None),
+        }
     }
 
-    /// Disable the pending crash (the log "survives").
+    /// Wrap `inner`, crashing on the sync after `syncs_before_crash`
+    /// successful ones; appends keep succeeding. Writes reach the inner log
+    /// but their durability barrier fails — exactly the torn window between
+    /// a group-commit leader's coalesced `write_all` and its `sync_data`.
+    pub fn with_sync_crash(inner: W, syncs_before_crash: u32) -> Self {
+        CrashingWal {
+            inner,
+            remaining: Mutex::new(None),
+            sync_remaining: Mutex::new(Some(syncs_before_crash)),
+        }
+    }
+
+    /// Disable any pending crash (the log "survives").
     pub fn defuse(&self) {
         *self.remaining.lock() = None;
+        *self.sync_remaining.lock() = None;
     }
 
     /// Access the wrapped log (e.g. to reopen after the "crash").
@@ -173,16 +193,40 @@ impl<W: Wal> Wal for CrashingWal<W> {
         self.inner.scan(from)
     }
 
+    fn scan_with(
+        &self,
+        from: Lsn,
+        visit: &mut dyn FnMut(&LogRecord) -> Result<(), LogError>,
+    ) -> Result<(), LogError> {
+        self.inner.scan_with(from, visit)
+    }
+
     fn truncate_prefix(&self, upto: Lsn) -> Result<(), LogError> {
         self.inner.truncate_prefix(upto)
     }
 
     fn sync(&self) -> Result<(), LogError> {
+        {
+            let mut remaining = self.sync_remaining.lock();
+            match remaining.as_mut() {
+                Some(0) => return Err(LogError::CrashInjected("wal.sync".into())),
+                Some(n) => *n -= 1,
+                None => {}
+            }
+        }
         self.inner.sync()
     }
 
     fn next_lsn(&self) -> Lsn {
         self.inner.next_lsn()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.is_empty()
     }
 }
 
@@ -240,6 +284,22 @@ mod tests {
         assert_eq!(fp.observed_sites().len(), 3);
         fp.clear_observed();
         assert!(fp2.observed_sites().is_empty());
+    }
+
+    #[test]
+    fn sync_crash_mode_tears_the_durability_barrier() {
+        let wal = CrashingWal::with_sync_crash(MemWal::new(), 1);
+        wal.append_durable(1, b"a").unwrap(); // first sync passes
+        let err = wal.append_durable(1, b"b"); // second sync crashes
+        assert!(matches!(err, Err(LogError::CrashInjected(ref s)) if s == "wal.sync"));
+        // The write reached the log even though its barrier failed: the
+        // record is present but was never acked durable.
+        assert_eq!(wal.len(), 2);
+        // Stays dead until defused.
+        assert!(wal.sync().is_err());
+        wal.defuse();
+        wal.append_durable(1, b"c").unwrap();
+        assert_eq!(wal.len(), 3);
     }
 
     #[test]

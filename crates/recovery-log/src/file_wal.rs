@@ -20,6 +20,7 @@ pub struct FileWal {
     inner: Mutex<FileWalInner>,
     path: PathBuf,
     appends: Mutex<Option<telemetry::Counter>>,
+    syncs: Mutex<Option<telemetry::Counter>>,
 }
 
 #[derive(Debug)]
@@ -27,6 +28,9 @@ struct FileWalInner {
     file: File,
     records: Vec<LogRecord>,
     next: u64,
+    // Reused encode scratch: appends and compaction encode into this one
+    // buffer instead of allocating a fresh Vec per record.
+    encode_buf: Vec<u8>,
 }
 
 impl FileWal {
@@ -66,9 +70,10 @@ impl FileWal {
         }
         let next = records.last().map(|r| r.lsn.raw() + 1).unwrap_or(1);
         Ok(FileWal {
-            inner: Mutex::new(FileWalInner { file, records, next }),
+            inner: Mutex::new(FileWalInner { file, records, next, encode_buf: Vec::new() }),
             path,
             appends: Mutex::new(None),
+            syncs: Mutex::new(None),
         })
     }
 
@@ -78,25 +83,52 @@ impl FileWal {
     }
 
     /// Attach a telemetry recorder: every durable append bumps
-    /// `wal_appends_total`.
+    /// `wal_appends_total` and every `sync_data` bumps `wal_syncs_total`.
     pub fn set_telemetry(&self, telemetry: &telemetry::Telemetry) {
         *self.appends.lock() = Some(telemetry.metrics().counter("wal_appends_total"));
+        *self.syncs.lock() = Some(telemetry.metrics().counter("wal_syncs_total"));
     }
 }
 
 impl Wal for FileWal {
     fn append(&self, kind: u32, payload: &[u8]) -> Result<Lsn, LogError> {
         let mut inner = self.inner.lock();
+        let inner = &mut *inner;
         let lsn = Lsn::new(inner.next);
         let record = LogRecord::new(lsn, kind, payload.to_vec());
-        inner.file.write_all(&record.encode())?;
+        inner.encode_buf.clear();
+        record.encode_into(&mut inner.encode_buf);
+        inner.file.write_all(&inner.encode_buf)?;
         inner.next += 1;
         inner.records.push(record);
-        drop(inner);
         if let Some(counter) = &*self.appends.lock() {
             counter.incr();
         }
         Ok(lsn)
+    }
+
+    fn append_batch(&self, records: &[(u32, &[u8])]) -> Result<Lsn, LogError> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        // One coalesced encode of the whole batch into the reused scratch
+        // buffer, then a single write_all: this is the vectored write a
+        // group-commit leader hands us.
+        inner.encode_buf.clear();
+        for (kind, payload) in records {
+            let lsn = Lsn::new(inner.next);
+            inner.next += 1;
+            let record = LogRecord::new(lsn, *kind, payload.to_vec());
+            record.encode_into(&mut inner.encode_buf);
+            inner.records.push(record);
+        }
+        inner.file.write_all(&inner.encode_buf)?;
+        let last = Lsn::new(inner.next - 1);
+        if !records.is_empty() {
+            if let Some(counter) = &*self.appends.lock() {
+                counter.add(records.len() as u64);
+            }
+        }
+        Ok(last)
     }
 
     fn scan(&self, from: Lsn) -> Result<Vec<LogRecord>, LogError> {
@@ -110,28 +142,61 @@ impl Wal for FileWal {
             .collect())
     }
 
+    fn scan_with(
+        &self,
+        from: Lsn,
+        visit: &mut dyn FnMut(&LogRecord) -> Result<(), LogError>,
+    ) -> Result<(), LogError> {
+        let inner = self.inner.lock();
+        for record in inner.records.iter().filter(|r| r.lsn >= from) {
+            visit(record)?;
+        }
+        Ok(())
+    }
+
     fn truncate_prefix(&self, upto: Lsn) -> Result<(), LogError> {
         let mut inner = self.inner.lock();
+        let inner = &mut *inner;
         inner.records.retain(|r| r.lsn >= upto);
-        // Rewrite the file with only the retained suffix.
-        let mut bytes = Vec::new();
+        // Write the retained suffix once to a sibling temp file, fsync it,
+        // then atomically rename over the log. A crash at any point leaves
+        // either the old complete log or the new complete log — never the
+        // half-rewritten file the old in-place rewrite could tear.
+        let tmp_path = self.path.with_extension("compact-tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        inner.encode_buf.clear();
         for r in &inner.records {
-            bytes.extend_from_slice(&r.encode());
+            r.encode_into(&mut inner.encode_buf);
         }
-        inner.file.set_len(0)?;
-        inner.file.seek(SeekFrom::Start(0))?;
-        inner.file.write_all(&bytes)?;
-        inner.file.sync_data()?;
+        tmp.write_all(&inner.encode_buf)?;
+        tmp.sync_data()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Reopen: the old handle still points at the unlinked pre-compaction
+        // inode; appends must land in the renamed file.
+        let mut file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        inner.file = file;
         Ok(())
     }
 
     fn sync(&self) -> Result<(), LogError> {
         self.inner.lock().file.sync_data()?;
+        if let Some(counter) = &*self.syncs.lock() {
+            counter.incr();
+        }
         Ok(())
     }
 
     fn next_lsn(&self) -> Lsn {
         Lsn::new(self.inner.lock().next)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.lock().records.is_empty()
     }
 }
 
@@ -232,6 +297,66 @@ mod tests {
         assert_eq!(records.len(), 3);
         assert_eq!(records[0].lsn, Lsn::new(8));
         assert_eq!(wal.next_lsn(), Lsn::new(11));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_batch_coalesces_and_survives_reopen() {
+        let path = temp_path("batch");
+        {
+            let wal = FileWal::open(&path).unwrap();
+            wal.append(1, b"solo").unwrap();
+            let last = wal
+                .append_batch(&[(2, b"aa".as_slice()), (3, b"bb".as_slice()), (4, b"cc".as_slice())])
+                .unwrap();
+            assert_eq!(last, Lsn::new(4));
+            wal.sync().unwrap();
+        }
+        let wal = FileWal::open(&path).unwrap();
+        let records = wal.scan(Lsn::new(0)).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[3].kind, 4);
+        assert_eq!(records[3].payload, b"cc");
+        assert_eq!(wal.next_lsn(), Lsn::new(5));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_prefix_leaves_no_temp_file_and_appends_survive() {
+        let path = temp_path("truncate-atomic");
+        let wal = FileWal::open(&path).unwrap();
+        for i in 0..6u32 {
+            wal.append(i, &i.to_be_bytes()).unwrap();
+        }
+        wal.truncate_prefix(Lsn::new(4)).unwrap();
+        assert!(
+            !path.with_extension("compact-tmp").exists(),
+            "compaction temp file must be renamed away"
+        );
+        // Appends after compaction must land in the renamed file, not the
+        // unlinked pre-compaction inode.
+        wal.append(9, b"post").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let wal = FileWal::open(&path).unwrap();
+        let records = wal.scan(Lsn::new(0)).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].lsn, Lsn::new(4));
+        assert_eq!(records[3].payload, b"post");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn len_is_cheap_and_matches_scan() {
+        let path = temp_path("len");
+        let wal = FileWal::open(&path).unwrap();
+        assert!(wal.is_empty());
+        for i in 0..5u32 {
+            wal.append(i, b"x").unwrap();
+        }
+        assert_eq!(wal.len(), wal.scan(Lsn::new(0)).unwrap().len());
+        wal.truncate_prefix(Lsn::new(3)).unwrap();
+        assert_eq!(wal.len(), 3);
         std::fs::remove_file(&path).unwrap();
     }
 

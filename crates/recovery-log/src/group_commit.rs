@@ -1,0 +1,508 @@
+//! Leader/follower group commit: one coalesced write + one `sync_data`
+//! per batch of concurrent appenders.
+//!
+//! The per-record durability path (`append` + `sync` on [`crate::FileWal`])
+//! serializes every committer behind its own `sync_data`. Under concurrent
+//! coordinators that is one fsync *per decision record* — the dominant cost
+//! of 2PC commit latency. [`GroupCommitWal`] wraps any [`Wal`] sink and
+//! turns N concurrent durability barriers into one:
+//!
+//! * appenders stage records into a shared write buffer and return
+//!   immediately (the record rides the next batch);
+//! * a durability barrier ([`Wal::append_durable`], [`Wal::flush_lsn`],
+//!   [`Wal::sync`]) elects the first arriving waiter as *leader*: it takes
+//!   the whole staged batch, hands it to the sink as one
+//!   [`Wal::append_batch`] (one coalesced encode + `write_all` on
+//!   [`crate::FileWal`]) followed by a single [`Wal::sync`], then wakes
+//!   every follower whose LSN the batch covered;
+//! * plain appends also flush when the staged batch crosses the
+//!   count or byte threshold in [`GroupCommitConfig`].
+//!
+//! There are **no wall-clock timers**: every flush is triggered by an
+//! explicit barrier or a deterministic threshold, so runs under `SimClock`
+//! and the simulation harness stay reproducible. Waiting uses a condvar
+//! keyed purely on batch completion, never on time.
+//!
+//! # Durability contract
+//!
+//! Records are durable once the batch containing them has been flushed.
+//! [`Wal::scan`]/[`Wal::scan_with`] force a flush first, so the base-trait
+//! rule — only durable records are visible to scans — is preserved. A crash
+//! (real or injected in the sink) loses the staged-but-unflushed tail;
+//! every LSN acked by `append_durable`/`flush_lsn` is guaranteed to be in
+//! the sink. After a flush failure the wal is poisoned: the staged tail is
+//! discarded and every subsequent operation returns the original error
+//! (a dead process stays dead), until [`GroupCommitWal::recover_from_sink`]
+//! re-adopts the sink's surviving state — the "restart".
+
+use std::sync::{Condvar, Mutex};
+
+use crate::error::LogError;
+use crate::record::{LogRecord, Lsn};
+use crate::wal::Wal;
+
+/// Fixed header + checksum overhead per staged record, mirrored from the
+/// record encoding so the byte threshold tracks on-disk size.
+const RECORD_OVERHEAD: usize = 2 + 4 + 8 + 4 + 4;
+
+/// Deterministic flush triggers for [`GroupCommitWal`]. No timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Flush once this many records are staged.
+    pub max_batch_records: usize,
+    /// Flush once the staged batch's encoded size reaches this many bytes.
+    pub max_batch_bytes: usize,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig { max_batch_records: 64, max_batch_bytes: 256 * 1024 }
+    }
+}
+
+#[derive(Debug)]
+struct GroupState {
+    /// Staged records in LSN order; contiguous, ending at `next - 1`.
+    staged: Vec<(u32, Vec<u8>)>,
+    /// Encoded size of the staged batch.
+    staged_bytes: usize,
+    /// Next LSN to assign (mirrors the sink's counter: the sink only ever
+    /// sees our flush batches, in order).
+    next: u64,
+    /// Every LSN `<= durable` is flushed and synced into the sink.
+    durable: u64,
+    /// Whether a leader currently owns a batch flush.
+    flushing: bool,
+    /// First flush failure; all later operations return a clone of it.
+    poisoned: Option<LogError>,
+}
+
+struct GroupTelemetry {
+    syncs: telemetry::Counter,
+    metrics: telemetry::MetricsRegistry,
+}
+
+/// A group-committing [`Wal`] decorator (leader/follower batching over any
+/// sink, typically [`crate::FileWal`]). See the module docs for the
+/// protocol and durability contract.
+pub struct GroupCommitWal<W> {
+    inner: W,
+    config: GroupCommitConfig,
+    state: Mutex<GroupState>,
+    flushed: Condvar,
+    telemetry: Mutex<Option<GroupTelemetry>>,
+}
+
+impl<W: Wal> GroupCommitWal<W> {
+    /// Wrap `inner` with default flush thresholds.
+    pub fn new(inner: W) -> Self {
+        Self::with_config(inner, GroupCommitConfig::default())
+    }
+
+    /// Wrap `inner` with explicit flush thresholds.
+    pub fn with_config(inner: W, config: GroupCommitConfig) -> Self {
+        let next = inner.next_lsn().raw();
+        GroupCommitWal {
+            inner,
+            config,
+            state: Mutex::new(GroupState {
+                staged: Vec::new(),
+                staged_bytes: 0,
+                next,
+                durable: next - 1,
+                flushing: false,
+                poisoned: None,
+            }),
+            flushed: Condvar::new(),
+            telemetry: Mutex::new(None),
+        }
+    }
+
+    /// Attach a telemetry recorder: every batch flush bumps
+    /// `wal_syncs_total` and records `wal_group_size` (records per batch)
+    /// and `wal_batch_bytes` (encoded bytes per batch) histogram
+    /// observations. Appends are counted by the sink's own recorder.
+    pub fn set_telemetry(&self, telemetry: &telemetry::Telemetry) {
+        *self.telemetry.lock().unwrap() = Some(GroupTelemetry {
+            syncs: telemetry.metrics().counter("wal_syncs_total"),
+            metrics: telemetry.metrics().clone(),
+        });
+    }
+
+    /// The wrapped sink (e.g. to reopen its file after a simulated crash).
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+
+    /// Unwrap, returning the sink. Staged-but-unflushed records are lost —
+    /// the same tear a crash produces.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Highest LSN known durable in the sink. Records above this watermark
+    /// are staged (or lost, if the wal is poisoned).
+    pub fn durable_lsn(&self) -> Lsn {
+        Lsn::new(self.state.lock().unwrap().durable)
+    }
+
+    /// Number of staged-but-unflushed records.
+    pub fn staged_len(&self) -> usize {
+        self.state.lock().unwrap().staged.len()
+    }
+
+    /// Simulate a crash-and-restart: discard the staged tail (a real crash
+    /// loses the in-memory write buffer), clear any poison, and re-adopt
+    /// the sink's surviving state as the durable truth — exactly what
+    /// reopening the sink after a process death yields.
+    pub fn recover_from_sink(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.staged.clear();
+        state.staged_bytes = 0;
+        state.poisoned = None;
+        state.next = self.inner.next_lsn().raw();
+        state.durable = state.next - 1;
+    }
+
+    /// Wait (or lead a flush) until every LSN `<= lsn` is durable.
+    fn ensure_durable(&self, lsn: u64) -> Result<(), LogError> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.durable >= lsn {
+                return Ok(());
+            }
+            if let Some(err) = &state.poisoned {
+                return Err(err.clone());
+            }
+            if state.flushing {
+                // Follower: a leader owns the in-flight batch; it will wake
+                // us when the batch lands (or poisons the log).
+                state = self.flushed.wait(state).unwrap();
+                continue;
+            }
+            // Leader: take the whole staged batch — everything up to
+            // next - 1 — so every waiter it covers is woken at once.
+            state.flushing = true;
+            let batch = std::mem::take(&mut state.staged);
+            let batch_bytes = std::mem::replace(&mut state.staged_bytes, 0);
+            let batch_last = state.next - 1;
+            drop(state);
+            let result = self.flush_batch(&batch);
+            state = self.state.lock().unwrap();
+            state.flushing = false;
+            match result {
+                Ok(()) => {
+                    state.durable = batch_last;
+                    if let Some(tel) = &*self.telemetry.lock().unwrap() {
+                        tel.syncs.incr();
+                        tel.metrics.observe_count("wal_group_size", batch.len() as u64);
+                        tel.metrics.observe_count("wal_batch_bytes", batch_bytes as u64);
+                    }
+                }
+                Err(e) => {
+                    // The batch (or its barrier) failed: the staged tail is
+                    // torn off and the wal stays dead until recovery.
+                    state.poisoned = Some(e);
+                }
+            }
+            self.flushed.notify_all();
+        }
+    }
+
+    /// One coalesced sink write + one sync for a taken batch.
+    fn flush_batch(&self, batch: &[(u32, Vec<u8>)]) -> Result<(), LogError> {
+        if !batch.is_empty() {
+            let refs: Vec<(u32, &[u8])> =
+                batch.iter().map(|(kind, payload)| (*kind, payload.as_slice())).collect();
+            self.inner.append_batch(&refs)?;
+        }
+        self.inner.sync()
+    }
+
+    /// Stage one record, returning its LSN and whether a threshold flush is
+    /// due.
+    fn stage(&self, kind: u32, payload: &[u8]) -> Result<(u64, bool), LogError> {
+        let mut state = self.state.lock().unwrap();
+        if let Some(err) = &state.poisoned {
+            return Err(err.clone());
+        }
+        let lsn = state.next;
+        state.next += 1;
+        state.staged.push((kind, payload.to_vec()));
+        state.staged_bytes += RECORD_OVERHEAD + payload.len();
+        let threshold_hit = state.staged.len() >= self.config.max_batch_records
+            || state.staged_bytes >= self.config.max_batch_bytes;
+        Ok((lsn, threshold_hit))
+    }
+}
+
+impl<W: Wal> Wal for GroupCommitWal<W> {
+    fn append(&self, kind: u32, payload: &[u8]) -> Result<Lsn, LogError> {
+        let (lsn, threshold_hit) = self.stage(kind, payload)?;
+        if threshold_hit {
+            self.ensure_durable(lsn)?;
+        }
+        Ok(Lsn::new(lsn))
+    }
+
+    fn append_durable(&self, kind: u32, payload: &[u8]) -> Result<Lsn, LogError> {
+        let (lsn, _) = self.stage(kind, payload)?;
+        self.ensure_durable(lsn)?;
+        Ok(Lsn::new(lsn))
+    }
+
+    fn append_batch(&self, records: &[(u32, &[u8])]) -> Result<Lsn, LogError> {
+        let mut last = Lsn::new(self.next_lsn().raw() - 1);
+        let mut flush_to = None;
+        for (kind, payload) in records {
+            let (lsn, threshold_hit) = self.stage(*kind, payload)?;
+            last = Lsn::new(lsn);
+            if threshold_hit {
+                flush_to = Some(lsn);
+            }
+        }
+        if let Some(lsn) = flush_to {
+            self.ensure_durable(lsn)?;
+        }
+        Ok(last)
+    }
+
+    fn flush_lsn(&self, lsn: Lsn) -> Result<(), LogError> {
+        let appended = self.state.lock().unwrap().next - 1;
+        self.ensure_durable(lsn.raw().min(appended))
+    }
+
+    fn scan(&self, from: Lsn) -> Result<Vec<LogRecord>, LogError> {
+        self.sync()?;
+        self.inner.scan(from)
+    }
+
+    fn scan_with(
+        &self,
+        from: Lsn,
+        visit: &mut dyn FnMut(&LogRecord) -> Result<(), LogError>,
+    ) -> Result<(), LogError> {
+        self.sync()?;
+        self.inner.scan_with(from, visit)
+    }
+
+    fn truncate_prefix(&self, upto: Lsn) -> Result<(), LogError> {
+        self.sync()?;
+        self.inner.truncate_prefix(upto)
+    }
+
+    fn sync(&self) -> Result<(), LogError> {
+        let appended = self.state.lock().unwrap().next - 1;
+        self.ensure_durable(appended)
+    }
+
+    fn next_lsn(&self) -> Lsn {
+        Lsn::new(self.state.lock().unwrap().next)
+    }
+
+    fn len(&self) -> usize {
+        // Retained in the sink plus staged: both O(1) with the sink's own
+        // len override.
+        let staged = self.state.lock().unwrap().staged.len();
+        self.inner.len() + staged
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<W: Wal + std::fmt::Debug> std::fmt::Debug for GroupCommitWal<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().unwrap();
+        f.debug_struct("GroupCommitWal")
+            .field("inner", &self.inner)
+            .field("config", &self.config)
+            .field("next", &state.next)
+            .field("durable", &state.durable)
+            .field("staged", &state.staged.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::CrashingWal;
+    use crate::wal::MemWal;
+    use std::sync::Arc;
+
+    #[test]
+    fn appends_stage_until_a_barrier_flushes_them() {
+        let wal = GroupCommitWal::new(MemWal::new());
+        assert_eq!(wal.append(1, b"a").unwrap(), Lsn::new(1));
+        assert_eq!(wal.append(2, b"b").unwrap(), Lsn::new(2));
+        assert_eq!(wal.staged_len(), 2);
+        assert_eq!(wal.durable_lsn(), Lsn::new(0));
+        assert_eq!(wal.len(), 2, "staged records count toward len");
+        // The barrier flushes the whole batch in one go.
+        assert_eq!(wal.append_durable(3, b"c").unwrap(), Lsn::new(3));
+        assert_eq!(wal.staged_len(), 0);
+        assert_eq!(wal.durable_lsn(), Lsn::new(3));
+        assert_eq!(wal.inner().len(), 3);
+    }
+
+    #[test]
+    fn scan_forces_a_flush_so_only_durable_records_are_visible() {
+        let wal = GroupCommitWal::new(MemWal::new());
+        wal.append(1, b"a").unwrap();
+        wal.append(2, b"b").unwrap();
+        let records = wal.scan(Lsn::new(0)).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(wal.durable_lsn(), Lsn::new(2));
+    }
+
+    #[test]
+    fn count_threshold_triggers_a_flush() {
+        let config = GroupCommitConfig { max_batch_records: 3, max_batch_bytes: usize::MAX };
+        let wal = GroupCommitWal::with_config(MemWal::new(), config);
+        wal.append(1, b"a").unwrap();
+        wal.append(1, b"b").unwrap();
+        assert_eq!(wal.staged_len(), 2);
+        wal.append(1, b"c").unwrap();
+        assert_eq!(wal.staged_len(), 0, "third append crosses the count threshold");
+        assert_eq!(wal.durable_lsn(), Lsn::new(3));
+    }
+
+    #[test]
+    fn byte_threshold_triggers_a_flush() {
+        let config = GroupCommitConfig { max_batch_records: usize::MAX, max_batch_bytes: 64 };
+        let wal = GroupCommitWal::with_config(MemWal::new(), config);
+        wal.append(1, &[0u8; 10]).unwrap();
+        assert_eq!(wal.staged_len(), 1);
+        wal.append(1, &[0u8; 40]).unwrap();
+        assert_eq!(wal.staged_len(), 0, "second append crosses the byte threshold");
+    }
+
+    #[test]
+    fn flush_lsn_is_a_selective_barrier() {
+        let wal = GroupCommitWal::new(MemWal::new());
+        wal.append(1, b"a").unwrap();
+        wal.flush_lsn(Lsn::new(1)).unwrap();
+        assert_eq!(wal.durable_lsn(), Lsn::new(1));
+        // A barrier past the end clamps to the last appended record.
+        wal.append(1, b"b").unwrap();
+        wal.flush_lsn(Lsn::new(99)).unwrap();
+        assert_eq!(wal.durable_lsn(), Lsn::new(2));
+        // An already-durable barrier is a no-op.
+        wal.flush_lsn(Lsn::new(1)).unwrap();
+    }
+
+    #[test]
+    fn lsns_match_the_sink_after_flushes() {
+        let wal = GroupCommitWal::new(MemWal::new());
+        for i in 0..10u32 {
+            wal.append(i, &i.to_be_bytes()).unwrap();
+            if i % 3 == 0 {
+                wal.sync().unwrap();
+            }
+        }
+        wal.sync().unwrap();
+        let records = wal.inner().scan(Lsn::new(0)).unwrap();
+        assert_eq!(records.len(), 10);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.lsn, Lsn::new(i as u64 + 1), "sink LSNs must match staged LSNs");
+            assert_eq!(r.kind, i as u32);
+        }
+        assert_eq!(wal.next_lsn(), wal.inner().next_lsn());
+    }
+
+    #[test]
+    fn wrapping_a_nonempty_sink_continues_its_lsns() {
+        let sink = MemWal::new();
+        sink.append(1, b"pre").unwrap();
+        let wal = GroupCommitWal::new(sink);
+        assert_eq!(wal.durable_lsn(), Lsn::new(1));
+        assert_eq!(wal.append_durable(2, b"post").unwrap(), Lsn::new(2));
+        assert_eq!(wal.inner().len(), 2);
+    }
+
+    #[test]
+    fn a_failed_flush_poisons_the_wal_and_recovery_readopts_the_sink() {
+        // The sink crashes on its 3rd append: the staged batch tears.
+        let wal = GroupCommitWal::new(CrashingWal::new(MemWal::new(), 2));
+        wal.append(1, b"a").unwrap();
+        wal.append(1, b"b").unwrap();
+        wal.append(1, b"c").unwrap();
+        let err = wal.append_durable(1, b"d");
+        assert!(matches!(err, Err(LogError::CrashInjected(_))));
+        // Poisoned: every subsequent operation reports the crash.
+        assert!(matches!(wal.append(1, b"e"), Err(LogError::CrashInjected(_))));
+        assert!(matches!(wal.sync(), Err(LogError::CrashInjected(_))));
+        // "Restart": the sink survived with the torn prefix; re-adopt it.
+        wal.inner().defuse();
+        wal.recover_from_sink();
+        assert_eq!(wal.durable_lsn(), Lsn::new(2), "two appends reached the sink");
+        assert_eq!(wal.append_durable(1, b"f").unwrap(), Lsn::new(3));
+        assert_eq!(wal.inner().len(), 3);
+    }
+
+    #[test]
+    fn a_failed_sync_keeps_acked_records_and_loses_no_acked_lsn() {
+        // Writes land, the barrier itself crashes: the torn window between
+        // write_all and sync_data.
+        let wal = GroupCommitWal::new(CrashingWal::with_sync_crash(MemWal::new(), 1));
+        wal.append_durable(1, b"acked").unwrap(); // first sync passes
+        wal.append(1, b"staged").unwrap();
+        let err = wal.append_durable(1, b"never-acked");
+        assert!(matches!(err, Err(LogError::CrashInjected(ref s)) if s == "wal.sync"));
+        let acked = wal.durable_lsn();
+        assert_eq!(acked, Lsn::new(1));
+        // Every acked LSN is present in the sink.
+        let survived: Vec<u64> =
+            wal.inner().scan(Lsn::new(0)).unwrap().iter().map(|r| r.lsn.raw()).collect();
+        assert!(survived.contains(&acked.raw()));
+    }
+
+    #[test]
+    fn concurrent_durable_appenders_share_flushes() {
+        let wal = Arc::new(GroupCommitWal::new(MemWal::new()));
+        let tel = telemetry::Telemetry::new();
+        wal.set_telemetry(&tel);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let w = Arc::clone(&wal);
+                s.spawn(move || {
+                    for i in 0..50u32 {
+                        w.append(t, &i.to_be_bytes()).unwrap();
+                        w.append_durable(t, &i.to_be_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        wal.sync().unwrap();
+        let records = wal.inner().scan(Lsn::new(0)).unwrap();
+        assert_eq!(records.len(), 800);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.lsn, Lsn::new(i as u64 + 1), "dense LSNs under concurrency");
+        }
+        // Group commit must have coalesced at least some barriers: there
+        // were 400 append_durable barriers; strictly fewer syncs would
+        // prove grouping, but scheduling may serialize them all, so only
+        // the upper bound is asserted (the deterministic single-thread
+        // grouping proof lives in the telemetry test below).
+        let syncs = tel.metrics().counter_value("wal_syncs_total");
+        assert!(syncs <= 401, "at most one sync per barrier, got {syncs}");
+    }
+
+    #[test]
+    fn telemetry_records_sync_count_and_group_size() {
+        let wal = GroupCommitWal::new(MemWal::new());
+        let tel = telemetry::Telemetry::new();
+        wal.set_telemetry(&tel);
+        for _ in 0..5 {
+            wal.append(1, b"ride-the-batch").unwrap();
+        }
+        wal.append_durable(2, b"decision").unwrap();
+        assert_eq!(tel.metrics().counter_value("wal_syncs_total"), 1);
+        assert_eq!(tel.metrics().histogram_count("wal_group_size"), 1);
+        assert_eq!(tel.metrics().histogram_count("wal_batch_bytes"), 1);
+        let text = tel.metrics().render_prometheus();
+        assert!(text.contains("wal_group_size_sum 6"), "one batch of 6 records:\n{text}");
+    }
+}

@@ -12,6 +12,10 @@
 //! * [`wal::Wal`] — the append/scan/truncate interface, with an in-memory
 //!   implementation ([`wal::MemWal`]) and a file-backed one
 //!   ([`file_wal::FileWal`]) that tolerates torn tails;
+//! * [`group_commit::GroupCommitWal`] — leader/follower group commit over
+//!   any sink: concurrent appenders stage into a shared batch, one leader
+//!   performs a single coalesced write + sync per batch, with
+//!   deterministic (timer-free) flush triggers and a `flush_lsn` barrier;
 //! * [`crash::FailpointSet`] and [`crash::CrashingWal`] — deterministic
 //!   crash injection at named protocol steps or after N appends;
 //! * [`replay::Replayer`] — scans a log and feeds records to a
@@ -50,6 +54,7 @@ pub mod checkpoint;
 pub mod crash;
 pub mod error;
 pub mod file_wal;
+pub mod group_commit;
 pub mod record;
 pub mod replay;
 pub mod wal;
@@ -57,6 +62,7 @@ pub mod wal;
 pub use crash::{CrashingWal, FailpointSet};
 pub use error::LogError;
 pub use file_wal::FileWal;
+pub use group_commit::{GroupCommitConfig, GroupCommitWal};
 pub use record::{LogRecord, Lsn};
 pub use replay::{RecoveryHandler, Replayer};
 pub use wal::{MemWal, Wal};

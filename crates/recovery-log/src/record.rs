@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut};
 
 use crate::error::LogError;
 
@@ -68,15 +68,27 @@ impl LogRecord {
     /// Encode to the on-disk format:
     /// `magic u16 | kind u32 | lsn u64 | len u32 | payload | crc32`.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the encoded record to `buf` without allocating.
+    ///
+    /// `buf` is not cleared: callers batching several records into one
+    /// write buffer call this repeatedly, and hot paths keep one reused
+    /// buffer per log (clear + encode_into) instead of a fresh `Vec` per
+    /// append.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.reserve(self.encoded_len());
+        let start = buf.len();
         buf.put_u16(MAGIC);
         buf.put_u32(self.kind);
         buf.put_u64(self.lsn.raw());
         buf.put_u32(self.payload.len() as u32);
         buf.put_slice(&self.payload);
-        let crc = crc32(&buf);
+        let crc = crc32(&buf[start..]);
         buf.put_u32(crc);
-        buf.to_vec()
     }
 
     /// Decode one record from the front of `input`, returning the record and
@@ -185,6 +197,22 @@ mod tests {
         let (first, used) = LogRecord::decode(&stream).unwrap();
         assert_eq!(first, a);
         let (second, _) = LogRecord::decode(&stream[used..]).unwrap();
+        assert_eq!(second, b);
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let a = LogRecord::new(Lsn::new(1), 1, b"a".to_vec());
+        let b = LogRecord::new(Lsn::new(2), 2, b"bb".to_vec());
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        b.encode_into(&mut buf);
+        let mut expected = a.encode();
+        expected.extend_from_slice(&b.encode());
+        assert_eq!(buf, expected, "batched encode_into must byte-match per-record encode");
+        let (first, used) = LogRecord::decode(&buf).unwrap();
+        assert_eq!(first, a);
+        let (second, _) = LogRecord::decode(&buf[used..]).unwrap();
         assert_eq!(second, b);
     }
 

@@ -1,6 +1,6 @@
 //! Replay: feeding a log back to a recovery handler.
 
-use crate::checkpoint::{latest_checkpoint, CHECKPOINT_KIND};
+use crate::checkpoint::{latest_checkpoint_record, CHECKPOINT_KIND};
 use crate::error::LogError;
 use crate::record::{LogRecord, Lsn};
 use crate::wal::Wal;
@@ -107,26 +107,27 @@ impl Replayer {
         handler: &mut H,
     ) -> Result<ReplayReport, LogError> {
         let mut report = ReplayReport::default();
-        let records: Vec<LogRecord> = if self.honor_checkpoints {
-            let (checkpoint, tail) = latest_checkpoint(wal)?;
-            if let Some(cp) = checkpoint {
+        // Zero-copy: records are visited in place via `scan_with` — only a
+        // checkpoint snapshot (one record) is ever cloned out of the log.
+        let mut from = Lsn::new(0);
+        if self.honor_checkpoints {
+            if let Some(cp) = latest_checkpoint_record(wal)? {
                 handler
                     .restore_checkpoint(&cp.payload)
                     .map_err(|e| LogError::Handler(e.to_string()))?;
                 report.from_checkpoint = true;
+                from = cp.lsn.next();
             }
-            tail
-        } else {
-            wal.scan(Lsn::new(0))?
-        };
-        for record in &records {
+        }
+        wal.scan_with(from, &mut |record| {
             if record.kind == CHECKPOINT_KIND {
-                continue;
+                return Ok(());
             }
             handler.apply(record).map_err(|e| LogError::Handler(e.to_string()))?;
             report.replayed += 1;
             report.last_lsn = Some(record.lsn);
-        }
+            Ok(())
+        })?;
         Ok(report)
     }
 }

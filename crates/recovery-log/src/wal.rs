@@ -21,6 +21,57 @@ pub trait Wal: Send + Sync {
     /// or an injected [`LogError::CrashInjected`].
     fn append(&self, kind: u32, payload: &[u8]) -> Result<Lsn, LogError>;
 
+    /// Append a record and force its durability before returning (the
+    /// *forced* write of the 2PC forcing discipline: callers use this for
+    /// decision records and plain [`Wal::append`] for records that may ride
+    /// a later batch).
+    ///
+    /// The default is append-then-sync; batching logs override it with a
+    /// group-commit barrier covering exactly this record's LSN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates append and sync failures.
+    fn append_durable(&self, kind: u32, payload: &[u8]) -> Result<Lsn, LogError> {
+        let lsn = self.append(kind, payload)?;
+        self.sync()?;
+        Ok(lsn)
+    }
+
+    /// Append several records at once, returning the [`Lsn`] of the *last*
+    /// one (records receive dense consecutive LSNs). An empty batch appends
+    /// nothing and returns the LSN of the most recent record.
+    ///
+    /// The default loops [`Wal::append`]; file-backed logs override it with
+    /// one coalesced encode + `write_all`. Durability is NOT implied — pair
+    /// with [`Wal::sync`] or [`Wal::flush_lsn`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first append failure; records before it were
+    /// appended (the same torn-prefix contract a crash leaves on disk).
+    fn append_batch(&self, records: &[(u32, &[u8])]) -> Result<Lsn, LogError> {
+        let mut last = Lsn::new(self.next_lsn().raw().saturating_sub(1));
+        for (kind, payload) in records {
+            last = self.append(*kind, payload)?;
+        }
+        Ok(last)
+    }
+
+    /// Durability barrier: force everything up to and including `lsn`.
+    /// A no-op when that prefix is already durable.
+    ///
+    /// The default syncs the whole log (correct, if coarser than needed);
+    /// group-commit logs override it to wait only for the covering batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] on sync failure.
+    fn flush_lsn(&self, lsn: Lsn) -> Result<(), LogError> {
+        let _ = lsn;
+        self.sync()
+    }
+
     /// Return every durable record at or after `from`, in LSN order.
     ///
     /// # Errors
@@ -29,6 +80,27 @@ pub trait Wal: Send + Sync {
     /// *tails* are not errors: the valid prefix is returned (file logs
     /// truncate the scan at the first bad record).
     fn scan(&self, from: Lsn) -> Result<Vec<LogRecord>, LogError>;
+
+    /// Visit every durable record at or after `from`, in LSN order, without
+    /// materialising (or cloning) the record list. Replay paths use this so
+    /// recovery is zero-copy over the log's retained records.
+    ///
+    /// Implementations may hold internal locks across the visits: `visit`
+    /// must not call back into the same log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures and the first error `visit` returns.
+    fn scan_with(
+        &self,
+        from: Lsn,
+        visit: &mut dyn FnMut(&LogRecord) -> Result<(), LogError>,
+    ) -> Result<(), LogError> {
+        for record in self.scan(from)? {
+            visit(&record)?;
+        }
+        Ok(())
+    }
 
     /// Drop all records with `lsn < upto` (checkpoint compaction).
     ///
@@ -115,6 +187,26 @@ impl Wal for MemWal {
         Ok(lsn)
     }
 
+    fn append_batch(&self, records: &[(u32, &[u8])]) -> Result<Lsn, LogError> {
+        let mut inner = self.inner.lock();
+        if inner.sealed {
+            return Err(LogError::Sealed);
+        }
+        for (kind, payload) in records {
+            let lsn = Lsn::new(inner.next);
+            inner.next += 1;
+            inner.records.push(LogRecord::new(lsn, *kind, payload.to_vec()));
+        }
+        let last = Lsn::new(inner.next - 1);
+        drop(inner);
+        if !records.is_empty() {
+            if let Some(counter) = &*self.appends.lock() {
+                counter.add(records.len() as u64);
+            }
+        }
+        Ok(last)
+    }
+
     fn scan(&self, from: Lsn) -> Result<Vec<LogRecord>, LogError> {
         Ok(self
             .inner
@@ -124,6 +216,18 @@ impl Wal for MemWal {
             .filter(|r| r.lsn >= from)
             .cloned()
             .collect())
+    }
+
+    fn scan_with(
+        &self,
+        from: Lsn,
+        visit: &mut dyn FnMut(&LogRecord) -> Result<(), LogError>,
+    ) -> Result<(), LogError> {
+        let inner = self.inner.lock();
+        for record in inner.records.iter().filter(|r| r.lsn >= from) {
+            visit(record)?;
+        }
+        Ok(())
     }
 
     fn truncate_prefix(&self, upto: Lsn) -> Result<(), LogError> {
@@ -137,6 +241,14 @@ impl Wal for MemWal {
 
     fn next_lsn(&self) -> Lsn {
         Lsn::new(self.inner.lock().next)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.lock().records.is_empty()
     }
 }
 
@@ -188,6 +300,60 @@ mod tests {
         assert_eq!(wal.scan(Lsn::new(0)).unwrap().len(), 1);
         wal.unseal();
         assert!(wal.append(1, b"b").is_ok());
+    }
+
+    #[test]
+    fn append_durable_is_append_plus_sync() {
+        let wal = MemWal::new();
+        assert_eq!(wal.append_durable(1, b"d").unwrap(), Lsn::new(1));
+        assert_eq!(wal.len(), 1);
+        assert_eq!(wal.scan(Lsn::new(0)).unwrap()[0].payload, b"d");
+    }
+
+    #[test]
+    fn append_batch_assigns_dense_lsns() {
+        let wal = MemWal::new();
+        wal.append(9, b"pre").unwrap();
+        let last = wal
+            .append_batch(&[(1, b"a".as_slice()), (2, b"b".as_slice()), (3, b"c".as_slice())])
+            .unwrap();
+        assert_eq!(last, Lsn::new(4));
+        assert_eq!(wal.next_lsn(), Lsn::new(5));
+        let records = wal.scan(Lsn::new(2)).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].kind, 1);
+        assert_eq!(records[2].kind, 3);
+        // An empty batch appends nothing and reports the last assigned LSN.
+        assert_eq!(wal.append_batch(&[]).unwrap(), Lsn::new(4));
+        // Sealed logs refuse batches like they refuse appends.
+        wal.seal();
+        assert!(matches!(wal.append_batch(&[(1, b"x".as_slice())]), Err(LogError::Sealed)));
+    }
+
+    #[test]
+    fn scan_with_visits_in_order_and_stops_on_error() {
+        let wal = MemWal::new();
+        for i in 0..5u32 {
+            wal.append(i, &[i as u8]).unwrap();
+        }
+        let mut seen = Vec::new();
+        wal.scan_with(Lsn::new(3), &mut |r| {
+            seen.push(r.lsn.raw());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![3, 4, 5]);
+        let mut visits = 0;
+        let err = wal.scan_with(Lsn::new(0), &mut |_| {
+            visits += 1;
+            if visits == 2 {
+                Err(LogError::Handler("enough".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(matches!(err, Err(LogError::Handler(_))));
+        assert_eq!(visits, 2, "the visitor error must stop the scan");
     }
 
     #[test]

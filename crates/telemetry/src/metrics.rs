@@ -170,6 +170,16 @@ impl MetricsRegistry {
         cell.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one dimensionless, count-valued observation (batch sizes,
+    /// byte counts) into a histogram. The value maps 1:1 onto the fixed
+    /// bucket scale (a batch of 8 records buckets like 8 virtual seconds),
+    /// so count histograms share the deterministic export path; consumers
+    /// of count series read `sum`/`count` (e.g. mean group size) rather
+    /// than the sub-second buckets.
+    pub fn observe_count(&self, name: &str, value: u64) {
+        self.observe(name, Duration::from_secs_f64(value as f64));
+    }
+
     /// Record one observation into a histogram. Gated before any lookup.
     pub fn observe(&self, name: &str, value: Duration) {
         if !self.enabled() {
@@ -336,6 +346,17 @@ mod tests {
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("lat_count 3"));
         assert_eq!(m.histogram_count("lat"), 3);
+    }
+
+    #[test]
+    fn count_observations_accumulate_sum_and_count() {
+        let m = MetricsRegistry::new();
+        m.observe_count("wal_group_size", 4);
+        m.observe_count("wal_group_size", 8);
+        assert_eq!(m.histogram_count("wal_group_size"), 2);
+        let text = m.render_prometheus();
+        assert!(text.contains("wal_group_size_sum 12"));
+        assert!(text.contains("wal_group_size_count 2"));
     }
 
     #[test]

@@ -62,10 +62,11 @@ impl WorkflowJournal {
         m.insert("task".into(), Value::from(task));
         m.insert("success".into(), Value::Bool(success));
         m.insert("output".into(), output.clone());
+        // One durability barrier per outcome: under a group-commit log
+        // concurrent tasks finishing together share a single sync.
         self.wal
-            .append(KIND_WF_TASK_DONE, &Value::Map(m).encode())
+            .append_durable(KIND_WF_TASK_DONE, &Value::Map(m).encode())
             .map_err(|e| WorkflowError::Activity(e.to_string()))?;
-        self.wal.sync().map_err(|e| WorkflowError::Activity(e.to_string()))?;
         Ok(())
     }
 
@@ -78,35 +79,35 @@ impl WorkflowJournal {
     /// is malformed.
     pub fn replay(&self) -> Result<Vec<JournalledOutcome>, WorkflowError> {
         let mut outcomes: Vec<JournalledOutcome> = Vec::new();
-        let records = self
-            .wal
-            .scan(Lsn::new(0))
+        // Stream records in place: only this workflow's payloads are decoded
+        // and nothing is cloned out of the log.
+        self.wal
+            .scan_with(Lsn::new(0), &mut |record| {
+                if record.kind != KIND_WF_TASK_DONE {
+                    return Ok(());
+                }
+                let v = Value::decode(&record.payload)
+                    .map_err(|e| recovery_log::LogError::Handler(e.to_string()))?;
+                let m = v.as_map().ok_or_else(|| {
+                    recovery_log::LogError::Handler("journal record must be a map".into())
+                })?;
+                if m.get("workflow").and_then(Value::as_str) != Some(self.workflow.as_str()) {
+                    return Ok(());
+                }
+                let task = m.get("task").and_then(Value::as_str).ok_or_else(|| {
+                    recovery_log::LogError::Handler("journal record missing task".into())
+                })?;
+                if outcomes.iter().any(|o| o.task == task) {
+                    return Ok(());
+                }
+                outcomes.push(JournalledOutcome {
+                    task: task.to_owned(),
+                    success: m.get("success").and_then(Value::as_bool).unwrap_or(false),
+                    output: m.get("output").cloned().unwrap_or(Value::Null),
+                });
+                Ok(())
+            })
             .map_err(|e| WorkflowError::Activity(e.to_string()))?;
-        for record in records {
-            if record.kind != KIND_WF_TASK_DONE {
-                continue;
-            }
-            let v = Value::decode(&record.payload)
-                .map_err(|e| WorkflowError::Activity(e.to_string()))?;
-            let m = v
-                .as_map()
-                .ok_or_else(|| WorkflowError::Activity("journal record must be a map".into()))?;
-            if m.get("workflow").and_then(Value::as_str) != Some(self.workflow.as_str()) {
-                continue;
-            }
-            let task = m
-                .get("task")
-                .and_then(Value::as_str)
-                .ok_or_else(|| WorkflowError::Activity("journal record missing task".into()))?;
-            if outcomes.iter().any(|o| o.task == task) {
-                continue;
-            }
-            outcomes.push(JournalledOutcome {
-                task: task.to_owned(),
-                success: m.get("success").and_then(Value::as_bool).unwrap_or(false),
-                output: m.get("output").cloned().unwrap_or(Value::Null),
-            });
-        }
         Ok(outcomes)
     }
 }

@@ -12,7 +12,9 @@ use activity_service::{
 };
 use orb::{SimClock, Value};
 use ots::{Resource, TransactionFactory, TransactionalKv, TxError};
-use recovery_log::{CrashingWal, FailpointSet, FileWal, Lsn, MemWal, Wal};
+use recovery_log::{
+    CrashingWal, FailpointSet, FileWal, GroupCommitWal, LogError, Lsn, MemWal, Wal,
+};
 
 /// One crash-matrix cell: crash at `failpoint`, recover, and state whether
 /// the transaction's effects must be present afterwards.
@@ -366,6 +368,173 @@ fn activity_log_tolerates_foreign_checkpoint_records() {
     )
     .unwrap();
     assert_eq!(recovered.incomplete.len(), 2);
+}
+
+/// Group-commit durability matrix: the process dies in the torn window
+/// *between* the leader's coalesced buffer write and its sync ([`CrashingWal`]
+/// in sync-crash mode counts the barrier down). Sweep the crash point across
+/// the first several flushes: every `append_durable` LSN that was
+/// acknowledged before the crash must still be in the log after restart; the
+/// unacked tail may tear — or, having been written before the failed sync,
+/// may happen to survive. Both are legal; losing an acked record is not.
+#[test]
+fn group_commit_sync_crash_matrix_keeps_every_acked_lsn() {
+    for syncs_before_crash in 0..4u32 {
+        let group =
+            GroupCommitWal::new(CrashingWal::with_sync_crash(MemWal::new(), syncs_before_crash));
+        let mut acked: Vec<u64> = Vec::new();
+        let mut crashed = false;
+        for i in 0..8u32 {
+            match group.append_durable(0x0103, format!("decision-{i}").as_bytes()) {
+                Ok(lsn) => acked.push(lsn.raw()),
+                Err(err) => {
+                    assert!(
+                        matches!(err, LogError::CrashInjected(ref site) if site == "wal.sync"),
+                        "cell {syncs_before_crash}: expected a sync crash, got {err:?}"
+                    );
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        assert!(crashed, "cell {syncs_before_crash}: the armed sync crash must fire");
+        assert_eq!(acked.len(), syncs_before_crash as usize);
+
+        // Restart: disarm the fault, discard the staged (never-flushed)
+        // tail, re-adopt whatever the sink physically holds.
+        group.inner().defuse();
+        group.recover_from_sink();
+        let survived: Vec<u64> =
+            group.scan(Lsn::new(0)).unwrap().iter().map(|r| r.lsn.raw()).collect();
+        for lsn in &acked {
+            assert!(
+                survived.contains(lsn),
+                "cell {syncs_before_crash}: acked LSN {lsn} lost; survivors {survived:?}"
+            );
+        }
+        // The record whose sync crashed was written before the barrier
+        // failed: it may survive as an unacked orphan, never as a gap.
+        assert!(survived.len() >= acked.len());
+        assert!(survived.len() <= acked.len() + 1, "at most the one torn-window record extra");
+
+        // The restarted log continues cleanly past the survivors.
+        let next = group.append_durable(0x0103, b"post-restart").unwrap();
+        assert_eq!(next.raw(), survived.len() as u64 + 1);
+    }
+}
+
+/// The same torn window under a full 2PC commit: the coordinator's forced
+/// decision write crashes between the batch write and the sync, so the
+/// commit call fails — but the decision record physically reached the sink.
+/// Recovery must then push the commit through: the decision on disk, not
+/// the lost acknowledgement, is the truth.
+#[test]
+fn group_commit_sync_crash_during_decision_recovers_from_surviving_batch() {
+    let group = Arc::new(GroupCommitWal::new(CrashingWal::with_sync_crash(MemWal::new(), 0)));
+    let wal: Arc<dyn Wal> = Arc::clone(&group) as Arc<dyn Wal>;
+    let factory = TransactionFactory::with_wal(Arc::clone(&wal));
+    let store = Arc::new(TransactionalKv::new("store"));
+    let witness = Arc::new(TransactionalKv::new("witness"));
+
+    let control = factory.create().unwrap();
+    store.enlist(&control).unwrap();
+    witness.enlist(&control).unwrap();
+    store.write(control.id(), "k", Value::from(1i64)).unwrap();
+    witness.write(control.id(), "w", Value::from(2i64)).unwrap();
+    let result = control.terminator().commit();
+    assert!(
+        matches!(result, Err(TxError::Log(_))),
+        "the decision barrier must crash the commit, got {result:?}"
+    );
+    assert_eq!(group.durable_lsn().raw(), 0, "nothing was ever acknowledged durable");
+
+    // Restart over the surviving sink.
+    group.inner().defuse();
+    group.recover_from_sink();
+    assert!(
+        group
+            .scan(Lsn::new(0))
+            .unwrap()
+            .iter()
+            .any(|r| r.kind == ots::txlog::KIND_TX_DECISION),
+        "the decision batch was written before the sync crashed"
+    );
+    let store2 = Arc::clone(&store);
+    let witness2 = Arc::clone(&witness);
+    let resolver = move |name: &str| -> Option<Arc<dyn Resource>> {
+        match name {
+            "store" => Some(store2.clone()),
+            "witness" => Some(witness2.clone()),
+            _ => None,
+        }
+    };
+    let report = TransactionFactory::with_wal(wal).recover(&resolver).unwrap();
+    assert_eq!(report.recommitted.len(), 1, "the surviving decision must recommit");
+    assert_eq!(store.read_committed("k"), Some(Value::from(1i64)));
+    assert_eq!(witness.read_committed("w"), Some(Value::from(2i64)));
+}
+
+/// Concurrent-committer durability stress: 16 threads each force 25 records
+/// through one [`GroupCommitWal`] over a real file. Every acknowledged LSN
+/// must survive a full process restart (fresh [`FileWal`] over the same
+/// path), the LSN space must be dense, and the batching must have actually
+/// shared sync barriers across committers.
+#[test]
+fn sixteen_concurrent_committers_survive_restart() {
+    const THREADS: usize = 16;
+    const COMMITS_PER_THREAD: usize = 25;
+    let path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("group-stress-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+
+    let tel = telemetry::Telemetry::new();
+    let acked: Vec<u64> = {
+        let group = Arc::new(GroupCommitWal::new(FileWal::open(&path).unwrap()));
+        group.set_telemetry(&tel);
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let group = Arc::clone(&group);
+            handles.push(std::thread::spawn(move || {
+                let mut acked = Vec::with_capacity(COMMITS_PER_THREAD);
+                for i in 0..COMMITS_PER_THREAD {
+                    let payload = format!("commit-{t}-{i}");
+                    acked.push(
+                        group.append_durable(0x0103, payload.as_bytes()).unwrap().raw(),
+                    );
+                }
+                acked
+            }));
+        }
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    };
+
+    let total = THREADS * COMMITS_PER_THREAD;
+    let mut sorted = acked.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), total, "acked LSNs must be unique");
+    assert_eq!(sorted.first(), Some(&1));
+    assert_eq!(sorted.last(), Some(&(total as u64)), "LSN space must be dense");
+
+    let syncs = tel.metrics().counter_value("wal_syncs_total");
+    assert!(syncs >= 1);
+    assert!(
+        (syncs as usize) < total,
+        "group commit must share barriers: {syncs} syncs for {total} forced records"
+    );
+
+    // "Restart": a brand-new FileWal over the same path sees every acked
+    // record.
+    let reopened = FileWal::open(&path).unwrap();
+    let survived: std::collections::BTreeSet<u64> =
+        reopened.scan(Lsn::new(0)).unwrap().iter().map(|r| r.lsn.raw()).collect();
+    for lsn in &acked {
+        assert!(survived.contains(lsn), "acked LSN {lsn} missing after restart");
+    }
+    std::fs::remove_file(&path).unwrap();
 }
 
 /// Make sure ActivityLogger is reachable for documentation users.

@@ -1,6 +1,6 @@
 //! Tier-1 bounded simulation sweep: the deterministic chaos explorer runs
 //! a fixed population of seeded fault schedules against every scenario
-//! adapter and checks the six §3.4 invariant oracles after each run.
+//! adapter and checks the eight §3.4 invariant oracles after each run.
 //!
 //! Two properties are pinned here:
 //!
@@ -13,9 +13,10 @@
 //!    fault events, printed with its seed.
 
 use harness::scenarios::{self, BrokenWorkflowScenario};
-use harness::{sweep, SweepConfig};
+use harness::scenarios::{TwoPhaseGroupCommitScenario, TwoPhaseScenario};
+use harness::{generate, sweep, FaultSchedule, Scenario, ScheduleSpace, SweepConfig};
 
-/// 5 scenarios × 40 seeds = 200 distinct fault schedules, plus the broken
+/// 6 scenarios × 40 seeds = 240 distinct fault schedules, plus the broken
 /// fixture's own 40 below.
 const SEEDS_PER_SCENARIO: u64 = 40;
 
@@ -54,9 +55,64 @@ fn bounded_sweep_holds_every_oracle_and_is_reproducible() {
         total += first.schedules_run;
     }
     assert!(
-        total >= 200,
-        "the tier-1 sweep must cover at least 200 distinct fault schedules, ran {total}"
+        total >= 240,
+        "the tier-1 sweep must cover at least 240 distinct fault schedules, ran {total}"
     );
+}
+
+/// Tier-1 regression guard for the group-commit pipeline: the wal
+/// configuration must be protocol-invisible. Fault-free runs produce
+/// byte-identical traces with per-record sync and group commit; under every
+/// seeded fault schedule of the sweep space the two configurations agree on
+/// the terminal outcome and the participants' durable states, and both stay
+/// oracle-green. (Crash-schedule *traces* may legitimately differ — the
+/// group log loses its staged, never-acked tail — but the decision the
+/// recovery reaches may not.)
+#[test]
+fn group_commit_is_protocol_invisible_across_the_sweep() {
+    let per_record = TwoPhaseScenario;
+    let grouped = TwoPhaseGroupCommitScenario;
+
+    let probe_a = per_record.run(&FaultSchedule::empty());
+    let probe_b = grouped.run(&FaultSchedule::empty());
+    assert_eq!(
+        probe_a.trace, probe_b.trace,
+        "fault-free traces must be byte-identical across wal configurations"
+    );
+    assert_eq!(probe_a.participant_commits, probe_b.participant_commits);
+    assert_eq!(
+        probe_a.observed_sites, probe_b.observed_sites,
+        "both configurations must expose the same schedule space"
+    );
+
+    let space = ScheduleSpace {
+        sites: probe_a.observed_sites.clone(),
+        remote_messages: probe_a.remote_messages,
+        max_events: 4,
+    };
+    for offset in 0..SEEDS_PER_SCENARIO {
+        let seed = 0x20260806 + offset;
+        let sched = generate(seed, &space);
+        let a = per_record.run(&sched);
+        let b = grouped.run(&sched);
+        assert_eq!(
+            a.outcome, b.outcome,
+            "seed {seed}: outcomes diverged across wal configurations"
+        );
+        assert_eq!(
+            a.participant_commits, b.participant_commits,
+            "seed {seed}: participant states diverged across wal configurations"
+        );
+        assert!(
+            harness::check_all(&a).is_empty(),
+            "seed {seed}: per-record run violated an oracle"
+        );
+        assert!(
+            harness::check_all(&b).is_empty(),
+            "seed {seed}: group-commit run violated an oracle: {:?}",
+            harness::check_all(&b)
+        );
+    }
 }
 
 #[test]
