@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 use crate::completion::CompletionStatus;
 use crate::coordinator::ActivityCoordinator;
 use crate::error::ActivityError;
+use crate::journal::{ActivityEvent, ActivityJournal};
 use crate::outcome::Outcome;
 use crate::property::PropertyGroupManager;
 use crate::recovery::ActivityLogger;
@@ -77,6 +78,7 @@ struct ActivityInner {
     deadline: Mutex<Option<Duration>>,
     logger: Option<Arc<ActivityLogger>>,
     id_source: Arc<std::sync::atomic::AtomicU64>,
+    journal: Mutex<Option<ActivityJournal>>,
 }
 
 /// A unit of work, arranged in a tree (fig. 4), coordinated through its
@@ -135,6 +137,7 @@ impl Activity {
                 deadline: Mutex::new(None),
                 logger,
                 id_source,
+                journal: Mutex::new(None),
             }),
         }
     }
@@ -167,6 +170,7 @@ impl Activity {
                 deadline: Mutex::new(None),
                 logger,
                 id_source,
+                journal: Mutex::new(None),
             }),
         };
         if let Some(parent) = parent {
@@ -217,10 +221,31 @@ impl Activity {
                 deadline: Mutex::new(*self.inner.deadline.lock()),
                 logger: self.inner.logger.clone(),
                 id_source: Arc::clone(&self.inner.id_source),
+                journal: Mutex::new(self.inner.journal.lock().clone()),
             }),
         };
+        if let Some(journal) = &*child.inner.journal.lock() {
+            journal.record(ActivityEvent::Begun {
+                activity: child.inner.id,
+                name: child.inner.name.clone(),
+                parent: Some(self.inner.id),
+            });
+        }
         self.inner.children.lock().push(child.clone());
         Ok(child)
+    }
+
+    /// Attach an [`ActivityJournal`]: this activity (and every child begun
+    /// afterwards, which inherits the journal) records its lifecycle —
+    /// begin and complete — for conformance replay against a reference
+    /// nesting model. Attaching records this activity's own `Begun` event.
+    pub fn set_journal(&self, journal: ActivityJournal) {
+        journal.record(ActivityEvent::Begun {
+            activity: self.inner.id,
+            name: self.inner.name.clone(),
+            parent: self.inner.parent.upgrade().map(|p| p.id),
+        });
+        *self.inner.journal.lock() = Some(journal);
     }
 
     /// This activity's id.
@@ -430,6 +455,13 @@ impl Activity {
         };
         *self.inner.state.lock() = ActivityState::Completed;
         *self.inner.outcome.lock() = Some(outcome.clone());
+        if let Some(journal) = &*self.inner.journal.lock() {
+            journal.record(ActivityEvent::Completed {
+                activity: self.inner.id,
+                status: effective,
+                outcome: outcome.name().to_owned(),
+            });
+        }
         if let Some(logger) = &self.inner.logger {
             logger.log_completed(self.inner.id, effective, outcome.name())?;
         }

@@ -69,6 +69,7 @@ pub mod error;
 pub mod exactly_once;
 pub mod hls;
 pub mod interposition;
+pub mod journal;
 pub mod outcome;
 pub mod property;
 pub mod recovery;
@@ -87,6 +88,7 @@ pub use error::{ActionError, ActivityError};
 pub use exactly_once::ExactlyOnceAction;
 pub use hls::{ActivityManager, UserActivity, UserWorkArea};
 pub use interposition::{interpose, CollationPolicy, SubordinateRelay};
+pub use journal::{ActivityEvent, ActivityJournal};
 pub use outcome::Outcome;
 pub use property::{
     BasicPropertyGroup, NestedVisibility, Propagation, PropertyGroup, PropertyGroupManager,

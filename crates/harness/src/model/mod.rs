@@ -1,0 +1,165 @@
+//! Executable reference models of the paper's protocols.
+//!
+//! Each submodule is a small, pure state machine — `step(state, event)`
+//! either advances the state or yields a [`SpecViolation`] — transcribing
+//! one protocol the paper specifies:
+//!
+//! * [`twopc`] — presumed-abort two-phase commit (§2, §12 of DESIGN.md):
+//!   a commit decision needs a unanimous yes-vote, only the decision is
+//!   forced, commit deliveries happen only under a forced decision, and
+//!   forget follows delivery.
+//! * [`nesting`] — fig. 4 activity nesting: children begin under live
+//!   parents and complete before them; nothing completes twice.
+//! * [`signal_set`] — fig. 5 checked-signal processing: every transmitted
+//!   signal's response is collated before the set outcome is read, and a
+//!   failure response must propagate to the outcome.
+//! * [`saga`] — §5.1 compensation: committed steps are compensated in
+//!   reverse order, and an aborted saga compensates everything.
+//!
+//! All four machines consume the shared [`Event`] vocabulary, ignoring
+//! events that belong to other protocols, so a scenario can journal one
+//! flat trace and [`replay_all`] audits it against every model at once.
+//! The explorer's refinement oracle (oracle #9) calls [`replay_all`] on
+//! every execution it enumerates; the first divergence is shrunk to a
+//! 1-minimal schedule.
+//!
+//! The models deliberately know nothing about the implementation: they
+//! are transcriptions of the paper, auditable against PAPER.md alone.
+
+pub mod nesting;
+pub mod saga;
+pub mod signal_set;
+pub mod twopc;
+
+use std::fmt;
+
+/// How a participant answered a prepare request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vote {
+    /// Yes — the participant can commit and holds durable prepared state.
+    Commit,
+    /// Yes, but nothing to persist; drop out of phase two.
+    ReadOnly,
+    /// No — the participant refuses the transaction.
+    Rollback,
+    /// The prepare call itself failed; counts as a refusal.
+    Failed,
+}
+
+impl Vote {
+    /// Whether this vote permits a commit decision.
+    #[must_use]
+    pub fn is_yes(self) -> bool {
+        matches!(self, Vote::Commit | Vote::ReadOnly)
+    }
+}
+
+/// One observable protocol step, in the shared vocabulary all reference
+/// models consume. Scenarios map their implementation journals
+/// ([`ots::ProtocolJournal`], [`activity_service::ActivityJournal`],
+/// trace logs) into this enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    // --- presumed-abort two-phase commit ---
+    /// The coordinator asked a participant to prepare.
+    PrepareSent { participant: String },
+    /// The participant's vote came back.
+    VoteRecorded { participant: String, vote: Vote },
+    /// The coordinator forced its decision record durable.
+    DecisionForced { commit: bool },
+    /// Phase two delivered the outcome to one participant.
+    OutcomeDelivered { participant: String, commit: bool },
+    /// The coordinator dropped its obligation to a delivered participant.
+    Forgotten { participant: String },
+    /// The transaction finished, in this direction.
+    TxCompleted { committed: bool },
+
+    // --- activity nesting ---
+    /// An activity entered the tree.
+    ActivityBegun { activity: u64, parent: Option<u64> },
+    /// An activity's completion protocol finished.
+    ActivityCompleted { activity: u64, success: bool },
+
+    // --- checked signal sets ---
+    /// The coordinator polled the set for its next signal.
+    SignalRequested { set: String },
+    /// A signal went out to one registered action.
+    SignalTransmitted { set: String, signal: String, action: String },
+    /// The action's outcome was fed back into the set.
+    ResponseCollated { set: String, failure: bool },
+    /// The collated outcome of the whole set was read.
+    OutcomeRead { set: String, failure: bool },
+
+    // --- sagas ---
+    /// A forward step committed.
+    StepCommitted { step: String },
+    /// A committed step's compensator ran.
+    StepCompensated { step: String },
+    /// The saga finished: `completed` forward, or fully compensated.
+    SagaEnded { completed: bool },
+}
+
+/// A divergence between an observed execution and a reference model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecViolation {
+    /// Which reference model rejected the trace.
+    pub model: &'static str,
+    /// Index into the event trace of the offending event.
+    pub event_index: usize,
+    /// What rule the event broke.
+    pub detail: String,
+}
+
+impl fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] event #{}: {}", self.model, self.event_index, self.detail)
+    }
+}
+
+/// Replay one trace through all four reference models, collecting every
+/// divergence. Each model sees the full trace and ignores events outside
+/// its vocabulary, so interleaved protocols audit independently.
+#[must_use]
+pub fn replay_all(events: &[Event]) -> Vec<SpecViolation> {
+    let mut violations = Vec::new();
+    violations.extend(twopc::replay(events));
+    violations.extend(nesting::replay(events));
+    violations.extend(signal_set::replay(events));
+    violations.extend(saga::replay(events));
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_clean_interleaved_trace_satisfies_every_model() {
+        let t = vec![
+            Event::ActivityBegun { activity: 1, parent: None },
+            Event::PrepareSent { participant: "a".into() },
+            Event::VoteRecorded { participant: "a".into(), vote: Vote::Commit },
+            Event::StepCommitted { step: "taxi".into() },
+            Event::DecisionForced { commit: true },
+            Event::OutcomeDelivered { participant: "a".into(), commit: true },
+            Event::Forgotten { participant: "a".into() },
+            Event::TxCompleted { committed: true },
+            Event::SagaEnded { completed: true },
+            Event::ActivityCompleted { activity: 1, success: true },
+        ];
+        assert_eq!(replay_all(&t), Vec::new());
+    }
+
+    #[test]
+    fn violations_carry_the_offending_event_index() {
+        let t = vec![
+            Event::PrepareSent { participant: "a".into() },
+            Event::VoteRecorded { participant: "a".into(), vote: Vote::Rollback },
+            Event::DecisionForced { commit: true },
+        ];
+        let violations = replay_all(&t);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].model, "twopc");
+        assert_eq!(violations[0].event_index, 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Reference model of §5.1 saga compensation.
+//!
+//! A saga commits each forward step as it goes; on failure it runs the
+//! compensators of every committed step in **reverse commit order**. The
+//! rules transcribed here:
+//!
+//! 1. a step is compensated only if it committed, and compensations pop
+//!    the committed stack — strictly newest-first;
+//! 2. a saga that ends `completed` compensated nothing;
+//! 3. a saga that ends aborted compensated **every** committed step
+//!    (no orphaned forward effects);
+//! 4. nothing happens after the saga ended.
+
+use super::{Event, SpecViolation};
+
+/// The machine's state between events.
+#[derive(Debug, Clone, Default)]
+pub struct Saga {
+    committed: Vec<String>,
+    compensated: usize,
+    ended: bool,
+}
+
+impl Saga {
+    /// Fresh saga, nothing committed.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reject(index: usize, detail: String) -> Result<(), SpecViolation> {
+        Err(SpecViolation { model: "saga", event_index: index, detail })
+    }
+
+    /// Advance by one event; foreign events are ignored.
+    ///
+    /// # Errors
+    /// The first rule the event breaks, as a [`SpecViolation`].
+    pub fn step(&mut self, index: usize, event: &Event) -> Result<(), SpecViolation> {
+        match event {
+            Event::StepCommitted { step } => {
+                if self.ended {
+                    return Self::reject(index, format!("step {step} committed after the saga ended"));
+                }
+                self.committed.push(step.clone());
+            }
+            Event::StepCompensated { step } => {
+                if self.ended {
+                    return Self::reject(index, format!("step {step} compensated after the saga ended"));
+                }
+                match self.committed.pop() {
+                    Some(top) if top == *step => self.compensated += 1,
+                    Some(top) => {
+                        return Self::reject(
+                            index,
+                            format!("step {step} compensated out of order — {top} committed more recently"),
+                        );
+                    }
+                    None => {
+                        return Self::reject(index, format!("step {step} compensated but never committed"));
+                    }
+                }
+            }
+            Event::SagaEnded { completed } => {
+                if self.ended {
+                    return Self::reject(index, "the saga ended twice".into());
+                }
+                if *completed && self.compensated > 0 {
+                    return Self::reject(index, "a completed saga must not have compensated".into());
+                }
+                if !*completed {
+                    if let Some(orphan) = self.committed.last() {
+                        return Self::reject(
+                            index,
+                            format!("saga aborted with step {orphan} committed but not compensated"),
+                        );
+                    }
+                }
+                self.ended = true;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// Replay a trace, stopping at the first divergence.
+#[must_use]
+pub fn replay(events: &[Event]) -> Vec<SpecViolation> {
+    let mut machine = Saga::new();
+    for (index, event) in events.iter().enumerate() {
+        if let Err(violation) = machine.step(index, event) {
+            return vec![violation];
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commit(s: &str) -> Event {
+        Event::StepCommitted { step: s.into() }
+    }
+    fn compensate(s: &str) -> Event {
+        Event::StepCompensated { step: s.into() }
+    }
+
+    #[test]
+    fn completed_saga_passes() {
+        let t = vec![commit("taxi"), commit("hotel"), Event::SagaEnded { completed: true }];
+        assert!(replay(&t).is_empty());
+    }
+
+    #[test]
+    fn reverse_order_compensation_passes() {
+        let t = vec![
+            commit("taxi"),
+            commit("restaurant"),
+            compensate("restaurant"),
+            compensate("taxi"),
+            Event::SagaEnded { completed: false },
+        ];
+        assert!(replay(&t).is_empty());
+    }
+
+    #[test]
+    fn forward_order_compensation_is_rejected() {
+        let t = vec![commit("taxi"), commit("restaurant"), compensate("taxi")];
+        assert!(replay(&t)[0].detail.contains("out of order"));
+    }
+
+    #[test]
+    fn aborting_with_an_uncompensated_step_is_rejected() {
+        let t = vec![commit("taxi"), Event::SagaEnded { completed: false }];
+        assert!(replay(&t)[0].detail.contains("not compensated"));
+    }
+
+    #[test]
+    fn compensating_an_uncommitted_step_is_rejected() {
+        assert!(replay(&[compensate("hotel")])[0].detail.contains("never committed"));
+    }
+}

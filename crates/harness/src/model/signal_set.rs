@@ -1,0 +1,263 @@
+//! Reference model of fig. 5 checked-signal processing.
+//!
+//! The paper's coordinator loop polls a SignalSet for its next signal,
+//! transmits it to every registered action, and collates each action's
+//! outcome back into the set before the set's overall outcome may be
+//! read. The rules transcribed here:
+//!
+//! 1. a signal is transmitted only while the set is being solicited
+//!    (a `get_signal` poll precedes the first transmit);
+//! 2. a response is collated only for a signal actually transmitted —
+//!    responses never outnumber transmits;
+//! 3. the set outcome is read only once every transmitted signal's
+//!    response has been collated (checked signals: no outcome over
+//!    outstanding responses);
+//! 4. once the outcome is read the set is concluded — no further polls,
+//!    transmits or responses;
+//! 5. **failure propagation**: if any collated response reported a
+//!    failure, the set outcome must not read as a success.
+//!
+//! The mapping from a [`activity_service::TraceLog`] to model events
+//! lives in [`events_from_trace`]; `Transmit` trace events carry no set
+//! name, so the mapper attributes them to the most recently polled set —
+//! faithful to the coordinator's one-set-at-a-time processing loop.
+
+use std::collections::BTreeMap;
+
+use super::{Event, SpecViolation};
+
+#[derive(Debug, Clone, Default)]
+struct SetState {
+    polled: bool,
+    transmits: usize,
+    responses: usize,
+    any_failure_response: bool,
+    concluded: bool,
+}
+
+/// The machine's state between events, one entry per signal set.
+#[derive(Debug, Clone, Default)]
+pub struct SignalSets {
+    sets: BTreeMap<String, SetState>,
+}
+
+impl SignalSets {
+    /// Fresh state with no sets solicited.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reject(index: usize, detail: String) -> Result<(), SpecViolation> {
+        Err(SpecViolation { model: "signal_set", event_index: index, detail })
+    }
+
+    /// Advance by one event; foreign events are ignored.
+    ///
+    /// # Errors
+    /// The first rule the event breaks, as a [`SpecViolation`].
+    pub fn step(&mut self, index: usize, event: &Event) -> Result<(), SpecViolation> {
+        match event {
+            Event::SignalRequested { set } => {
+                let state = self.sets.entry(set.clone()).or_default();
+                if state.concluded {
+                    return Self::reject(index, format!("set {set} polled after its outcome was read"));
+                }
+                state.polled = true;
+            }
+            Event::SignalTransmitted { set, signal, .. } => {
+                let state = self.sets.entry(set.clone()).or_default();
+                if state.concluded {
+                    return Self::reject(
+                        index,
+                        format!("signal {signal} transmitted after set {set}'s outcome was read"),
+                    );
+                }
+                if !state.polled {
+                    return Self::reject(
+                        index,
+                        format!("signal {signal} transmitted before set {set} was polled"),
+                    );
+                }
+                state.transmits += 1;
+            }
+            Event::ResponseCollated { set, failure } => {
+                let state = self.sets.entry(set.clone()).or_default();
+                if state.concluded {
+                    return Self::reject(index, format!("response collated after set {set}'s outcome was read"));
+                }
+                if state.responses >= state.transmits {
+                    return Self::reject(
+                        index,
+                        format!("set {set} collated more responses than signals transmitted"),
+                    );
+                }
+                state.responses += 1;
+                state.any_failure_response |= failure;
+            }
+            Event::OutcomeRead { set, failure } => {
+                let state = self.sets.entry(set.clone()).or_default();
+                if state.concluded {
+                    return Self::reject(index, format!("set {set}'s outcome read twice"));
+                }
+                if state.responses < state.transmits {
+                    return Self::reject(
+                        index,
+                        format!(
+                            "set {set}'s outcome read with {} of {} responses outstanding",
+                            state.transmits - state.responses,
+                            state.transmits
+                        ),
+                    );
+                }
+                if state.any_failure_response && !failure {
+                    return Self::reject(
+                        index,
+                        format!("set {set} read a success outcome despite a failure response — checked signals must propagate"),
+                    );
+                }
+                state.concluded = true;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// Replay a trace, stopping at the first divergence.
+#[must_use]
+pub fn replay(events: &[Event]) -> Vec<SpecViolation> {
+    let mut machine = SignalSets::new();
+    for (index, event) in events.iter().enumerate() {
+        if let Err(violation) = machine.step(index, event) {
+            return vec![violation];
+        }
+    }
+    Vec::new()
+}
+
+/// Map a coordinator [`TraceLog`](activity_service::TraceLog) trace into
+/// model events. `is_failure` classifies an outcome name as a failure
+/// (the conventional vocabulary: `"abort"` and `"error"` are failures,
+/// `"done"` is not).
+#[must_use]
+pub fn events_from_trace(
+    trace: &[activity_service::TraceEvent],
+    is_failure: &dyn Fn(&str) -> bool,
+) -> Vec<Event> {
+    use activity_service::TraceEvent;
+    let mut events = Vec::with_capacity(trace.len());
+    let mut current_set: Option<String> = None;
+    for step in trace {
+        match step {
+            TraceEvent::GetSignal { set } => {
+                current_set = Some(set.clone());
+                events.push(Event::SignalRequested { set: set.clone() });
+            }
+            TraceEvent::Transmit { signal, action } => {
+                // Transmits carry no set name; the coordinator processes
+                // one set at a time, so the last poll names it.
+                if let Some(set) = &current_set {
+                    events.push(Event::SignalTransmitted {
+                        set: set.clone(),
+                        signal: signal.clone(),
+                        action: action.clone(),
+                    });
+                }
+            }
+            TraceEvent::SetResponse { set, outcome } => {
+                events.push(Event::ResponseCollated { set: set.clone(), failure: is_failure(outcome) });
+            }
+            TraceEvent::GetOutcome { set, outcome } => {
+                events.push(Event::OutcomeRead { set: set.clone(), failure: is_failure(outcome) });
+            }
+        }
+    }
+    events
+}
+
+/// The conventional outcome classifier: `"abort"`, `"error"` and the
+/// fail-ish completion statuses count as failures.
+#[must_use]
+pub fn conventional_failure(outcome: &str) -> bool {
+    outcome == "abort" || outcome == "error" || outcome.starts_with("fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poll(set: &str) -> Event {
+        Event::SignalRequested { set: set.into() }
+    }
+    fn transmit(set: &str) -> Event {
+        Event::SignalTransmitted { set: set.into(), signal: "s".into(), action: "a".into() }
+    }
+    fn respond(set: &str, failure: bool) -> Event {
+        Event::ResponseCollated { set: set.into(), failure }
+    }
+    fn outcome(set: &str, failure: bool) -> Event {
+        Event::OutcomeRead { set: set.into(), failure }
+    }
+
+    #[test]
+    fn a_checked_round_trip_passes() {
+        let t = vec![
+            poll("c"),
+            transmit("c"),
+            respond("c", false),
+            poll("c"),
+            transmit("c"),
+            respond("c", false),
+            outcome("c", false),
+        ];
+        assert!(replay(&t).is_empty());
+    }
+
+    #[test]
+    fn outcome_over_outstanding_responses_is_rejected() {
+        let t = vec![poll("c"), transmit("c"), outcome("c", false)];
+        assert!(replay(&t)[0].detail.contains("outstanding"));
+    }
+
+    #[test]
+    fn failure_response_must_propagate_to_the_outcome() {
+        let t = vec![poll("c"), transmit("c"), respond("c", true), outcome("c", false)];
+        assert!(replay(&t)[0].detail.contains("propagate"));
+    }
+
+    #[test]
+    fn failure_outcome_after_failure_response_passes() {
+        let t = vec![poll("c"), transmit("c"), respond("c", true), outcome("c", true)];
+        assert!(replay(&t).is_empty());
+    }
+
+    #[test]
+    fn transmit_before_any_poll_is_rejected() {
+        assert!(replay(&[transmit("c")])[0].detail.contains("before set"));
+    }
+
+    #[test]
+    fn activity_after_conclusion_is_rejected() {
+        let t = vec![poll("c"), outcome("c", false), transmit("c")];
+        assert!(replay(&t)[0].detail.contains("after set"));
+    }
+
+    #[test]
+    fn trace_mapping_attributes_transmits_to_the_polled_set() {
+        use activity_service::TraceEvent;
+        let trace = vec![
+            TraceEvent::GetSignal { set: "Completed".into() },
+            TraceEvent::Transmit { signal: "finished".into(), action: "auditor".into() },
+            TraceEvent::SetResponse { set: "Completed".into(), outcome: "done".into() },
+            TraceEvent::GetOutcome { set: "Completed".into(), outcome: "done".into() },
+        ];
+        let events = events_from_trace(&trace, &conventional_failure);
+        assert_eq!(events.len(), 4);
+        assert!(matches!(
+            &events[1],
+            Event::SignalTransmitted { set, .. } if set == "Completed"
+        ));
+        assert!(replay(&events).is_empty());
+    }
+}

@@ -1,7 +1,7 @@
 //! Invariant oracles checked after every simulated run.
 //!
 //! Scenarios report *facts* in an [`Observation`]; the oracles here turn
-//! facts into [`Violation`]s. Eight oracles cover the §3.4 guarantees:
+//! facts into [`Violation`]s. Nine oracles cover the §3.4 guarantees:
 //!
 //! 1. **atomicity** — participant effects are all-or-nothing with respect
 //!    to the run outcome;
@@ -29,7 +29,13 @@
 //!    an injected crash must survive replay: if the scenario reports the
 //!    highest acked LSN and the set of LSNs found after restart, LSNs
 //!    `1..=acked` must all be present. The unacked tail may tear; acked
-//!    records may not.
+//!    records may not;
+//! 9. **refinement** — when the scenario journals its protocol steps as
+//!    [`crate::model::Event`]s, the trace must replay cleanly through the
+//!    executable reference models ([`crate::model::replay_all`]): the
+//!    implementation's observable behaviour refines the paper's
+//!    specification, event by event. The [`crate::explore`] module runs
+//!    this oracle over every interleaving it enumerates.
 
 /// Terminal outcome of one simulated run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +117,10 @@ pub struct Observation {
     /// Raw LSNs found in the log after the post-crash restart
     /// (`None` when the scenario does not report durability accounting).
     pub survived_lsns: Option<Vec<u64>>,
+    /// Protocol steps journaled in the reference-model vocabulary
+    /// (`None` when the scenario does not journal model events; the
+    /// refinement oracle binds only when present).
+    pub model_events: Option<Vec<crate::model::Event>>,
 }
 
 impl Observation {
@@ -137,6 +147,7 @@ impl Observation {
             span_fingerprint: None,
             durable_acked_lsn: None,
             survived_lsns: None,
+            model_events: None,
         }
     }
 }
@@ -166,6 +177,7 @@ pub const ORACLES: &[&str] = &[
     "liveness-under-bounded-faults",
     "telemetry-conformance",
     "durability",
+    "refinement",
 ];
 
 /// Run every single-observation oracle (all but determinism).
@@ -178,6 +190,7 @@ pub fn check_all(obs: &Observation) -> Vec<Violation> {
     check_liveness(obs, &mut violations);
     check_telemetry(obs, &mut violations);
     check_durability(obs, &mut violations);
+    check_refinement(obs, &mut violations);
     violations
 }
 
@@ -355,6 +368,20 @@ fn check_durability(obs: &Observation, out: &mut Vec<Violation>) {
                 ),
             });
         }
+    }
+}
+
+fn check_refinement(obs: &Observation, out: &mut Vec<Violation>) {
+    // The oracle binds only when the scenario journals model events.
+    let Some(events) = &obs.model_events else { return };
+    for divergence in crate::model::replay_all(events) {
+        let offending = events
+            .get(divergence.event_index)
+            .map_or_else(|| "<past end>".to_owned(), |e| format!("{e:?}"));
+        out.push(Violation {
+            oracle: "refinement",
+            detail: format!("{divergence}; offending event: {offending}"),
+        });
     }
 }
 
@@ -569,6 +596,42 @@ mod tests {
         // and so is their (partial) survival.
         obs.survived_lsns = Some(vec![1, 2, 4]);
         assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn refinement_oracle_does_not_bind_without_model_events() {
+        let obs = Observation::new(RunOutcome::Committed);
+        assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn a_spec_conformant_journal_passes_refinement() {
+        use crate::model::{Event, Vote};
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.model_events = Some(vec![
+            Event::PrepareSent { participant: "store".into() },
+            Event::VoteRecorded { participant: "store".into(), vote: Vote::Commit },
+            Event::DecisionForced { commit: true },
+            Event::OutcomeDelivered { participant: "store".into(), commit: true },
+            Event::Forgotten { participant: "store".into() },
+            Event::TxCompleted { committed: true },
+        ]);
+        assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn a_spec_divergent_journal_fails_refinement() {
+        use crate::model::{Event, Vote};
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.model_events = Some(vec![
+            Event::PrepareSent { participant: "c".into() },
+            Event::VoteRecorded { participant: "c".into(), vote: Vote::Rollback },
+            Event::DecisionForced { commit: true },
+        ]);
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "refinement");
+        assert!(v[0].detail.contains("presumed abort"), "{}", v[0].detail);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 mod broken;
 mod btp_atom;
+mod explore_two_phase;
 mod nested;
 mod saga;
 mod two_phase;
@@ -9,6 +10,7 @@ mod workflow;
 
 pub use broken::BrokenWorkflowScenario;
 pub use btp_atom::BtpAtomScenario;
+pub use explore_two_phase::{BrokenAtomicCommitScenario, ExplorableTwoPhase};
 pub use nested::NestedCompensationScenario;
 pub use saga::SagaScenario;
 pub use two_phase::{TwoPhaseGroupCommitScenario, TwoPhaseScenario};

@@ -5,7 +5,9 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use activity_service::{Activity, CompletionStatus, DispatchConfig, TraceLog};
+use activity_service::{
+    Activity, ActivityEvent, ActivityJournal, CompletionStatus, DispatchConfig, TraceLog,
+};
 use orb::SimClock;
 use recovery_log::FailpointSet;
 use tx_models::compensation::{
@@ -13,9 +15,30 @@ use tx_models::compensation::{
     COMPLETION_SET,
 };
 
+use crate::model::signal_set::{conventional_failure, events_from_trace};
+use crate::model::Event;
 use crate::oracle::{EffectCount, Observation, RunOutcome};
 use crate::scenario::Scenario;
 use crate::schedule::FaultSchedule;
+
+/// Both coordinators run a set named [`COMPLETION_SET`]; prefix each
+/// trace's set names with its activity so the reference model audits them
+/// as the distinct protocol instances they are.
+fn prefix_sets(events: Vec<Event>, prefix: &str) -> impl Iterator<Item = Event> + use<'_> {
+    events.into_iter().map(move |event| match event {
+        Event::SignalRequested { set } => Event::SignalRequested { set: format!("{prefix}/{set}") },
+        Event::SignalTransmitted { set, signal, action } => {
+            Event::SignalTransmitted { set: format!("{prefix}/{set}"), signal, action }
+        }
+        Event::ResponseCollated { set, failure } => {
+            Event::ResponseCollated { set: format!("{prefix}/{set}"), failure }
+        }
+        Event::OutcomeRead { set, failure } => {
+            Event::OutcomeRead { set: format!("{prefix}/{set}"), failure }
+        }
+        other => other,
+    })
+}
 
 /// Site making nested activity B fail instead of committing early.
 pub const SITE_FAIL_B: &str = "fig9.fail_b";
@@ -38,6 +61,8 @@ impl Scenario for NestedCompensationScenario {
 
         let registry = InMemoryActivityRegistry::new();
         let a = Activity::new_root("A", SimClock::new());
+        let activity_journal = ActivityJournal::new();
+        a.set_journal(activity_journal.clone());
         a.coordinator().set_dispatch_config(DispatchConfig::serial());
         let trace_a = TraceLog::new();
         a.coordinator().set_trace(trace_a.clone());
@@ -103,6 +128,29 @@ impl Scenario for NestedCompensationScenario {
         }];
         obs.trace = format!("--- A ---\n{}--- B ---\n{}", trace_a.render(), trace_b.render());
         obs.observed_sites = failpoints.observed_sites();
+        // The activity journal gives the fig. 4 nesting events; each
+        // coordinator trace gives its fig. 5 signal-set events. The
+        // models audit independently, so order across protocols is free —
+        // B's set concluded before A's ran.
+        let mut model_events: Vec<Event> = activity_journal
+            .events()
+            .iter()
+            .map(|event| match event {
+                ActivityEvent::Begun { activity, parent, .. } => Event::ActivityBegun {
+                    activity: activity.raw(),
+                    parent: parent.map(|p| p.raw()),
+                },
+                ActivityEvent::Completed { activity, status, .. } => Event::ActivityCompleted {
+                    activity: activity.raw(),
+                    success: *status == CompletionStatus::Success,
+                },
+            })
+            .collect();
+        model_events
+            .extend(prefix_sets(events_from_trace(&trace_b.events(), &conventional_failure), "B"));
+        model_events
+            .extend(prefix_sets(events_from_trace(&trace_a.events(), &conventional_failure), "A"));
+        obs.model_events = Some(model_events);
         obs
     }
 }

@@ -9,6 +9,10 @@
 //! which binds the harness's `durability` oracle: an injected crash discards
 //! the staged (unacked) tail, and the oracle proves no acked record was
 //! lost with it.
+//!
+//! Both flavours attach an [`ots::ProtocolJournal`] and report its events
+//! in the reference-model vocabulary, so the refinement oracle replays
+//! every sweep run through the presumed-abort 2PC model.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -19,6 +23,8 @@ use ots::txlog::KIND_TX_DECISION;
 use ots::{Resource, TransactionFactory, TransactionalKv, TxError};
 use recovery_log::{FailpointSet, GroupCommitWal, Lsn, MemWal, Wal};
 
+use super::explore_two_phase::model_events_from_journal;
+use crate::model::Event;
 use crate::oracle::{Observation, RunOutcome};
 use crate::scenario::Scenario;
 use crate::schedule::FaultSchedule;
@@ -62,9 +68,11 @@ fn run_two_phase(schedule: &FaultSchedule, group_commit: bool) -> Observation {
     };
     let failpoints = FailpointSet::new();
     schedule.arm_into(&failpoints);
+    let journal = ots::ProtocolJournal::new();
     let factory = TransactionFactory::with_wal(Arc::clone(&wal))
         .with_failpoints(failpoints.clone())
-        .with_dispatch(DispatchConfig::serial());
+        .with_dispatch(DispatchConfig::serial())
+        .with_journal(journal.clone());
     let store = Arc::new(TransactionalKv::new("store"));
     let witness = Arc::new(TransactionalKv::new("witness"));
 
@@ -79,6 +87,7 @@ fn run_two_phase(schedule: &FaultSchedule, group_commit: bool) -> Observation {
     let _ = writeln!(trace, "commit: {commit:?}");
 
     let mut obs = Observation::new(RunOutcome::Committed);
+    let mut model_events = model_events_from_journal(&journal.events());
     match commit {
         Ok(_) => {}
         Err(TxError::Log(_)) => {
@@ -138,6 +147,11 @@ fn run_two_phase(schedule: &FaultSchedule, group_commit: bool) -> Observation {
             obs.decision_durable = Some(decision_durable);
             obs.replay_outcome = Some(replayed);
             obs.outcome = replayed;
+            // The crash cut the journal short of its terminal event;
+            // recovery settled the direction, so close the model trace
+            // with it and let the refinement oracle hold it to §12.
+            model_events
+                .push(Event::TxCompleted { committed: replayed == RunOutcome::Committed });
         }
         Err(other) => {
             let _ = writeln!(trace, "non-crash failure: {other:?}");
@@ -157,6 +171,7 @@ fn run_two_phase(schedule: &FaultSchedule, group_commit: bool) -> Observation {
     );
     obs.trace = trace;
     obs.observed_sites = failpoints.observed_sites();
+    obs.model_events = Some(model_events);
     obs
 }
 

@@ -45,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod choice;
 pub mod clock;
 pub mod context;
 pub mod dedup;
@@ -60,6 +61,7 @@ pub mod registry;
 pub mod retry;
 pub mod value;
 
+pub use choice::{DeliverySequencer, RegistrationOrder};
 pub use clock::SimClock;
 pub use context::ServiceContext;
 pub use dedup::{DedupServant, DedupWindow};

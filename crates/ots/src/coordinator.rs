@@ -31,6 +31,7 @@ pub mod failpoints {
 }
 use std::time::Duration;
 
+use orb::choice::{clamp_choice, DeliverySequencer};
 use orb::detector::FailureDetector;
 use orb::pool::{CancelToken, DispatchConfig, TaskOutcome, WorkerPool};
 use orb::SimClock;
@@ -39,6 +40,7 @@ use recovery_log::{FailpointSet, Wal};
 use telemetry::{SpanContext, Telemetry};
 
 use crate::error::TxError;
+use crate::journal::{ProtocolJournal, TwoPcEvent, VoteKind};
 use crate::resource::{Resource, SubtransactionAwareResource, Synchronization, Vote};
 use crate::status::TxStatus;
 use crate::txlog;
@@ -80,6 +82,8 @@ pub struct Coordinator {
     dispatch: DispatchConfig,
     detector: Mutex<Option<FailureDetector>>,
     telemetry: Mutex<Option<Telemetry>>,
+    sequencer: Mutex<Option<Arc<dyn DeliverySequencer>>>,
+    journal: Mutex<Option<ProtocolJournal>>,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -121,6 +125,8 @@ impl Coordinator {
             dispatch,
             detector: Mutex::new(None),
             telemetry: Mutex::new(None),
+            sequencer: Mutex::new(None),
+            journal: Mutex::new(None),
         })
     }
 
@@ -150,6 +156,29 @@ impl Coordinator {
     /// The attached telemetry recorder, if any.
     pub fn telemetry(&self) -> Option<Telemetry> {
         self.telemetry.lock().clone()
+    }
+
+    /// Attach a [`DeliverySequencer`]: under serial dispatch every round of
+    /// participant deliveries (prepare, phase-two outcomes, rollback) asks
+    /// it which pending peer goes next, so a model-checking explorer owns
+    /// delivery order instead of inheriting registration order. Without one
+    /// (or under parallel dispatch, where there is no meaningful order) the
+    /// legacy registration-order loops run unchanged. Subtransactions
+    /// inherit the sequencer, like the detector.
+    pub fn set_sequencer(&self, sequencer: Arc<dyn DeliverySequencer>) {
+        *self.sequencer.lock() = Some(sequencer);
+    }
+
+    /// Attach a [`ProtocolJournal`]: the coordinator records every
+    /// prepare/vote, the forced decision, phase-two deliveries, forgets and
+    /// the terminal state into it. Subtransactions inherit the journal.
+    pub fn set_journal(&self, journal: ProtocolJournal) {
+        *self.journal.lock() = Some(journal);
+    }
+
+    /// The attached protocol journal, if any.
+    pub fn journal(&self) -> Option<ProtocolJournal> {
+        self.journal.lock().clone()
     }
 
     fn telemetry_handle(&self) -> Option<Telemetry> {
@@ -197,6 +226,64 @@ impl Coordinator {
             }
         }
         collated
+    }
+
+    /// Deliver one serial round in [`DeliverySequencer`] order (registration
+    /// order without a sequencer), returning results in **registration**
+    /// order so collation is dispatch-invisible. Each delivery is reported
+    /// back to the sequencer with `clean(&result)`.
+    fn sequenced_round<T>(
+        &self,
+        stage: &str,
+        resources: &[Arc<dyn Resource>],
+        mut op: impl FnMut(&dyn Resource) -> T,
+        clean: impl Fn(&T) -> bool,
+    ) -> Vec<T> {
+        let sequencer = self.sequencer.lock().clone();
+        let mut slots: Vec<Option<T>> = resources.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..resources.len()).collect();
+        while !pending.is_empty() {
+            let slot = match &sequencer {
+                Some(seq) if pending.len() > 1 => {
+                    let labels: Vec<&str> =
+                        pending.iter().map(|i| resources[*i].resource_name()).collect();
+                    clamp_choice(seq.next_delivery(stage, &labels), labels.len())
+                }
+                _ => 0,
+            };
+            let index = pending.remove(slot);
+            let resource = &resources[index];
+            let result = op(resource.as_ref());
+            if let Some(seq) = &sequencer {
+                seq.report(stage, resource.resource_name(), clean(&result));
+            }
+            slots[index] = Some(result);
+        }
+        slots.into_iter().map(|slot| slot.expect("every delivery ran")).collect()
+    }
+
+    /// Deliver a rollback round (sequenced when serial, scattered when
+    /// parallel) and journal each delivery's fate.
+    fn rollback_round(&self, resources: &[Arc<dyn Resource>]) {
+        let results: Vec<bool> = if self.dispatch.is_serial() || resources.len() <= 1 {
+            self.sequenced_round(
+                "rollback",
+                resources,
+                |resource| resource.rollback(&self.id).is_ok(),
+                |ok| *ok,
+            )
+        } else {
+            self.fan_out(resources, |resource, id| resource.rollback(id).is_ok())
+        };
+        if let Some(journal) = self.journal.lock().clone() {
+            for (resource, ok) in resources.iter().zip(results) {
+                journal.record(TwoPcEvent::OutcomeDelivered {
+                    participant: resource.resource_name().to_owned(),
+                    commit: false,
+                    ok,
+                });
+            }
+        }
     }
 
     /// This transaction's identity.
@@ -335,6 +422,8 @@ impl Coordinator {
             dispatch: self.dispatch,
             detector: Mutex::new(self.detector.lock().clone()),
             telemetry: Mutex::new(self.telemetry.lock().clone()),
+            sequencer: Mutex::new(self.sequencer.lock().clone()),
+            journal: Mutex::new(self.journal.lock().clone()),
         });
         inner.children.push(Arc::clone(&child));
         Ok(child)
@@ -471,9 +560,7 @@ impl Coordinator {
             }
             if quarantined_voter {
                 self.set_status(TxStatus::RollingBack);
-                self.fan_out(&kept, |resource, id| {
-                    let _ = resource.rollback(id);
-                });
+                self.rollback_round(&kept);
                 self.finish(TxStatus::RolledBack, &synchronizations);
                 return Err(TxError::RolledBack(self.id.clone()));
             }
@@ -512,9 +599,29 @@ impl Coordinator {
         let mut voted_rollback = false;
         if self.dispatch.is_serial() {
             // Legacy serial phase one: stop asking for votes at the first
-            // veto — resources after the break never see `prepare`.
-            for resource in &resources {
+            // veto — resources after the break never see `prepare`. A
+            // sequencer, when attached, picks which pending participant is
+            // asked next; without one the loop walks registration order
+            // exactly as before.
+            let journal = self.journal.lock().clone();
+            let sequencer = self.sequencer.lock().clone();
+            let mut pending: Vec<usize> = (0..resources.len()).collect();
+            while !pending.is_empty() {
+                let slot = match &sequencer {
+                    Some(seq) if pending.len() > 1 => {
+                        let labels: Vec<&str> =
+                            pending.iter().map(|i| resources[*i].resource_name()).collect();
+                        clamp_choice(seq.next_delivery("prepare", &labels), labels.len())
+                    }
+                    _ => 0,
+                };
+                let resource = &resources[pending.remove(slot)];
                 let vote_started = tel.and_then(|_| self.clock.as_ref().map(SimClock::now));
+                if let Some(journal) = &journal {
+                    journal.record(TwoPcEvent::PrepareSent {
+                        participant: resource.resource_name().to_owned(),
+                    });
+                }
                 let answer = resource.prepare(&self.id);
                 if let Some((t, _)) = tel {
                     t.metrics()
@@ -525,6 +632,16 @@ impl Coordinator {
                         Ok(_) => detector.record_success(resource.resource_name()),
                         Err(_) => detector.record_failure(resource.resource_name()),
                     }
+                }
+                if let Some(journal) = &journal {
+                    journal.record(TwoPcEvent::VoteRecorded {
+                        participant: resource.resource_name().to_owned(),
+                        vote: VoteKind::from_answer(&answer),
+                    });
+                }
+                let clean = matches!(answer, Ok(Vote::Commit) | Ok(Vote::ReadOnly));
+                if let Some(seq) = &sequencer {
+                    seq.report("prepare", resource.resource_name(), clean);
                 }
                 match answer {
                     Ok(Vote::Commit) => prepared.push(Arc::clone(resource)),
@@ -543,10 +660,21 @@ impl Coordinator {
             // is simply rolled back, exactly as a prepared resource is on
             // the serial path.
             let votes = self.fan_out(&resources, |resource, id| resource.prepare(id));
-            // Detector feeding happens here at collation (registration
-            // order), not inside the scattered tasks, so suspicion counters
-            // evolve identically under serial and parallel dispatch.
+            // Detector feeding (and journal recording) happens here at
+            // collation (registration order), not inside the scattered
+            // tasks, so suspicion counters and the journal evolve
+            // deterministically under parallel dispatch.
+            let journal = self.journal.lock().clone();
             for (resource, vote) in resources.iter().zip(votes) {
+                if let Some(journal) = &journal {
+                    journal.record(TwoPcEvent::PrepareSent {
+                        participant: resource.resource_name().to_owned(),
+                    });
+                    journal.record(TwoPcEvent::VoteRecorded {
+                        participant: resource.resource_name().to_owned(),
+                        vote: VoteKind::from_answer(&vote),
+                    });
+                }
                 if let Some((t, _)) = tel {
                     // Votes are joined, so per-vote latency is the phase
                     // latency — the time this coordinator actually waited.
@@ -576,9 +704,7 @@ impl Coordinator {
         if voted_rollback {
             // Presumed abort: no decision record needed; undo the prepared.
             self.set_status(TxStatus::RollingBack);
-            self.fan_out(&resources, |resource, id| {
-                let _ = resource.rollback(id);
-            });
+            self.rollback_round(&resources);
             self.finish(TxStatus::RolledBack, &synchronizations);
             return Err(TxError::RolledBack(self.id.clone()));
         }
@@ -586,6 +712,9 @@ impl Coordinator {
         if prepared.is_empty() {
             // Everybody read-only: committed with no phase two, no log.
             self.set_status(TxStatus::Committed);
+            if let Some(journal) = self.journal.lock().clone() {
+                journal.record(TwoPcEvent::Completed { committed: true });
+            }
             for sync in &synchronizations {
                 sync.after_completion(&self.id, TxStatus::Committed);
             }
@@ -603,6 +732,9 @@ impl Coordinator {
             // presumed abort re-derives it on replay.
             txlog::log_decision_commit(wal.as_ref(), &self.id)?;
         }
+        if let Some(journal) = self.journal.lock().clone() {
+            journal.record(TwoPcEvent::DecisionForced { commit: true });
+        }
         self.failpoints.hit(failpoints::AFTER_DECISION).map_err(TxError::from)?;
 
         // Phase two. The decision is durable, so the commit deliveries are
@@ -614,8 +746,23 @@ impl Coordinator {
             t.set_attr(&span, "participants", &prepared.len().to_string());
             span
         });
-        let heuristics: Vec<String> = self
-            .fan_out(&prepared, |resource, id| {
+        let deliveries: Vec<Option<String>> = if self.dispatch.is_serial() || prepared.len() <= 1
+        {
+            self.sequenced_round(
+                "phase2",
+                &prepared,
+                |resource| {
+                    if let Err(e) = resource.commit(&self.id) {
+                        Some(format!("{}: {e}", resource.resource_name()))
+                    } else {
+                        resource.forget(&self.id);
+                        None
+                    }
+                },
+                |heuristic| heuristic.is_none(),
+            )
+        } else {
+            self.fan_out(&prepared, |resource, id| {
                 if let Err(e) = resource.commit(id) {
                     Some(format!("{}: {e}", resource.resource_name()))
                 } else {
@@ -623,9 +770,23 @@ impl Coordinator {
                     None
                 }
             })
-            .into_iter()
-            .flatten()
-            .collect();
+        };
+        if let Some(journal) = self.journal.lock().clone() {
+            for (resource, heuristic) in prepared.iter().zip(&deliveries) {
+                let ok = heuristic.is_none();
+                journal.record(TwoPcEvent::OutcomeDelivered {
+                    participant: resource.resource_name().to_owned(),
+                    commit: true,
+                    ok,
+                });
+                if ok {
+                    journal.record(TwoPcEvent::Forgotten {
+                        participant: resource.resource_name().to_owned(),
+                    });
+                }
+            }
+        }
+        let heuristics: Vec<String> = deliveries.into_iter().flatten().collect();
         if let Some(((t, _), span)) = tel.zip(phase2_span.as_ref()) {
             t.set_attr(span, "heuristics", &heuristics.len().to_string());
             t.end(span);
@@ -691,9 +852,7 @@ impl Coordinator {
                 let _ = child.rollback();
             }
         }
-        self.fan_out(&resources, |resource, id| {
-            let _ = resource.rollback(id);
-        });
+        self.rollback_round(&resources);
         for participant in &subtx_aware {
             participant.rollback_subtransaction(&self.id);
         }
@@ -720,6 +879,11 @@ impl Coordinator {
         if self.is_top_level() {
             if let Some(wal) = &self.wal {
                 let _ = txlog::log_completed(wal.as_ref(), &self.id, status);
+            }
+            if let Some(journal) = self.journal.lock().clone() {
+                journal.record(TwoPcEvent::Completed {
+                    committed: status == TxStatus::Committed,
+                });
             }
         }
         for sync in synchronizations {

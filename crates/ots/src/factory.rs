@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use orb::choice::DeliverySequencer;
 use orb::detector::FailureDetector;
 use orb::pool::DispatchConfig;
 use orb::SimClock;
@@ -14,6 +15,7 @@ use recovery_log::{FailpointSet, Wal};
 use crate::control::Control;
 use crate::coordinator::Coordinator;
 use crate::error::TxError;
+use crate::journal::ProtocolJournal;
 use crate::txlog::{self, ParticipantResolver, TxRecoveryReport};
 use crate::xid::TxId;
 
@@ -28,6 +30,8 @@ pub struct TransactionFactory {
     dispatch: DispatchConfig,
     detector: Option<FailureDetector>,
     telemetry: Option<telemetry::Telemetry>,
+    sequencer: Option<Arc<dyn DeliverySequencer>>,
+    journal: Option<ProtocolJournal>,
     inflight: RwLock<HashMap<TxId, Arc<Coordinator>>>,
 }
 
@@ -58,6 +62,8 @@ impl TransactionFactory {
             dispatch: DispatchConfig::default(),
             detector: None,
             telemetry: None,
+            sequencer: None,
+            journal: None,
             inflight: RwLock::new(HashMap::new()),
         }
     }
@@ -110,6 +116,25 @@ impl TransactionFactory {
         self
     }
 
+    /// Attach a [`DeliverySequencer`]: every coordinator this factory
+    /// creates consults it for the order of its serial delivery rounds
+    /// (see [`Coordinator::set_sequencer`]). A model-checking explorer uses
+    /// this to own delivery order; without one, registration order rules.
+    #[must_use]
+    pub fn with_sequencer(mut self, sequencer: Arc<dyn DeliverySequencer>) -> Self {
+        self.sequencer = Some(sequencer);
+        self
+    }
+
+    /// Attach a [`ProtocolJournal`]: every coordinator this factory creates
+    /// records its protocol steps into it (see
+    /// [`Coordinator::set_journal`]). Shared, like the detector.
+    #[must_use]
+    pub fn with_journal(mut self, journal: ProtocolJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
     /// The factory's failpoints (shared handle).
     pub fn failpoints(&self) -> &FailpointSet {
         &self.failpoints
@@ -153,6 +178,12 @@ impl TransactionFactory {
         }
         if let Some(telemetry) = &self.telemetry {
             coordinator.set_telemetry(telemetry.clone());
+        }
+        if let Some(sequencer) = &self.sequencer {
+            coordinator.set_sequencer(Arc::clone(sequencer));
+        }
+        if let Some(journal) = &self.journal {
+            coordinator.set_journal(journal.clone());
         }
         self.inflight.write().insert(id, Arc::clone(&coordinator));
         Ok(Control::new(coordinator))

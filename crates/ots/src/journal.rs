@@ -1,0 +1,134 @@
+//! The protocol journal: the coordinator's own account of what it did,
+//! event by event, for refinement checking against a reference model.
+//!
+//! The WAL records what must survive a crash (§12 forcing discipline); the
+//! journal records what *happened* — every prepare solicited, every vote
+//! collected, the forced decision, every phase-two outcome delivery and
+//! forget. A conformance harness replays the journal through an executable
+//! specification of presumed-abort 2PC and fails on the first divergence.
+//!
+//! Attach one with [`crate::TransactionFactory::with_journal`] (or
+//! [`crate::Coordinator::set_journal`]); without one the coordinator pays
+//! nothing. Events are recorded from the serial dispatch path in delivery
+//! order; under parallel dispatch they are recorded at collation, in
+//! registration order (the joined result order — the journal stays
+//! deterministic, but it then reflects collation, not wire order).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::resource::Vote;
+
+/// How a participant answered prepare, as the journal records it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VoteKind {
+    /// Voted to commit; expects a phase-two outcome.
+    Commit,
+    /// Read-only: no second phase needed.
+    ReadOnly,
+    /// Vetoed the commit.
+    Rollback,
+    /// The prepare call itself failed (transport-style error).
+    Failed,
+}
+
+impl VoteKind {
+    pub(crate) fn from_answer(answer: &Result<Vote, crate::error::TxError>) -> Self {
+        match answer {
+            Ok(Vote::Commit) => VoteKind::Commit,
+            Ok(Vote::ReadOnly) => VoteKind::ReadOnly,
+            Ok(Vote::Rollback) => VoteKind::Rollback,
+            Err(_) => VoteKind::Failed,
+        }
+    }
+}
+
+/// One observable step of the two-phase-commit protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwoPcEvent {
+    /// Phase one solicited this participant's vote.
+    PrepareSent { participant: String },
+    /// The participant's answer came back.
+    VoteRecorded { participant: String, vote: VoteKind },
+    /// The decision record was forced durable (`commit: true`) — presumed
+    /// abort never forces an abort decision, so `commit` is always true
+    /// when the coordinator emits this itself.
+    DecisionForced { commit: bool },
+    /// A phase-two outcome delivery: `commit` distinguishes commit from
+    /// rollback deliveries; `ok` is whether the participant acknowledged.
+    OutcomeDelivered { participant: String, commit: bool, ok: bool },
+    /// The participant was told to forget the transaction.
+    Forgotten { participant: String },
+    /// The transaction reached its terminal state.
+    Completed { committed: bool },
+}
+
+/// A shared, append-only journal of [`TwoPcEvent`]s. Clones share storage.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolJournal {
+    events: Arc<Mutex<Vec<TwoPcEvent>>>,
+}
+
+impl ProtocolJournal {
+    /// An empty journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event.
+    pub fn record(&self, event: TwoPcEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Snapshot the events recorded so far, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TwoPcEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let journal = ProtocolJournal::new();
+        let alias = journal.clone();
+        journal.record(TwoPcEvent::PrepareSent { participant: "a".into() });
+        alias.record(TwoPcEvent::VoteRecorded {
+            participant: "a".into(),
+            vote: VoteKind::Commit,
+        });
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.events(), alias.events());
+        assert!(!journal.is_empty());
+    }
+
+    #[test]
+    fn vote_kinds_map_from_answers() {
+        use crate::error::TxError;
+        use crate::xid::TxId;
+        assert_eq!(VoteKind::from_answer(&Ok(Vote::Commit)), VoteKind::Commit);
+        assert_eq!(VoteKind::from_answer(&Ok(Vote::ReadOnly)), VoteKind::ReadOnly);
+        assert_eq!(VoteKind::from_answer(&Ok(Vote::Rollback)), VoteKind::Rollback);
+        assert_eq!(
+            VoteKind::from_answer(&Err(TxError::RolledBack(TxId::top_level(1)))),
+            VoteKind::Failed
+        );
+    }
+}

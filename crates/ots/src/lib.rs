@@ -48,6 +48,7 @@ pub mod current;
 pub mod durable;
 pub mod error;
 pub mod factory;
+pub mod journal;
 pub mod lockmgr;
 pub mod memres;
 pub mod resource;
@@ -63,6 +64,7 @@ pub use current::Current;
 pub use durable::DurableKv;
 pub use error::TxError;
 pub use factory::TransactionFactory;
+pub use journal::{ProtocolJournal, TwoPcEvent, VoteKind};
 pub use lockmgr::{LockManager, LockMode, WaitDie};
 pub use memres::TransactionalKv;
 pub use resource::{Resource, SubtransactionAwareResource, Synchronization, Vote};

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use activity_service::{
     ActionServant, ActivityService, FnAction, Outcome, RemoteActionProxy, Signal,
 };
-use orb::{NetworkConfig, Orb, Request, Value};
+use orb::{DedupServant, DedupWindow, NetworkConfig, Orb, Request, Servant, Value};
 
 fn lossy_orb(drop: f64, duplicate: f64, seed: u64) -> Orb {
     Orb::builder()
@@ -137,6 +137,65 @@ fn dropped_reply_reexecutes_servant() {
         "across 30 attempts on a 50%-loss network, at least one logical \
          call must have executed the servant more than once"
     );
+}
+
+/// Regression for the dedup window's eviction EDGE. With capacity N, ids
+/// d0..d(N-1) fill the window exactly; the off-by-one bug class this pins
+/// down is evicting at `len == capacity` instead of `len > capacity`, which
+/// would forget d0 one insertion too early. At the edge every id must still
+/// replay its memo; only the (N+1)-th distinct id may push d0 out — and
+/// must push out ONLY d0, never its FIFO neighbour d1.
+#[test]
+fn dedup_window_eviction_edge_forgets_exactly_the_oldest() {
+    const N: usize = 4;
+    let executions = Arc::new(AtomicU32::new(0));
+    let executions2 = Arc::clone(&executions);
+    let inner: Arc<dyn Servant> = Arc::new(move |req: &Request| {
+        executions2.fetch_add(1, Ordering::SeqCst);
+        Ok(req.arg("v").cloned().unwrap_or(Value::Null))
+    });
+    let servant = DedupServant::new(inner, Arc::new(DedupWindow::new(N)));
+
+    let stamped = |i: usize| {
+        Request::new("apply")
+            .with_arg("v", Value::from(i as i64))
+            .with_delivery_id(format!("d{i}"))
+    };
+
+    // Fill the window to exactly its capacity: d0..d(N-1).
+    for i in 0..N {
+        assert_eq!(servant.dispatch(&stamped(i)).unwrap(), Value::from(i as i64));
+    }
+    assert_eq!(executions.load(Ordering::SeqCst), N as u32);
+    assert_eq!(servant.window().len(), N);
+
+    // The eviction edge: the window is full but nothing has been evicted,
+    // so a redelivery of the OLDEST id must still replay its memo.
+    assert_eq!(servant.dispatch(&stamped(0)).unwrap(), Value::from(0i64));
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        N as u32,
+        "redelivery of d0 at the eviction edge must be memoized, not re-executed"
+    );
+
+    // One past the edge: dN is new, so exactly one eviction (d0) happens.
+    assert_eq!(servant.dispatch(&stamped(N)).unwrap(), Value::from(N as i64));
+    assert_eq!(executions.load(Ordering::SeqCst), N as u32 + 1);
+    assert_eq!(servant.window().len(), N, "the window stays bounded at capacity");
+
+    // d1 survived the eviction: still deduplicated.
+    assert_eq!(servant.dispatch(&stamped(1)).unwrap(), Value::from(1i64));
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        N as u32 + 1,
+        "evicting d0 must not take its FIFO neighbour d1 with it"
+    );
+
+    // d0 was genuinely forgotten: a late redelivery re-executes, which the
+    // at-least-once contract allows once the sender's retry horizon (the
+    // window bound) has passed.
+    assert_eq!(servant.dispatch(&stamped(0)).unwrap(), Value::from(0i64));
+    assert_eq!(executions.load(Ordering::SeqCst), N as u32 + 2);
 }
 
 #[test]

@@ -1,0 +1,156 @@
+//! Property tests over [`GroupCommitWal`]'s durability contract: for
+//! ARBITRARY interleavings of appends, durable appends and flushes, with
+//! a sync crash injected at an arbitrary point,
+//!
+//! 1. the durable watermark ([`GroupCommitWal::durable_lsn`]) is
+//!    monotone — a flush barrier never moves backwards;
+//! 2. every LSN the wal acknowledged as durable (an `append_durable`
+//!    return, or any LSN at or below the watermark) survives the crash in
+//!    the sink — acked ⊆ synced prefix, whatever the staged tail did;
+//! 3. a failed flush poisons the wal: every subsequent operation fails
+//!    until [`GroupCommitWal::recover_from_sink`], after which the wal
+//!    works again.
+
+use proptest::prelude::*;
+use recovery_log::{
+    CrashingWal, GroupCommitConfig, GroupCommitWal, Lsn, MemWal, Wal,
+};
+
+/// Operation vocabulary for the generated sequences.
+const OP_APPEND: u8 = 0;
+const OP_APPEND_DURABLE: u8 = 1;
+const OP_FLUSH_ALL: u8 = 2;
+
+fn build(crash_after_syncs: u32) -> GroupCommitWal<CrashingWal<MemWal>> {
+    GroupCommitWal::with_config(
+        CrashingWal::with_sync_crash(MemWal::new(), crash_after_syncs),
+        // A small record threshold so generated sequences cross it and
+        // appends themselves trigger leader flushes.
+        GroupCommitConfig { max_batch_records: 4, max_batch_bytes: 1 << 20 },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants 1–3 over one generated op sequence with one injected
+    /// sync crash.
+    fn durability_contract_holds_under_arbitrary_schedules(
+        ops in proptest::collection::vec(0u8..3, 1..24),
+        crash_after_syncs in 0u32..6,
+    ) {
+        let wal = build(crash_after_syncs);
+        let mut acked: u64 = 0;
+        let mut last_watermark: u64 = 0;
+        let mut poisoned = false;
+
+        for (i, op) in ops.iter().enumerate() {
+            let payload = vec![i as u8; i % 5];
+            let result = match *op {
+                OP_APPEND => wal.append(1 + (i as u32 % 7), &payload).map(|_| None),
+                OP_APPEND_DURABLE => {
+                    wal.append_durable(1 + (i as u32 % 7), &payload).map(Some)
+                }
+                OP_FLUSH_ALL => wal.sync().map(|()| None),
+                _ => unreachable!("op codes are 0..3"),
+            };
+
+            // Invariant 1: the barrier is monotone, poisoned or not.
+            let watermark = wal.durable_lsn().raw();
+            prop_assert!(
+                watermark >= last_watermark,
+                "durable watermark moved backwards: {last_watermark} -> {watermark}"
+            );
+            last_watermark = watermark;
+
+            if poisoned {
+                // Invariant 3, first half: a poisoned wal refuses
+                // everything until recovery.
+                prop_assert!(result.is_err(), "op #{i} succeeded on a poisoned wal");
+                continue;
+            }
+            match result {
+                Ok(Some(lsn)) => {
+                    // A durable append's ack is covered by the watermark
+                    // the moment it returns.
+                    prop_assert!(watermark >= lsn.raw());
+                    acked = acked.max(lsn.raw());
+                }
+                Ok(None) => {}
+                Err(_) => poisoned = true,
+            }
+            // Anything at or below the watermark counts as acknowledged.
+            acked = acked.max(watermark);
+        }
+
+        // Invariant 2: the crash discards the staged tail, never the
+        // acknowledged prefix. Read the sink as a restart would.
+        let survivors: Vec<u64> = wal
+            .inner()
+            .inner()
+            .scan(Lsn::new(0))
+            .expect("scan sink")
+            .iter()
+            .map(|r| r.lsn.raw())
+            .collect();
+        for lsn in 1..=acked {
+            prop_assert!(
+                survivors.contains(&lsn),
+                "acked LSN {lsn} missing after crash; survivors: {survivors:?}"
+            );
+        }
+
+        // Invariant 3, second half: recovery adopts the sink's truth and
+        // un-poisons the wal.
+        wal.inner().defuse();
+        wal.recover_from_sink();
+        prop_assert_eq!(wal.durable_lsn().raw(), survivors.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(wal.staged_len(), 0);
+        let lsn = wal.append_durable(9, b"post-recovery").expect("recovered wal accepts work");
+        prop_assert!(wal.durable_lsn() >= lsn);
+    }
+
+    /// `flush_lsn` is a targeted barrier: on success everything at or
+    /// below the requested LSN (clamped to what was appended) is durable,
+    /// and repeating the call never regresses the watermark.
+    fn flush_lsn_barrier_is_monotone_and_sufficient(
+        records in 1usize..12,
+        barriers in proptest::collection::vec(0u64..16, 1..8),
+    ) {
+        let wal = build(u32::MAX); // no crash in this property
+        let mut appended = 0u64;
+        for i in 0..records {
+            appended = wal.append(1, &[i as u8]).expect("append").raw();
+        }
+        let mut last_watermark = wal.durable_lsn().raw();
+        for barrier in barriers {
+            wal.flush_lsn(Lsn::new(barrier)).expect("flush_lsn");
+            let watermark = wal.durable_lsn().raw();
+            prop_assert!(watermark >= barrier.min(appended));
+            prop_assert!(watermark >= last_watermark);
+            last_watermark = watermark;
+        }
+    }
+}
+
+/// Invariant 3 pinned deterministically: the very first sync fails, the
+/// wal poisons, and recovery revives it.
+#[test]
+fn a_failed_flush_poisons_until_recovery() {
+    let wal = build(0);
+    wal.append(1, b"staged").expect("staging is crash-free");
+    assert!(wal.sync().is_err(), "the armed sync must fail");
+    // Poisoned: appends, durable appends and flushes all refuse.
+    assert!(wal.append(1, b"x").is_err());
+    assert!(wal.append_durable(1, b"y").is_err());
+    assert!(wal.sync().is_err());
+    assert_eq!(wal.durable_lsn().raw(), 0, "nothing became durable");
+
+    wal.inner().defuse();
+    wal.recover_from_sink();
+    // The staged record was torn off by the crash; the sink kept what its
+    // append had already taken (the batch write landed, the barrier
+    // failed), and new work flows again.
+    let lsn = wal.append_durable(2, b"revived").expect("recovered");
+    assert!(wal.durable_lsn() >= lsn);
+}

@@ -1,0 +1,142 @@
+//! Model-based conformance checking: exhaustive bounded-schedule
+//! exploration of the real 2PC protocol against the executable reference
+//! models, the measured DPOR reduction factor, and the planted
+//! spec-violation fixture the refinement oracle must catch and shrink.
+//!
+//! The CI `model-check` job runs this file with `--nocapture` and
+//! uploads the printed reports as the divergence-repro artifact.
+
+use std::time::Duration;
+
+use harness::scenarios::{BrokenAtomicCommitScenario, ExplorableTwoPhase};
+use harness::{explore, ChoiceDriver, Explorable, ExploreConfig, ExploreSchedule};
+
+/// The wall-clock ceiling the CI job enforces; exploration must finish
+/// (untruncated) well inside it.
+const CI_BUDGET: Duration = Duration::from_secs(120);
+
+#[test]
+fn exhaustive_exploration_of_three_participant_2pc_finds_no_divergence() {
+    let config = ExploreConfig { budget: Some(CI_BUDGET), ..ExploreConfig::default() };
+    let report = explore(&ExplorableTwoPhase, &config);
+    println!(
+        "2pc dpor: executions={} pruned_subtrees={} fault_plans={} max_choice_points={}",
+        report.executions, report.pruned_subtrees, report.fault_plans, report.max_choice_points
+    );
+    // The wall-clock budget guard: coverage claims are void if the budget
+    // truncated enumeration, so the claim below is only as good as this.
+    assert!(!report.truncated, "exploration exceeded the CI budget");
+    // One fault-free plan plus one single-crash plan per ots site.
+    assert_eq!(report.fault_plans, 1 + ots::failpoints::FAILPOINT_SITES.len());
+    // The deepest execution decides two rounds of three deliveries.
+    assert_eq!(report.max_choice_points, 4);
+    for divergence in &report.divergences {
+        eprintln!("{}", divergence.repro());
+    }
+    assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+}
+
+#[test]
+fn dpor_reduction_factor_is_at_least_five() {
+    let naive = explore(
+        &ExplorableTwoPhase,
+        &ExploreConfig { dpor: false, budget: Some(CI_BUDGET), ..ExploreConfig::default() },
+    );
+    let reduced = explore(
+        &ExplorableTwoPhase,
+        &ExploreConfig { dpor: true, budget: Some(CI_BUDGET), ..ExploreConfig::default() },
+    );
+    assert!(!naive.truncated && !reduced.truncated);
+    assert!(naive.divergences.is_empty() && reduced.divergences.is_empty());
+    let factor = naive.executions as f64 / reduced.executions as f64;
+    println!(
+        "reduction factor: {factor:.1}x ({} naive executions, {} with dpor, {} subtrees pruned)",
+        naive.executions, reduced.executions, reduced.pruned_subtrees
+    );
+    // Every delivery in a clean or crash-interrupted 2PC round commutes,
+    // so the reduced enumeration collapses to one execution per fault
+    // plan; the naive one pays 6 orders per two-choice round.
+    assert!(
+        factor >= 5.0,
+        "DPOR reduced {} naive executions only to {}",
+        naive.executions,
+        reduced.executions
+    );
+}
+
+/// Every shrink move the explorer knows: used to certify 1-minimality.
+fn single_step_reductions(schedule: &ExploreSchedule) -> Vec<ExploreSchedule> {
+    let mut candidates = Vec::new();
+    for index in 0..schedule.faults.len() {
+        candidates.push(ExploreSchedule {
+            faults: schedule.faults.without_event(index),
+            choices: schedule.choices.clone(),
+        });
+    }
+    if !schedule.choices.is_empty() {
+        candidates.push(ExploreSchedule {
+            faults: schedule.faults.clone(),
+            choices: schedule.choices[..schedule.choices.len() - 1].to_vec(),
+        });
+    }
+    for index in 0..schedule.choices.len() {
+        if schedule.choices[index] > 0 {
+            let mut choices = schedule.choices.clone();
+            choices[index] -= 1;
+            candidates.push(ExploreSchedule { faults: schedule.faults.clone(), choices });
+        }
+    }
+    candidates
+}
+
+fn diverges(scenario: &dyn Explorable, schedule: &ExploreSchedule) -> bool {
+    let driver = ChoiceDriver::new(schedule.choices.clone());
+    !harness::check_all(&scenario.run_exploration(&schedule.faults, &driver)).is_empty()
+}
+
+#[test]
+fn the_planted_commit_after_abort_vote_is_caught_and_shrunk_to_one_minimal() {
+    let config = ExploreConfig { budget: Some(CI_BUDGET), ..ExploreConfig::default() };
+    let report = explore(&BrokenAtomicCommitScenario, &config);
+    assert!(!report.truncated);
+    // Registration order hides the bug; reordering exposes it — only the
+    // explorer's enumeration can find it, and only oracle #9 sees it.
+    assert!(!report.divergences.is_empty(), "the planted violation was not caught");
+    for divergence in &report.divergences {
+        println!("{}", divergence.repro());
+        for violation in &divergence.violations {
+            assert_eq!(violation.oracle, "refinement", "{violation}");
+            assert!(violation.detail.contains("presumed abort"), "{violation}");
+        }
+        // The minimized execution still reproduces, and no single shrink
+        // move does: 1-minimal.
+        assert!(diverges(&BrokenAtomicCommitScenario, &divergence.minimized));
+        for candidate in single_step_reductions(&divergence.minimized) {
+            assert!(
+                !diverges(&BrokenAtomicCommitScenario, &candidate),
+                "shrink was not 1-minimal: {candidate} still diverges (from {})",
+                divergence.minimized
+            );
+        }
+    }
+    // The sharpest repro is a single prescribed choice: poll the vetoing
+    // participant first.
+    assert!(
+        report
+            .divergences
+            .iter()
+            .any(|d| d.minimized.faults.is_empty() && d.minimized.choices == vec![2]),
+        "expected a one-choice reproducer among {:?}",
+        report.divergences.iter().map(|d| &d.minimized).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn a_tight_wall_clock_budget_truncates_instead_of_overrunning() {
+    let config = ExploreConfig {
+        budget: Some(Duration::from_millis(0)),
+        ..ExploreConfig::default()
+    };
+    let report = explore(&ExplorableTwoPhase, &config);
+    assert!(report.truncated, "a zero budget must truncate");
+}

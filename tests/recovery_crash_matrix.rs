@@ -537,6 +537,107 @@ fn sixteen_concurrent_committers_survive_restart() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// Unique scratch path for the file-backed compaction cells.
+fn compaction_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "crash-matrix-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(p.with_extension("compact-tmp"));
+    p
+}
+
+/// Build the pre-compaction log (LSNs 1..=10) at `path` and return the
+/// exact bytes `truncate_prefix(Lsn::new(8))` writes to its `.compact-tmp`
+/// sibling before the rename — obtained by running the real compaction
+/// against a throwaway copy of the log.
+fn stage_compaction(path: &std::path::Path) -> Vec<u8> {
+    {
+        let wal = FileWal::open(path).unwrap();
+        for i in 0..10u32 {
+            wal.append(i + 1, &i.to_be_bytes()).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    let donor = path.with_extension("donor");
+    std::fs::copy(path, &donor).unwrap();
+    FileWal::open(&donor).unwrap().truncate_prefix(Lsn::new(8)).unwrap();
+    let new_bytes = std::fs::read(&donor).unwrap();
+    std::fs::remove_file(&donor).unwrap();
+    new_bytes
+}
+
+fn lsns_of(wal: &FileWal) -> Vec<u64> {
+    wal.scan(Lsn::new(0)).unwrap().iter().map(|r| r.lsn.raw()).collect()
+}
+
+/// Torn-compaction matrix, pre-rename side: `FileWal::truncate_prefix`
+/// writes the retained suffix to a temp sibling, fsyncs it, then atomically
+/// renames it over the log. Crash anywhere BEFORE the rename — sweep the
+/// number of temp-file bytes that reached disk from zero to all of them —
+/// and reopening the log path must see the complete OLD record set. The
+/// orphaned `.compact-tmp` is never read; it is debris, not state. Old or
+/// new, never a mix.
+#[test]
+fn compaction_crash_before_rename_keeps_the_old_complete_log() {
+    let path = compaction_path("compact-pre-rename");
+    let new_bytes = stage_compaction(&path);
+    let old_bytes = std::fs::read(&path).unwrap();
+    let tmp = path.with_extension("compact-tmp");
+    let old_lsns: Vec<u64> = (1..=10).collect();
+
+    for written in 0..=new_bytes.len() {
+        std::fs::write(&tmp, &new_bytes[..written]).unwrap();
+        let wal = FileWal::open(&path).unwrap();
+        assert_eq!(
+            lsns_of(&wal),
+            old_lsns,
+            "cell {written}/{}: a crash before the rename must leave the old log whole",
+            new_bytes.len()
+        );
+        assert_eq!(wal.next_lsn(), Lsn::new(11));
+        drop(wal);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            old_bytes,
+            "cell {written}: reopening must not rewrite the untouched log"
+        );
+    }
+
+    // The restarted log continues cleanly past the survivors.
+    let wal = FileWal::open(&path).unwrap();
+    assert_eq!(wal.append(99, b"post-crash").unwrap(), Lsn::new(11));
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&tmp).unwrap();
+}
+
+/// Torn-compaction matrix, post-rename side: once `std::fs::rename` has
+/// happened the new prefix IS the log — reopening sees exactly the retained
+/// records (LSNs 8..=10), the LSN space is preserved across the compaction
+/// (next append is 11, not 4), and no temp debris remains because the
+/// rename consumed it. Again: old or new, never a mix.
+#[test]
+fn compaction_crash_after_rename_sees_exactly_the_new_prefix() {
+    let path = compaction_path("compact-post-rename");
+    let new_bytes = stage_compaction(&path);
+    let tmp = path.with_extension("compact-tmp");
+
+    // Replay truncate_prefix's final two steps: the fully synced temp file,
+    // then the atomic swap. The crash lands immediately after.
+    std::fs::write(&tmp, &new_bytes).unwrap();
+    std::fs::rename(&tmp, &path).unwrap();
+
+    let wal = FileWal::open(&path).unwrap();
+    assert_eq!(lsns_of(&wal), vec![8, 9, 10], "exactly the new prefix, nothing mixed in");
+    assert_eq!(wal.next_lsn(), Lsn::new(11), "the LSN space survives compaction");
+    assert!(!tmp.exists(), "the rename consumed the temp file");
+    assert_eq!(wal.append(99, b"post-crash").unwrap(), Lsn::new(11));
+    std::fs::remove_file(&path).unwrap();
+}
+
 /// Make sure ActivityLogger is reachable for documentation users.
 #[test]
 fn activity_logger_is_constructible() {
