@@ -72,6 +72,7 @@ pub mod interposition;
 pub mod journal;
 pub mod outcome;
 pub mod property;
+pub mod reaper;
 pub mod recovery;
 pub mod service;
 pub mod signal;
@@ -94,6 +95,7 @@ pub use property::{
     BasicPropertyGroup, NestedVisibility, Propagation, PropertyGroup, PropertyGroupManager,
     PropertyGroupSpec,
 };
+pub use reaper::{OrphanReaper, ReapReport};
 pub use recovery::{
     recover_activities, ActionFactories, ActivityLogger, RecoveredService, SignalSetFactories,
 };

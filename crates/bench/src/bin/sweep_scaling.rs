@@ -11,7 +11,10 @@ use harness::{sweep, SweepConfig};
 
 fn main() {
     println!("## Simulation sweep: schedule population vs wall-clock");
-    println!("# 6 scenarios, max 4 fault events/schedule, every run executed");
+    println!(
+        "# {} scenarios, max 4 fault events/schedule, every run executed",
+        harness::scenarios::all().len()
+    );
     println!("# twice (trace-determinism oracle), shrinking enabled.");
     println!(
         "{:>14} {:>12} {:>12} {:>14}",

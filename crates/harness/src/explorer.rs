@@ -155,6 +155,8 @@ pub fn sweep(scenario: &dyn Scenario, config: &SweepConfig) -> SweepReport {
         sites: probe.observed_sites.clone(),
         remote_messages: probe.remote_messages,
         max_events: config.max_events,
+        partition_nodes: probe.partition_nodes.clone(),
+        restart_sites: probe.restart_sites.clone(),
     };
     for offset in 0..config.schedules {
         let seed = config.seed_start + offset;

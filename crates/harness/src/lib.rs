@@ -10,21 +10,25 @@
 //! * [`schedule`] — seeds map deterministically to small, discrete
 //!   [`schedule::FaultSchedule`]s: arm a named failpoint
 //!   ([`recovery_log::FailpointSet`]), drop or duplicate the n-th remote
-//!   message ([`orb::FaultScript`]). Discrete events (not fault *rates*)
-//!   make every run replayable and every schedule shrinkable.
+//!   message ([`orb::FaultScript`]), partition a node over a virtual-time
+//!   window, or crash-and-restart a site through its recovery path.
+//!   Discrete events (not fault *rates*) make every run replayable and
+//!   every schedule shrinkable.
 //! * [`scenario`] + [`scenarios`] — hermetic end-to-end adapters, one per
 //!   figure-test: 2PC with WAL replay, fig. 9 open nesting, Sagas, the
 //!   fig. 10 workflow over the simulated ORB, BTP atoms, plus an
 //!   intentionally broken fixture the sweep must catch.
-//! * [`oracle`] — nine invariants checked after every run: atomicity,
+//! * [`oracle`] — ten invariants checked after every run: atomicity,
 //!   exactly-once effect counts, reverse-order compensation completeness,
 //!   WAL-replay equivalence, trace determinism (same seed ⇒ byte-identical
 //!   trace), liveness under bounded transient faults (drops within the
 //!   retry budget must not prevent commit), telemetry conformance (the
 //!   span tree is well-formed and its projection onto coordinator events is
 //!   byte-identical to the trace), durability (acked LSNs survive crashes),
-//!   and refinement (the run's journal replays cleanly through the
-//!   executable reference models).
+//!   refinement (the run's journal replays cleanly through the
+//!   executable reference models), and eventual resolution (once faults
+//!   cease and partitions heal no participant stays in-doubt, and
+//!   heuristics are recorded only for genuinely hazarded histories).
 //! * [`model`] — executable reference models transcribed from the paper:
 //!   presumed-abort 2PC, fig. 4 nesting, fig. 5 checked signal sets, §5.1
 //!   saga compensation. Pure `step(state, event)` machines the refinement

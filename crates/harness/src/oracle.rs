@@ -1,7 +1,7 @@
 //! Invariant oracles checked after every simulated run.
 //!
 //! Scenarios report *facts* in an [`Observation`]; the oracles here turn
-//! facts into [`Violation`]s. Nine oracles cover the §3.4 guarantees:
+//! facts into [`Violation`]s. Ten oracles cover the §3.4 guarantees:
 //!
 //! 1. **atomicity** — participant effects are all-or-nothing with respect
 //!    to the run outcome;
@@ -35,7 +35,14 @@
 //!    executable reference models ([`crate::model::replay_all`]): the
 //!    implementation's observable behaviour refines the paper's
 //!    specification, event by event. The [`crate::explore`] module runs
-//!    this oracle over every interleaving it enumerates.
+//!    this oracle over every interleaving it enumerates;
+//! 10. **eventual-resolution** — once injected faults cease and partitions
+//!     heal, no participant may remain in-doubt: scenarios that drive
+//!     termination report how many transactions were still unresolved after
+//!     their bounded post-heal resolution rounds, and that count must be
+//!     zero. Heuristic outcomes are reported only for genuinely hazarded
+//!     histories — a heuristic on an unhazarded run means the participant
+//!     gave up when interrogation would have answered.
 
 /// Terminal outcome of one simulated run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +128,26 @@ pub struct Observation {
     /// (`None` when the scenario does not journal model events; the
     /// refinement oracle binds only when present).
     pub model_events: Option<Vec<crate::model::Event>>,
+    /// Nodes the scenario exposes to [`crate::schedule::FaultEvent::Partition`]
+    /// arms (probe runs use this to build the schedule space).
+    pub partition_nodes: Vec<String>,
+    /// Failpoint sites the scenario recovers from after a
+    /// [`crate::schedule::FaultEvent::Restart`] crash (probe runs use this
+    /// to build the schedule space).
+    pub restart_sites: Vec<String>,
+    /// Participants still in doubt after faults ceased, partitions healed
+    /// and the scenario ran its bounded resolution rounds (`None` when the
+    /// scenario does not drive termination; the eventual-resolution oracle
+    /// binds only when present).
+    pub in_doubt_after_resolution: Option<u32>,
+    /// Heuristic outcomes participants recorded during the run (`None`
+    /// when the scenario does not drive termination).
+    pub heuristics: Option<u32>,
+    /// Whether the history genuinely hazarded an outcome — i.e. the
+    /// coordinator's decision was unknowable for long enough that a
+    /// heuristic was the participant's only legal exit (`None` when the
+    /// scenario does not report hazard accounting).
+    pub hazarded: Option<bool>,
 }
 
 impl Observation {
@@ -148,6 +175,11 @@ impl Observation {
             durable_acked_lsn: None,
             survived_lsns: None,
             model_events: None,
+            partition_nodes: Vec::new(),
+            restart_sites: Vec::new(),
+            in_doubt_after_resolution: None,
+            heuristics: None,
+            hazarded: None,
         }
     }
 }
@@ -178,6 +210,7 @@ pub const ORACLES: &[&str] = &[
     "telemetry-conformance",
     "durability",
     "refinement",
+    "eventual-resolution",
 ];
 
 /// Run every single-observation oracle (all but determinism).
@@ -191,6 +224,7 @@ pub fn check_all(obs: &Observation) -> Vec<Violation> {
     check_telemetry(obs, &mut violations);
     check_durability(obs, &mut violations);
     check_refinement(obs, &mut violations);
+    check_eventual_resolution(obs, &mut violations);
     violations
 }
 
@@ -382,6 +416,32 @@ fn check_refinement(obs: &Observation, out: &mut Vec<Violation>) {
             oracle: "refinement",
             detail: format!("{divergence}; offending event: {offending}"),
         });
+    }
+}
+
+fn check_eventual_resolution(obs: &Observation, out: &mut Vec<Violation>) {
+    // The oracle binds only when the scenario drives termination and
+    // reports its post-heal resolution accounting.
+    let Some(in_doubt) = obs.in_doubt_after_resolution else { return };
+    if in_doubt > 0 {
+        out.push(Violation {
+            oracle: "eventual-resolution",
+            detail: format!(
+                "{in_doubt} participant transaction(s) remain in doubt after faults \
+                 ceased and partitions healed — interrogation never terminated"
+            ),
+        });
+    }
+    if let Some(heuristics) = obs.heuristics {
+        if heuristics > 0 && obs.hazarded == Some(false) {
+            out.push(Violation {
+                oracle: "eventual-resolution",
+                detail: format!(
+                    "{heuristics} heuristic outcome(s) recorded for an unhazarded \
+                     history — interrogation would have answered"
+                ),
+            });
+        }
     }
 }
 
@@ -632,6 +692,48 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].oracle, "refinement");
         assert!(v[0].detail.contains("presumed abort"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn eventual_resolution_oracle_does_not_bind_without_accounting() {
+        let obs = Observation::new(RunOutcome::Committed);
+        assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn lingering_in_doubt_participants_are_a_violation() {
+        let mut obs = Observation::new(RunOutcome::Aborted);
+        obs.in_doubt_after_resolution = Some(1);
+        obs.heuristics = Some(0);
+        obs.hazarded = Some(false);
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "eventual-resolution");
+        assert!(v[0].detail.contains("remain in doubt"));
+    }
+
+    #[test]
+    fn unhazarded_heuristics_are_a_violation() {
+        let mut obs = Observation::new(RunOutcome::Aborted);
+        obs.in_doubt_after_resolution = Some(0);
+        obs.heuristics = Some(1);
+        obs.hazarded = Some(false);
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "eventual-resolution");
+        assert!(v[0].detail.contains("unhazarded"));
+    }
+
+    #[test]
+    fn hazarded_heuristics_and_clean_resolution_pass() {
+        let mut obs = Observation::new(RunOutcome::Aborted);
+        obs.in_doubt_after_resolution = Some(0);
+        obs.heuristics = Some(1);
+        obs.hazarded = Some(true);
+        assert!(check_all(&obs).is_empty());
+        obs.heuristics = Some(0);
+        obs.hazarded = Some(false);
+        assert!(check_all(&obs).is_empty());
     }
 
     #[test]

@@ -14,7 +14,9 @@
 pub fn all_known_sites() -> Vec<&'static str> {
     let mut sites = Vec::new();
     sites.extend_from_slice(ots::failpoints::FAILPOINT_SITES);
+    sites.extend_from_slice(ots::recovery::failpoints::FAILPOINT_SITES);
     sites.extend_from_slice(activity_service::failpoints::FAILPOINT_SITES);
+    sites.extend_from_slice(activity_service::reaper::failpoints::FAILPOINT_SITES);
     sites
 }
 
@@ -28,7 +30,7 @@ mod tests {
         ActivityCoordinator, ActivityId, BroadcastSignalSet, DispatchConfig,
     };
     use orb::Value;
-    use ots::{TransactionFactory, TransactionalKv};
+    use ots::{Resource, TransactionFactory, TransactionalKv};
     use recovery_log::{FailpointSet, FileWal, GroupCommitWal, Lsn, MemWal, Wal};
 
     fn sorted(sites: &[&str]) -> BTreeSet<String> {
@@ -40,7 +42,7 @@ mod tests {
         let sites = all_known_sites();
         let unique: BTreeSet<_> = sites.iter().collect();
         assert_eq!(unique.len(), sites.len(), "site names must be globally unique");
-        assert_eq!(sites.len(), 8);
+        assert_eq!(sites.len(), 12);
     }
 
     #[test]
@@ -120,6 +122,61 @@ mod tests {
     }
 
     #[test]
+    fn recovery_probe_observes_exactly_the_declared_sites() {
+        // Drive a RecoverableResource through every code path that hits a
+        // recovery failpoint: prepare (after_prepared), a resolution
+        // attempt (before_resolve — the coordinator is unlocatable, so the
+        // transaction just stays in doubt) and outcome delivery
+        // (before_apply).
+        let wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+        let failpoints = FailpointSet::new();
+        let kv = ots::DurableKv::new("store", Arc::clone(&wal));
+        let res = ots::RecoverableResource::new(
+            Arc::clone(&kv) as Arc<dyn ots::Resource>,
+            Arc::clone(&wal),
+            "coordinator",
+        )
+        .with_failpoints(failpoints.clone());
+        let tx = ots::TxId::top_level(1);
+        kv.store().write(&tx, "k", Value::from(1i64)).unwrap();
+        res.prepare(&tx).unwrap();
+        let orb = orb::Orb::builder()
+            .network(orb::NetworkConfig::reliable())
+            .clock(orb::SimClock::new())
+            .build();
+        orb.add_node("participant").unwrap();
+        let locate: ots::recovery::CoordinatorLocator = Arc::new(|_| None);
+        let config = ots::ResolutionConfig::new(
+            orb::RetryPolicy::new(1),
+            std::time::Duration::from_secs(60),
+        );
+        res.resolve_in_doubt(&orb, "participant", &locate, &config).unwrap();
+        res.rollback(&tx).unwrap();
+        assert_eq!(
+            failpoints.observed_sites().into_iter().collect::<BTreeSet<_>>(),
+            sorted(ots::recovery::failpoints::FAILPOINT_SITES),
+            "ots::recovery constants out of sync with actual hit() call sites"
+        );
+    }
+
+    #[test]
+    fn reaper_probe_observes_exactly_the_declared_sites() {
+        let clock = orb::SimClock::new();
+        let orphan = activity_service::Activity::new_root("orphan", clock.clone());
+        orphan.set_timeout(std::time::Duration::from_millis(5));
+        clock.advance(std::time::Duration::from_millis(10));
+        let failpoints = FailpointSet::new();
+        let reaper =
+            activity_service::OrphanReaper::new().with_failpoints(failpoints.clone());
+        reaper.reap(&[orphan], &|_| false).unwrap();
+        assert_eq!(
+            failpoints.observed_sites().into_iter().collect::<BTreeSet<_>>(),
+            sorted(activity_service::reaper::failpoints::FAILPOINT_SITES),
+            "reaper constants out of sync with actual hit() call sites"
+        );
+    }
+
+    #[test]
     fn crash_module_docs_list_every_site() {
         // The audit table in recovery-log/src/crash.rs is prose, but its
         // site names are load-bearing: this test pins the full list so a
@@ -131,9 +188,13 @@ mod tests {
             "ots.before_decision",
             "ots.after_decision",
             "ots.before_completion_record",
+            "ots.recovery.after_prepared",
+            "ots.recovery.before_apply",
+            "ots.recovery.before_resolve",
             "activity.before_get_signal",
             "activity.before_transmit",
             "activity.before_outcome",
+            "activity.reaper.before_complete",
         ]);
         let actual: BTreeSet<String> =
             all_known_sites().into_iter().map(str::to_owned).collect();

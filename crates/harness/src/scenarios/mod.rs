@@ -5,6 +5,7 @@ mod btp_atom;
 mod explore_two_phase;
 mod nested;
 mod saga;
+mod termination;
 mod two_phase;
 mod workflow;
 
@@ -13,6 +14,7 @@ pub use btp_atom::BtpAtomScenario;
 pub use explore_two_phase::{BrokenAtomicCommitScenario, ExplorableTwoPhase};
 pub use nested::NestedCompensationScenario;
 pub use saga::SagaScenario;
+pub use termination::{ForgetfulCoordinatorScenario, TerminationScenario};
 pub use two_phase::{TwoPhaseGroupCommitScenario, TwoPhaseScenario};
 pub use workflow::{WorkflowNoRetryScenario, WorkflowRetryScenario, WorkflowScenario};
 
@@ -28,5 +30,6 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
         Box::new(SagaScenario),
         Box::new(WorkflowScenario),
         Box::new(BtpAtomScenario),
+        Box::new(TerminationScenario),
     ]
 }

@@ -37,6 +37,31 @@ pub enum FaultEvent {
         /// Remote-message sequence number.
         nth: u64,
     },
+    /// Isolate `node` from every other node during the virtual-time window
+    /// `[from_us, until_us)` (microseconds). The partition heals itself
+    /// once the clock passes `until_us` — scenarios apply these through
+    /// [`orb::SimulatedNetwork::schedule_partition`], so activation is a
+    /// pure function of the virtual clock and the event stays replayable.
+    Partition {
+        /// The node cut off from the rest of the network.
+        node: String,
+        /// Window start, µs of virtual time (inclusive).
+        from_us: u64,
+        /// Window end, µs of virtual time (exclusive) — the heal instant.
+        until_us: u64,
+    },
+    /// Crash the process owning the named failpoint site (armed exactly
+    /// like [`FaultEvent::ArmFailpoint`]) and later re-run its restart /
+    /// recovery path. Scenarios that support restarts rebuild the
+    /// component from its surviving WAL and drive in-doubt resolution;
+    /// the distinct arm lets schedules say "this crash is recovered from"
+    /// rather than "this component stays dead".
+    Restart {
+        /// Site name, e.g. `ots.recovery.after_prepared`.
+        site: String,
+        /// Passages allowed before the crash fires.
+        after: u32,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -54,6 +79,14 @@ impl fmt::Display for FaultEvent {
             FaultEvent::DuplicateMessage { nth } => {
                 write!(f, "FaultEvent::DuplicateMessage {{ nth: {nth} }}")
             }
+            FaultEvent::Partition { node, from_us, until_us } => write!(
+                f,
+                "FaultEvent::Partition {{ node: {node:?}.into(), from_us: {from_us}, until_us: {until_us} }}"
+            ),
+            FaultEvent::Restart { site, after } => write!(
+                f,
+                "FaultEvent::Restart {{ site: {site:?}.into(), after: {after} }}"
+            ),
         }
     }
 }
@@ -98,11 +131,32 @@ impl FaultSchedule {
         FaultSchedule { events }
     }
 
-    /// Arm every [`FaultEvent::ArmFailpoint`] event into `failpoints`.
+    /// Arm every [`FaultEvent::ArmFailpoint`] and [`FaultEvent::Restart`]
+    /// event into `failpoints` (both crash a component; they differ in
+    /// whether the scenario later re-runs its recovery path).
     pub fn arm_into(&self, failpoints: &FailpointSet) {
         for event in &self.events {
-            if let FaultEvent::ArmFailpoint { site, after } = event {
-                failpoints.arm(site.clone(), *after);
+            match event {
+                FaultEvent::ArmFailpoint { site, after }
+                | FaultEvent::Restart { site, after } => {
+                    failpoints.arm(site.clone(), *after);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Apply every [`FaultEvent::Partition`] event as a scheduled window on
+    /// `network`: the node is severed from everyone else while the virtual
+    /// clock is inside `[from_us, until_us)`, then the window self-heals.
+    pub fn apply_partitions(&self, network: &orb::SimulatedNetwork) {
+        for event in &self.events {
+            if let FaultEvent::Partition { node, from_us, until_us } = event {
+                network.schedule_partition(
+                    std::time::Duration::from_micros(*from_us),
+                    std::time::Duration::from_micros(*until_us),
+                    &[&[node.as_str()]],
+                );
             }
         }
     }
@@ -120,12 +174,21 @@ impl FaultSchedule {
     }
 
     /// How many *hard* faults this schedule injects: armed crash
-    /// failpoints. Any hard fault voids the bounded-fault liveness claim.
-    /// Feeds [`crate::oracle::Observation::hard_faults`].
+    /// failpoints (stay-dead and restart flavours) and partitions. Any hard
+    /// fault voids the bounded-fault liveness claim — a partitioned or
+    /// crashed component can legitimately miss its retry budget. Feeds
+    /// [`crate::oracle::Observation::hard_faults`].
     pub fn hard_fault_count(&self) -> u32 {
         self.events
             .iter()
-            .filter(|e| matches!(e, FaultEvent::ArmFailpoint { .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    FaultEvent::ArmFailpoint { .. }
+                        | FaultEvent::Restart { .. }
+                        | FaultEvent::Partition { .. }
+                )
+            })
             .count() as u32
     }
 
@@ -137,7 +200,9 @@ impl FaultSchedule {
             match event {
                 FaultEvent::DropMessage { nth } => script = script.drop_nth(*nth),
                 FaultEvent::DuplicateMessage { nth } => script = script.duplicate_nth(*nth),
-                FaultEvent::ArmFailpoint { .. } => {}
+                FaultEvent::ArmFailpoint { .. }
+                | FaultEvent::Partition { .. }
+                | FaultEvent::Restart { .. } => {}
             }
         }
         script
@@ -157,7 +222,7 @@ impl fmt::Display for FaultSchedule {
 /// The space a seed is mapped into: which failpoint sites exist (discovered
 /// by a fault-free probe run via `FailpointSet::observed_sites`) and how
 /// many remote messages the fault-free run sends.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ScheduleSpace {
     /// Arm-able failpoint sites.
     pub sites: Vec<String>,
@@ -166,10 +231,22 @@ pub struct ScheduleSpace {
     pub remote_messages: u64,
     /// Largest number of events in one generated schedule.
     pub max_events: usize,
+    /// Nodes eligible for [`FaultEvent::Partition`] windows. Empty for
+    /// scenarios that do not expose their topology — the generator then
+    /// never emits partition arms and old seeds replay unchanged.
+    pub partition_nodes: Vec<String>,
+    /// Sites eligible for [`FaultEvent::Restart`] (crash-then-recover)
+    /// arms. Empty for scenarios without a restart path.
+    pub restart_sites: Vec<String>,
 }
 
 /// Deterministically derive a schedule from `seed`. The same seed and space
 /// always produce the same schedule.
+///
+/// When the space has no partition nodes and no restart sites, the event
+/// choices (and the PRNG draws behind them) are identical to what earlier
+/// versions of this generator produced, so existing per-seed schedules —
+/// and the sweep fingerprints built on them — are stable.
 pub fn generate(seed: u64, space: &ScheduleSpace) -> FaultSchedule {
     let mut rng = StdRng::seed_from_u64(seed);
     let max = space.max_events.max(1) as u64;
@@ -178,22 +255,78 @@ pub fn generate(seed: u64, space: &ScheduleSpace) -> FaultSchedule {
     for _ in 0..count {
         let have_sites = !space.sites.is_empty();
         let have_messages = space.remote_messages > 0;
-        let pick_site = match (have_sites, have_messages) {
-            (true, true) => rng.gen_range(0..2u32) == 0,
-            (true, false) => true,
-            (false, true) => false,
-            (false, false) => break,
-        };
-        if pick_site {
-            let site = space.sites[rng.gen_range(0..space.sites.len() as u64) as usize].clone();
-            let after = rng.gen_range(0..3u32);
-            events.push(FaultEvent::ArmFailpoint { site, after });
-        } else {
-            let nth = rng.gen_range(0..space.remote_messages * 2);
-            if rng.gen_range(0..2u32) == 0 {
-                events.push(FaultEvent::DropMessage { nth });
+        let have_partitions = !space.partition_nodes.is_empty();
+        let have_restarts = !space.restart_sites.is_empty();
+        // Fast path: the legacy two-way choice, drawing exactly the PRNG
+        // values the original generator drew.
+        if !have_partitions && !have_restarts {
+            let pick_site = match (have_sites, have_messages) {
+                (true, true) => rng.gen_range(0..2u32) == 0,
+                (true, false) => true,
+                (false, true) => false,
+                (false, false) => break,
+            };
+            if pick_site {
+                let site =
+                    space.sites[rng.gen_range(0..space.sites.len() as u64) as usize].clone();
+                let after = rng.gen_range(0..3u32);
+                events.push(FaultEvent::ArmFailpoint { site, after });
             } else {
-                events.push(FaultEvent::DuplicateMessage { nth });
+                let nth = rng.gen_range(0..space.remote_messages * 2);
+                if rng.gen_range(0..2u32) == 0 {
+                    events.push(FaultEvent::DropMessage { nth });
+                } else {
+                    events.push(FaultEvent::DuplicateMessage { nth });
+                }
+            }
+            continue;
+        }
+        // Extended choice set: pick uniformly among the offered kinds.
+        let mut kinds: Vec<u8> = Vec::with_capacity(4);
+        if have_sites {
+            kinds.push(0);
+        }
+        if have_messages {
+            kinds.push(1);
+        }
+        if have_partitions {
+            kinds.push(2);
+        }
+        if have_restarts {
+            kinds.push(3);
+        }
+        if kinds.is_empty() {
+            break;
+        }
+        match kinds[rng.gen_range(0..kinds.len() as u64) as usize] {
+            0 => {
+                let site =
+                    space.sites[rng.gen_range(0..space.sites.len() as u64) as usize].clone();
+                let after = rng.gen_range(0..3u32);
+                events.push(FaultEvent::ArmFailpoint { site, after });
+            }
+            1 => {
+                let nth = rng.gen_range(0..space.remote_messages * 2);
+                if rng.gen_range(0..2u32) == 0 {
+                    events.push(FaultEvent::DropMessage { nth });
+                } else {
+                    events.push(FaultEvent::DuplicateMessage { nth });
+                }
+            }
+            2 => {
+                let node = space.partition_nodes
+                    [rng.gen_range(0..space.partition_nodes.len() as u64) as usize]
+                    .clone();
+                let from_us = rng.gen_range(0..800u64);
+                let until_us = from_us + rng.gen_range(100..1500u64);
+                events.push(FaultEvent::Partition { node, from_us, until_us });
+            }
+            _ => {
+                let site = space.restart_sites
+                    [rng.gen_range(0..space.restart_sites.len() as u64) as usize]
+                    .clone();
+                let after = rng.gen_range(0..3u32);
+                events.push(FaultEvent::Restart { site, after });
             }
         }
     }
@@ -209,6 +342,15 @@ mod tests {
             sites: vec!["a.one".into(), "b.two".into()],
             remote_messages: 4,
             max_events: 4,
+            ..ScheduleSpace::default()
+        }
+    }
+
+    fn partitioned_space() -> ScheduleSpace {
+        ScheduleSpace {
+            partition_nodes: vec!["participant".into(), "coordinator".into()],
+            restart_sites: vec!["ots.recovery.after_prepared".into()],
+            ..space()
         }
     }
 
@@ -228,9 +370,73 @@ mod tests {
     fn empty_space_yields_empty_schedule() {
         let s = generate(
             7,
-            &ScheduleSpace { sites: vec![], remote_messages: 0, max_events: 4 },
+            &ScheduleSpace { max_events: 4, ..ScheduleSpace::default() },
         );
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn extended_space_reaches_partition_and_restart_arms() {
+        let space = partitioned_space();
+        let mut saw_partition = false;
+        let mut saw_restart = false;
+        for seed in 0..200 {
+            let schedule = generate(seed, &space);
+            assert_eq!(generate(seed, &space), schedule, "still deterministic");
+            for event in schedule.events() {
+                match event {
+                    FaultEvent::Partition { from_us, until_us, .. } => {
+                        saw_partition = true;
+                        assert!(until_us > from_us, "window must be non-empty");
+                    }
+                    FaultEvent::Restart { .. } => saw_restart = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_partition, "generator never emitted a partition arm");
+        assert!(saw_restart, "generator never emitted a restart arm");
+    }
+
+    #[test]
+    fn legacy_spaces_generate_exactly_the_old_schedules() {
+        // The extended generator must be a strict superset: with no
+        // partition nodes or restart sites, every seed maps to the same
+        // schedule the two-way generator produced, keeping historical
+        // sweep fingerprints valid.
+        for seed in 0..100 {
+            let schedule = generate(seed, &space());
+            assert!(schedule.events().iter().all(|e| matches!(
+                e,
+                FaultEvent::ArmFailpoint { .. }
+                    | FaultEvent::DropMessage { .. }
+                    | FaultEvent::DuplicateMessage { .. }
+            )));
+        }
+    }
+
+    #[test]
+    fn restarts_arm_failpoints_and_partitions_apply_windows() {
+        let schedule = FaultSchedule::from_events(vec![
+            FaultEvent::Restart { site: "ots.recovery.after_prepared".into(), after: 1 },
+            FaultEvent::Partition { node: "participant".into(), from_us: 10, until_us: 400 },
+        ]);
+        let fp = FailpointSet::new();
+        schedule.arm_into(&fp);
+        assert!(fp.is_armed("ots.recovery.after_prepared"));
+        let clock = orb::SimClock::new();
+        let network =
+            orb::SimulatedNetwork::new(orb::NetworkConfig::reliable(), clock.clone());
+        schedule.apply_partitions(&network);
+        clock.advance(std::time::Duration::from_micros(20));
+        assert!(!network.reachable("participant", "coordinator"));
+        clock.advance(std::time::Duration::from_micros(400));
+        assert!(network.reachable("participant", "coordinator"));
+        // Neither arm contributes message-script entries.
+        assert!(schedule.to_fault_script().is_empty());
+        // Both are hard faults: they void the liveness envelope.
+        assert_eq!(schedule.hard_fault_count(), 2);
+        assert_eq!(schedule.transient_fault_count(), 0);
     }
 
     #[test]
@@ -267,12 +473,20 @@ mod tests {
         let schedule = FaultSchedule::from_events(vec![
             FaultEvent::ArmFailpoint { site: "ots.before_decision".into(), after: 0 },
             FaultEvent::DropMessage { nth: 2 },
+            FaultEvent::Partition { node: "participant".into(), from_us: 50, until_us: 900 },
+            FaultEvent::Restart { site: "ots.recovery.before_apply".into(), after: 1 },
         ]);
         let rendered = schedule.to_string();
         assert!(rendered.contains("FaultSchedule::from_events(vec!["));
         assert!(rendered
             .contains("FaultEvent::ArmFailpoint { site: \"ots.before_decision\".into(), after: 0 }"));
         assert!(rendered.contains("FaultEvent::DropMessage { nth: 2 }"));
+        assert!(rendered.contains(
+            "FaultEvent::Partition { node: \"participant\".into(), from_us: 50, until_us: 900 }"
+        ));
+        assert!(rendered.contains(
+            "FaultEvent::Restart { site: \"ots.recovery.before_apply\".into(), after: 1 }"
+        ));
     }
 
     #[test]

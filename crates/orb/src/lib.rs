@@ -69,7 +69,7 @@ pub use detector::{DetectorConfig, FailureDetector, HealthStatus};
 pub use error::OrbError;
 pub use interceptor::{SpanClientInterceptor, SpanServerInterceptor};
 pub use message::{Reply, Request};
-pub use network::{FaultScript, NetworkConfig, SimulatedNetwork};
+pub use network::{FaultScript, NetworkConfig, PartitionWindow, SimulatedNetwork};
 pub use node::{Node, Orb, OrbBuilder};
 pub use retry::RetryPolicy;
 pub use object::{ObjectId, ObjectRef, Servant};

@@ -27,6 +27,7 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use telemetry::Telemetry;
 
 use crate::clock::SimClock;
 
@@ -163,19 +164,66 @@ pub struct NetworkStatsSnapshot {
     pub partitioned: u64,
 }
 
+/// A partition scheduled against the virtual clock: between `from`
+/// (inclusive) and `until` (exclusive) the named groups cannot reach each
+/// other; once the clock passes `until` the window heals itself without
+/// anyone calling [`SimulatedNetwork::heal`].
+///
+/// Because activation is a pure function of [`SimClock::now`], scheduled
+/// partitions are exactly as deterministic and replayable as scripted
+/// message faults.
+#[derive(Debug, Clone)]
+pub struct PartitionWindow {
+    /// Virtual time at which the partition takes effect (inclusive).
+    pub from: Duration,
+    /// Virtual time at which the partition heals (exclusive).
+    pub until: Duration,
+    /// node name → group id for the window; unmentioned nodes share the
+    /// implicit group 0.
+    groups: HashMap<String, u32>,
+}
+
+impl PartitionWindow {
+    fn active_at(&self, now: Duration) -> bool {
+        self.from <= now && now < self.until
+    }
+
+    fn severs(&self, from: &str, to: &str) -> bool {
+        let ga = self.groups.get(from).copied().unwrap_or(0);
+        let gb = self.groups.get(to).copied().unwrap_or(0);
+        ga != gb
+    }
+}
+
 /// The simulated network shared by all nodes of an [`crate::Orb`].
-#[derive(Debug)]
 pub struct SimulatedNetwork {
     config: NetworkConfig,
     rng: Mutex<StdRng>,
     clock: SimClock,
     /// node name → partition group id; empty map means fully connected.
     groups: RwLock<HashMap<String, u32>>,
+    /// Virtual-time partition windows; active iff the clock is inside one.
+    windows: RwLock<Vec<PartitionWindow>>,
     stats: NetworkStats,
     /// Scripted per-message faults; consulted before the probabilistic model.
     script: RwLock<FaultScript>,
     /// Sequence number of the next remote (non-local) message.
     remote_seq: AtomicU64,
+    /// Metrics sink for partition/heal events (None until installed).
+    telemetry: RwLock<Option<Telemetry>>,
+    /// When the current manual partition began, for duration accounting.
+    partition_started_at: Mutex<Option<Duration>>,
+}
+
+impl std::fmt::Debug for SimulatedNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatedNetwork")
+            .field("config", &self.config)
+            .field("groups", &*self.groups.read())
+            .field("windows", &*self.windows.read())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SimulatedNetwork {
@@ -187,9 +235,31 @@ impl SimulatedNetwork {
             rng: Mutex::new(rng),
             clock,
             groups: RwLock::new(HashMap::new()),
+            windows: RwLock::new(Vec::new()),
             stats: NetworkStats::default(),
             script: RwLock::new(FaultScript::new()),
             remote_seq: AtomicU64::new(0),
+            telemetry: RwLock::new(None),
+            partition_started_at: Mutex::new(None),
+        }
+    }
+
+    /// Attach a telemetry recorder: partition events bump the
+    /// `net_partitioned_total` counter and partition durations (in virtual
+    /// time) feed the `net_partition_duration` histogram.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.telemetry.write() = Some(telemetry);
+    }
+
+    fn record_partition_start(&self) {
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.metrics().incr("net_partitioned_total");
+        }
+    }
+
+    fn record_partition_duration(&self, duration: Duration) {
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.metrics().observe("net_partition_duration", duration);
         }
     }
 
@@ -227,19 +297,63 @@ impl SimulatedNetwork {
                 groups.insert((*member).to_owned(), (i + 1) as u32);
             }
         }
+        self.record_partition_start();
+        *self.partition_started_at.lock() = Some(self.clock.now());
     }
 
     /// Remove all partitions; every node can reach every other again.
     pub fn heal(&self) {
         self.groups.write().clear();
+        if let Some(started) = self.partition_started_at.lock().take() {
+            self.record_partition_duration(self.clock.now().saturating_sub(started));
+        }
     }
 
-    /// Whether a message from `from` can currently reach `to`.
+    /// Schedule a partition window against the virtual clock: the named
+    /// groups become mutually unreachable while `from <= now < until`, then
+    /// the window heals itself. The whole lifecycle is known up front, so
+    /// the partition counter and duration histogram are fed immediately —
+    /// virtual time makes the duration exact, not an estimate.
+    pub fn schedule_partition(&self, from: Duration, until: Duration, groups: &[&[&str]]) {
+        let mut map = HashMap::new();
+        for (i, members) in groups.iter().enumerate() {
+            for member in *members {
+                map.insert((*member).to_owned(), (i + 1) as u32);
+            }
+        }
+        self.windows.write().push(PartitionWindow { from, until, groups: map });
+        self.record_partition_start();
+        self.record_partition_duration(until.saturating_sub(from));
+    }
+
+    /// Drop every scheduled partition window (active or not).
+    pub fn clear_partitions(&self) {
+        self.windows.write().clear();
+    }
+
+    /// The scheduled partition windows, in insertion order.
+    pub fn partition_windows(&self) -> Vec<PartitionWindow> {
+        self.windows.read().clone()
+    }
+
+    /// Whether a message from `from` can currently reach `to`: both the
+    /// manual partition groups and any clock-active scheduled window must
+    /// agree the pair is connected.
     pub fn reachable(&self, from: &str, to: &str) -> bool {
-        let groups = self.groups.read();
-        let ga = groups.get(from).copied().unwrap_or(0);
-        let gb = groups.get(to).copied().unwrap_or(0);
-        ga == gb
+        {
+            let groups = self.groups.read();
+            let ga = groups.get(from).copied().unwrap_or(0);
+            let gb = groups.get(to).copied().unwrap_or(0);
+            if ga != gb {
+                return false;
+            }
+        }
+        let now = self.clock.now();
+        !self
+            .windows
+            .read()
+            .iter()
+            .any(|w| w.active_at(now) && w.severs(from, to))
     }
 
     /// Decide the fate of one message from `from` to `to`, advancing the
@@ -480,6 +594,51 @@ mod tests {
         n.install_script(FaultScript::new().duplicate_nth(0));
         assert!(matches!(n.transmit("a", "b"), Delivery::Delivered { copies: 2, .. }));
         assert_eq!(n.transmit("a", "b"), Delivery::Dropped);
+    }
+
+    #[test]
+    fn scheduled_windows_partition_and_self_heal_with_the_clock() {
+        let clock = SimClock::new();
+        let n = SimulatedNetwork::new(NetworkConfig::reliable(), clock.clone());
+        n.schedule_partition(
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+            &[&["a"], &["b"]],
+        );
+        // Before the window opens: connected.
+        assert!(n.reachable("a", "b"));
+        clock.advance(Duration::from_millis(5));
+        // Inside the window: severed, but bystanders are untouched.
+        assert!(!n.reachable("a", "b"));
+        assert!(n.reachable("x", "y"));
+        assert_eq!(n.transmit("a", "b"), Delivery::Partitioned);
+        // At `until` the window has healed itself — no heal() call needed.
+        clock.advance(Duration::from_millis(5));
+        assert!(n.reachable("a", "b"));
+        assert!(matches!(n.transmit("a", "b"), Delivery::Delivered { .. }));
+    }
+
+    #[test]
+    fn partition_events_feed_telemetry() {
+        let clock = SimClock::new();
+        let n = SimulatedNetwork::new(NetworkConfig::reliable(), clock.clone());
+        let t = Telemetry::new();
+        n.set_telemetry(t.clone());
+        // A scheduled window records its (a-priori exact) duration at once.
+        n.schedule_partition(
+            Duration::from_millis(1),
+            Duration::from_millis(4),
+            &[&["a"], &["b"]],
+        );
+        // A manual partition measures start→heal on the virtual clock.
+        n.partition(&[&["a"], &["c"]]);
+        clock.advance(Duration::from_millis(7));
+        n.heal();
+        assert_eq!(t.metrics().counter_value("net_partitioned_total"), 2);
+        assert_eq!(t.metrics().histogram_count("net_partition_duration"), 2);
+        let rendered = t.metrics().render_prometheus();
+        assert!(rendered.contains("net_partitioned_total 2"));
+        assert!(rendered.contains("net_partition_duration"));
     }
 
     #[test]

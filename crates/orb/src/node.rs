@@ -458,6 +458,7 @@ impl Orb {
         if let Some(detector) = self.inner.detector.read().as_ref() {
             detector.set_telemetry(telemetry.clone());
         }
+        self.inner.network.set_telemetry(telemetry.clone());
         *self.inner.telemetry.write() = Some(telemetry);
     }
 

@@ -20,7 +20,11 @@
 //!   fig. 1 lock-hold-time experiment;
 //! * a durable, crash-recoverable participant ([`durable::DurableKv`])
 //!   demonstrating the persistence contract §3.4 places on recoverable
-//!   objects.
+//!   objects;
+//! * the participant-driven half of §3.4 termination ([`recovery`]): a
+//!   `RecoveryCoordinator` servant answering `replay_completion` under
+//!   presumed abort, and a `RecoverableResource` wrapper that interrogates
+//!   it to resolve in-doubt transactions after restarts or partitions.
 //!
 //! # Example
 //!
@@ -51,6 +55,7 @@ pub mod factory;
 pub mod journal;
 pub mod lockmgr;
 pub mod memres;
+pub mod recovery;
 pub mod resource;
 pub mod status;
 pub mod terminator;
@@ -67,6 +72,9 @@ pub use factory::TransactionFactory;
 pub use journal::{ProtocolJournal, TwoPcEvent, VoteKind};
 pub use lockmgr::{LockManager, LockMode, WaitDie};
 pub use memres::TransactionalKv;
+pub use recovery::{
+    RecoverableResource, RecoveryCoordinator, ReplayStatus, ResolutionConfig, ResolutionReport,
+};
 pub use resource::{Resource, SubtransactionAwareResource, Synchronization, Vote};
 pub use status::TxStatus;
 pub use terminator::Terminator;

@@ -29,9 +29,13 @@
 //! | `ots.before_decision`          | `ots` | before the commit decision record is forced |
 //! | `ots.after_decision`           | `ots` | decision durable, before any phase-two delivery |
 //! | `ots.before_completion_record` | `ots` | phase two delivered, before the completion record |
+//! | `ots.recovery.after_prepared`  | `ots` | participant forced its prepared record, before the vote returns |
+//! | `ots.recovery.before_apply`    | `ots` | outcome known to the participant, before it applies and records it |
+//! | `ots.recovery.before_resolve`  | `ots` | before an in-doubt participant interrogates `replay_completion` |
 //! | `activity.before_get_signal`   | `activity-service` | before the coordinator asks the set for a signal |
 //! | `activity.before_transmit`     | `activity-service` | signal obtained, before fan-out to actions |
 //! | `activity.before_outcome`      | `activity-service` | protocol ended, before the collated outcome is read |
+//! | `activity.reaper.before_complete` | `activity-service` | orphan selected, before it is completed `FailOnly` |
 //!
 //! `wal.append` and `wal.sync` are not in the table: they are the synthetic
 //! site names [`CrashingWal`] reports for its append-counting and

@@ -638,6 +638,142 @@ fn compaction_crash_after_rename_sees_exactly_the_new_prefix() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// Participant-side termination cells: the participant dies BETWEEN
+/// forcing its prepared record and applying the outcome, restarts from its
+/// own WAL, and resolves the doubt itself by interrogating
+/// `replay_completion` on the coordinator's `RecoveryCoordinator` servant
+/// over the simulated ORB. Returns the durable-decision fact and the two
+/// restarted stores for the per-cell assertions.
+fn participant_crash_cell(
+    arms: &[(&str, u32)],
+) -> (bool, Arc<ots::DurableKv>, Arc<ots::DurableKv>) {
+    use ots::recovery::{CoordinatorLocator, RECOVERY_COORDINATOR_INTERFACE};
+    use ots::{DurableKv, RecoverableResource, RecoveryCoordinator, ResolutionConfig};
+    use std::time::Duration;
+
+    let coordinator_wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+    let participant_wal: Arc<dyn Wal> = Arc::new(MemWal::new());
+    let failpoints = FailpointSet::new();
+    for (site, after) in arms {
+        failpoints.arm((*site).to_owned(), *after);
+    }
+
+    let factory = TransactionFactory::with_wal(Arc::clone(&coordinator_wal))
+        .with_failpoints(failpoints.clone());
+    let kv_store = DurableKv::new("store", Arc::clone(&participant_wal));
+    let kv_witness = DurableKv::new("witness", Arc::clone(&participant_wal));
+    let store = Arc::new(
+        RecoverableResource::new(
+            Arc::clone(&kv_store) as Arc<dyn Resource>,
+            Arc::clone(&participant_wal),
+            "coordinator",
+        )
+        .with_failpoints(failpoints.clone()),
+    );
+    let witness = Arc::new(
+        RecoverableResource::new(
+            Arc::clone(&kv_witness) as Arc<dyn Resource>,
+            Arc::clone(&participant_wal),
+            "coordinator",
+        )
+        .with_failpoints(failpoints.clone()),
+    );
+
+    let control = factory.create().unwrap();
+    control.coordinator().register_resource(Arc::clone(&store) as Arc<dyn Resource>).unwrap();
+    control
+        .coordinator()
+        .register_resource(Arc::clone(&witness) as Arc<dyn Resource>)
+        .unwrap();
+    kv_store.store().write(control.id(), "k", Value::from(1i64)).unwrap();
+    kv_witness.store().write(control.id(), "w", Value::from(2i64)).unwrap();
+    let result = control.terminator().commit();
+    assert!(result.is_err(), "the armed participant crash must fail the commit: {result:?}");
+    failpoints.clear();
+
+    let decision_durable = coordinator_wal
+        .scan(Lsn::new(0))
+        .unwrap()
+        .iter()
+        .any(|r| r.kind == ots::txlog::KIND_TX_DECISION);
+
+    // Restart the participant "process" from its surviving WAL.
+    let kv_store2 = DurableKv::recover("store", Arc::clone(&participant_wal)).unwrap();
+    let store2 = Arc::new(
+        RecoverableResource::recover(
+            Arc::clone(&kv_store2) as Arc<dyn Resource>,
+            Arc::clone(&participant_wal),
+            "coordinator",
+        )
+        .unwrap(),
+    );
+    let kv_witness2 = DurableKv::recover("witness", Arc::clone(&participant_wal)).unwrap();
+    let witness2 = Arc::new(
+        RecoverableResource::recover(
+            Arc::clone(&kv_witness2) as Arc<dyn Resource>,
+            Arc::clone(&participant_wal),
+            "coordinator",
+        )
+        .unwrap(),
+    );
+    assert!(
+        store2.in_doubt().len() + witness2.in_doubt().len() >= 1,
+        "this matrix cell must leave at least one transaction in doubt"
+    );
+
+    // Interrogation over the ORB: the coordinator's log answers.
+    let orb = orb::Orb::builder()
+        .network(orb::NetworkConfig::reliable())
+        .clock(SimClock::new())
+        .build();
+    let coordinator_node = orb.add_node("coordinator").unwrap();
+    orb.add_node("participant").unwrap();
+    let object = coordinator_node
+        .activate(
+            RECOVERY_COORDINATOR_INTERFACE,
+            RecoveryCoordinator::new(Arc::clone(&coordinator_wal)),
+        )
+        .unwrap();
+    let locate: CoordinatorLocator =
+        Arc::new(move |node: &str| (node == "coordinator").then(|| object.clone()));
+    let config = ResolutionConfig::new(orb::RetryPolicy::new(3), Duration::from_secs(60));
+    for participant in [&store2, &witness2] {
+        let report =
+            participant.resolve_in_doubt(&orb, "participant", &locate, &config).unwrap();
+        assert!(report.unresolved.is_empty(), "interrogation must answer every doubt");
+        assert!(report.heuristic.is_empty(), "an answerable history needs no heuristic");
+        assert!(participant.in_doubt().is_empty());
+    }
+    (decision_durable, kv_store2, kv_witness2)
+}
+
+/// Commit side: the decision was forced durably, then every participant
+/// died before applying the outcome. Interrogation finds the decision
+/// record and pushes the commit through.
+#[test]
+fn participant_crash_before_outcome_delivery_resolves_to_commit() {
+    let (decided, store, witness) =
+        participant_crash_cell(&[("ots.recovery.before_apply", 0)]);
+    assert!(decided, "phase one completed: the decision record is durable");
+    assert_eq!(store.store().read_committed("k"), Some(Value::from(1i64)));
+    assert_eq!(witness.store().read_committed("w"), Some(Value::from(2i64)));
+}
+
+/// Presumed-abort side: the witness dies right after forcing its prepared
+/// record (its vote surfaces as Failed), and the rollback delivery to the
+/// dying process is lost with it. No decision record exists, so the
+/// restarted participant's interrogation answers `rolled_back`.
+#[test]
+fn participant_crash_during_prepare_presumed_aborts_via_interrogation() {
+    let (decided, store, witness) = participant_crash_cell(&[
+        ("ots.recovery.after_prepared", 1),
+        ("ots.recovery.before_apply", 1),
+    ]);
+    assert!(!decided, "the veto aborted the transaction before any decision");
+    assert_eq!(store.store().read_committed("k"), None);
+    assert_eq!(witness.store().read_committed("w"), None);
+}
+
 /// Make sure ActivityLogger is reachable for documentation users.
 #[test]
 fn activity_logger_is_constructible() {

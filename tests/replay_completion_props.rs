@@ -1,0 +1,159 @@
+//! Property tests for `RecoveryCoordinator::replay_completion` — the
+//! presumed-abort interrogation contract (§3.4):
+//!
+//! * any transaction the log has no commit decision for — unknown,
+//!   merely prepared, or long forgotten — answers `rolled_back`;
+//! * the answer is idempotent under redelivery (at-least-once transport
+//!   may ask arbitrarily often);
+//! * the answer is a pure function of the durable log: a restarted
+//!   coordinator (a fresh servant over the same WAL) answers identically,
+//!   before and after arbitrary interleavings of other transactions'
+//!   records.
+
+use std::sync::Arc;
+
+use ots::recovery::ReplayStatus;
+use ots::{txlog, RecoveryCoordinator, TxId, TxStatus};
+use proptest::prelude::*;
+use recovery_log::{MemWal, Wal};
+
+fn wal() -> Arc<dyn Wal> {
+    Arc::new(MemWal::new())
+}
+
+/// One transaction's life recorded (or not) in the coordinator log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum History {
+    /// No record at all — forgotten or never seen.
+    Unknown,
+    /// Begun only.
+    Begun,
+    /// Begun and prepared, never decided.
+    Prepared,
+    /// Decision forced.
+    Decided,
+    /// Decision forced and completion recorded.
+    DecidedAndCompleted,
+    /// Rolled back and completion recorded (no decision record exists).
+    RolledBackCompleted,
+}
+
+fn record(log: &dyn Wal, tx: &TxId, history: History) {
+    match history {
+        History::Unknown => {}
+        History::Begun => {
+            txlog::log_begun(log, tx).unwrap();
+        }
+        History::Prepared => {
+            txlog::log_begun(log, tx).unwrap();
+            txlog::log_prepared(log, tx, &["store", "witness"]).unwrap();
+        }
+        History::Decided => {
+            txlog::log_begun(log, tx).unwrap();
+            txlog::log_prepared(log, tx, &["store", "witness"]).unwrap();
+            txlog::log_decision_commit(log, tx).unwrap();
+        }
+        History::DecidedAndCompleted => {
+            record(log, tx, History::Decided);
+            txlog::log_completed(log, tx, TxStatus::Committed).unwrap();
+        }
+        History::RolledBackCompleted => {
+            record(log, tx, History::Prepared);
+            txlog::log_completed(log, tx, TxStatus::RolledBack).unwrap();
+        }
+    }
+}
+
+fn expected(history: History) -> ReplayStatus {
+    match history {
+        History::Decided | History::DecidedAndCompleted => ReplayStatus::Committed,
+        _ => ReplayStatus::RolledBack,
+    }
+}
+
+fn history_strategy() -> impl Strategy<Value = History> {
+    prop_oneof![
+        Just(History::Unknown),
+        Just(History::Begun),
+        Just(History::Prepared),
+        Just(History::Decided),
+        Just(History::DecidedAndCompleted),
+        Just(History::RolledBackCompleted),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Presumed abort: without a durable commit decision the answer is
+    /// `rolled_back` — never `unknown`, regardless of how much other
+    /// traffic the log holds.
+    #[test]
+    fn undecided_histories_answer_rolled_back(
+        histories in proptest::collection::vec(history_strategy(), 1..8),
+        probe in 0usize..8,
+    ) {
+        let log = wal();
+        for (i, history) in histories.iter().enumerate() {
+            record(log.as_ref(), &TxId::top_level(i as u64 + 1), *history);
+        }
+        let coordinator = RecoveryCoordinator::new(Arc::clone(&log));
+        let index = probe % histories.len();
+        let tx = TxId::top_level(index as u64 + 1);
+        let answer = coordinator.replay_completion(&tx).unwrap();
+        prop_assert_eq!(answer, expected(histories[index]));
+        if expected(histories[index]) == ReplayStatus::RolledBack {
+            prop_assert_ne!(answer, ReplayStatus::Unknown);
+        }
+        // A transaction the log never saw at all is presumed aborted too.
+        let stranger = TxId::top_level(histories.len() as u64 + 99);
+        prop_assert_eq!(
+            coordinator.replay_completion(&stranger).unwrap(),
+            ReplayStatus::RolledBack
+        );
+    }
+
+    /// Idempotence: redelivered interrogations (any count) answer the
+    /// same, and the answers do not disturb each other across
+    /// transactions.
+    #[test]
+    fn replay_completion_is_idempotent_under_redelivery(
+        history in history_strategy(),
+        asks in 2usize..6,
+    ) {
+        let log = wal();
+        let tx = TxId::top_level(1);
+        record(log.as_ref(), &tx, history);
+        let coordinator = RecoveryCoordinator::new(Arc::clone(&log));
+        let first = coordinator.replay_completion(&tx).unwrap();
+        for _ in 1..asks {
+            prop_assert_eq!(coordinator.replay_completion(&tx).unwrap(), first);
+        }
+        prop_assert_eq!(first, expected(history));
+    }
+
+    /// Stability across coordinator restarts: a fresh servant over the
+    /// same log answers identically, even after *more* records for other
+    /// transactions land between the restarts.
+    #[test]
+    fn answers_are_stable_across_coordinator_restarts(
+        history in history_strategy(),
+        later in proptest::collection::vec(history_strategy(), 0..4),
+    ) {
+        let log = wal();
+        let tx = TxId::top_level(1);
+        record(log.as_ref(), &tx, history);
+        let before = RecoveryCoordinator::new(Arc::clone(&log))
+            .replay_completion(&tx)
+            .unwrap();
+        // "Restart": drop the servant, append unrelated traffic, rebuild.
+        for (i, h) in later.iter().enumerate() {
+            record(log.as_ref(), &TxId::top_level(i as u64 + 2), *h);
+        }
+        let after = RecoveryCoordinator::new(Arc::clone(&log))
+            .replay_completion(&tx)
+            .unwrap();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(after, expected(history));
+    }
+}

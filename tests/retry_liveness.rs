@@ -49,6 +49,7 @@ fn probe_space() -> ScheduleSpace {
         sites: probe.observed_sites.clone(),
         remote_messages: probe.remote_messages,
         max_events: 4,
+        ..ScheduleSpace::default()
     }
 }
 

@@ -1,6 +1,6 @@
 //! Tier-1 bounded simulation sweep: the deterministic chaos explorer runs
 //! a fixed population of seeded fault schedules against every scenario
-//! adapter and checks the nine §3.4 invariant oracles after each run.
+//! adapter and checks the ten §3.4 invariant oracles after each run.
 //!
 //! Two properties are pinned here:
 //!
@@ -16,7 +16,7 @@ use harness::scenarios::{self, BrokenWorkflowScenario};
 use harness::scenarios::{TwoPhaseGroupCommitScenario, TwoPhaseScenario};
 use harness::{generate, sweep, FaultSchedule, Scenario, ScheduleSpace, SweepConfig};
 
-/// 6 scenarios × 40 seeds = 240 distinct fault schedules, plus the broken
+/// 7 scenarios × 40 seeds = 280 distinct fault schedules, plus the broken
 /// fixture's own 40 below.
 const SEEDS_PER_SCENARIO: u64 = 40;
 
@@ -89,6 +89,7 @@ fn group_commit_is_protocol_invisible_across_the_sweep() {
         sites: probe_a.observed_sites.clone(),
         remote_messages: probe_a.remote_messages,
         max_events: 4,
+        ..ScheduleSpace::default()
     };
     for offset in 0..SEEDS_PER_SCENARIO {
         let seed = 0x20260806 + offset;

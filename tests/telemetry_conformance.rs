@@ -89,6 +89,7 @@ fn dropped_deliveries_are_covered_by_retry_attempts_across_a_sweep() {
         sites: probe.observed_sites.clone(),
         remote_messages: probe.remote_messages,
         max_events: 4,
+        ..ScheduleSpace::default()
     };
 
     let mut runs_with_drops = 0u32;
