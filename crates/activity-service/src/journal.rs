@@ -13,7 +13,7 @@
 //! journal at [`crate::Activity::begin_child`] time. Without a journal,
 //! nothing is recorded and nothing is paid.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -37,11 +37,30 @@ pub enum ActivityEvent {
     },
 }
 
+impl ActivityEvent {
+    /// One-line rendering used by the flight-recorder mirror.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            ActivityEvent::Begun { activity, name, parent } => match parent {
+                Some(parent) => format!("begun({activity}, {name}, parent={parent})"),
+                None => format!("begun({activity}, {name}, root)"),
+            },
+            ActivityEvent::Completed { activity, status, outcome } => {
+                format!("completed({activity}, {status:?}, {outcome})")
+            }
+        }
+    }
+}
+
 /// A shared, append-only journal of [`ActivityEvent`]s. Clones share
 /// storage.
 #[derive(Debug, Clone, Default)]
 pub struct ActivityJournal {
     events: Arc<Mutex<Vec<ActivityEvent>>>,
+    /// Optional flight-recorder mirror (kind `activity`): lifecycle steps
+    /// land in the node's black box in journal order.
+    recorder: Arc<OnceLock<telemetry::FlightRecorder>>,
 }
 
 impl ActivityJournal {
@@ -51,8 +70,18 @@ impl ActivityJournal {
         Self::default()
     }
 
+    /// Mirror every future event into `recorder` (kind `activity`).
+    /// Write-once so the hot path reads it with a single atomic load
+    /// (no lock even when attached-but-disabled); later calls are ignored.
+    pub fn set_recorder(&self, recorder: telemetry::FlightRecorder) {
+        let _ = self.recorder.set(recorder);
+    }
+
     /// Append one event.
     pub fn record(&self, event: ActivityEvent) {
+        if let Some(recorder) = self.recorder.get() {
+            recorder.record(telemetry::RecordKind::Activity, || event.render());
+        }
         self.events.lock().push(event);
     }
 

@@ -5,7 +5,7 @@
 //! coordinator and asserting the exact recorded exchange.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -59,6 +59,11 @@ impl fmt::Display for TraceEvent {
 #[derive(Debug, Clone, Default)]
 pub struct TraceLog {
     events: Arc<Mutex<Vec<TraceEvent>>>,
+    /// Optional flight-recorder mirror: each recorded event also lands in
+    /// the node's black box (kind `trace`, rendered exactly as
+    /// [`TraceLog::render`] would), so oracle #11 can check the recorder
+    /// preserved the trace's causal order.
+    recorder: Arc<OnceLock<telemetry::FlightRecorder>>,
 }
 
 impl TraceLog {
@@ -67,8 +72,18 @@ impl TraceLog {
         Self::default()
     }
 
+    /// Mirror every future event into `recorder` (kind `trace`).
+    /// Write-once so the hot path reads it with a single atomic load
+    /// (no lock even when attached-but-disabled); later calls are ignored.
+    pub fn set_recorder(&self, recorder: telemetry::FlightRecorder) {
+        let _ = self.recorder.set(recorder);
+    }
+
     /// Append one event.
     pub fn record(&self, event: TraceEvent) {
+        if let Some(recorder) = self.recorder.get() {
+            recorder.record(telemetry::RecordKind::Trace, || event.to_string());
+        }
         self.events.lock().push(event);
     }
 

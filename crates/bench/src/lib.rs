@@ -247,6 +247,79 @@ pub fn two_phase_with_telemetry(participants: usize, instrumented: bool) -> bool
     control.terminator().commit().is_ok()
 }
 
+/// Flight-recorder gate workload (DESIGN.md §15): the same native-OTS
+/// commit as [`two_phase_with_telemetry`], with a journal and failpoint set
+/// on the hot path and a *disabled* [`telemetry::FlightRecorder`] either
+/// attached to both or absent. Every journal record and failpoint passage
+/// still reaches the mirror, but the closed gate collapses it to one
+/// atomic load — the delta is the recorder's whole disabled-path cost.
+/// The caller builds the recorder once and passes it in: constructing the
+/// ring (one bounded allocation) is setup cost, not per-site cost, and
+/// attaching a shared handle is one `Arc` bump per mirror.
+pub fn two_phase_with_recorder(
+    participants: usize,
+    recorder: Option<&telemetry::FlightRecorder>,
+) -> bool {
+    let journal = ots::ProtocolJournal::new();
+    let failpoints = recovery_log::FailpointSet::new();
+    if let Some(recorder) = recorder {
+        journal.set_recorder(recorder.clone());
+        failpoints.set_recorder(recorder.clone());
+    }
+    let factory = TransactionFactory::new()
+        .with_journal(journal)
+        .with_failpoints(failpoints);
+    let control = factory.create().expect("create");
+    for i in 0..participants {
+        let store = Arc::new(TransactionalKv::new(format!("s{i}")));
+        store.enlist(&control).expect("enlist");
+        store.write(control.id(), "k", Value::from(i as i64)).expect("write");
+    }
+    control.terminator().commit().is_ok()
+}
+
+/// A [`Resource`] decorator that advances the virtual clock on every
+/// protocol call, so commit spans acquire real (virtual) durations — the
+/// substrate the critical-path attribution and latency quantiles in the
+/// `introspect` binary are computed from.
+pub struct PacedResource {
+    inner: Arc<dyn Resource>,
+    clock: SimClock,
+    pace: Duration,
+}
+
+impl PacedResource {
+    /// Wrap `inner`, advancing `clock` by `pace` before each protocol call.
+    pub fn new(inner: Arc<dyn Resource>, clock: SimClock, pace: Duration) -> Self {
+        PacedResource { inner, clock, pace }
+    }
+}
+
+impl Resource for PacedResource {
+    fn prepare(&self, tx: &ots::TxId) -> Result<Vote, TxError> {
+        self.clock.advance(self.pace);
+        self.inner.prepare(tx)
+    }
+
+    fn commit(&self, tx: &ots::TxId) -> Result<(), TxError> {
+        self.clock.advance(self.pace);
+        self.inner.commit(tx)
+    }
+
+    fn rollback(&self, tx: &ots::TxId) -> Result<(), TxError> {
+        self.clock.advance(self.pace);
+        self.inner.rollback(tx)
+    }
+
+    fn forget(&self, tx: &ots::TxId) {
+        self.inner.forget(tx);
+    }
+
+    fn resource_name(&self) -> &str {
+        self.inner.resource_name()
+    }
+}
+
 /// Run the two §11 workloads once with an *enabled* recorder and return
 /// the populated registry's JSON snapshot — the artifact the CI telemetry
 /// job archives next to the overhead table.

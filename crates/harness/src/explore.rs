@@ -186,14 +186,18 @@ pub struct Divergence {
     pub minimized: ExploreSchedule,
     /// Violations the original execution produced.
     pub violations: Vec<Violation>,
+    /// The flight recorder's dump from a run of the minimized execution
+    /// (`None` when the scenario attaches no recorder).
+    pub recorder_dump: Option<String>,
 }
 
 impl Divergence {
-    /// A copy-pasteable reproducer.
+    /// A copy-pasteable reproducer, with the minimized execution's flight
+    /// recorder appended as comment lines when one was attached.
     #[must_use]
     pub fn repro(&self) -> String {
         let oracles: Vec<&str> = self.violations.iter().map(|v| v.oracle).collect();
-        format!(
+        let mut out = format!(
             "// scenario: {} | violated: {:?}\n\
              // minimal execution ({} fault event(s), {} prescribed choice(s)):\n\
              let schedule = {};\n\
@@ -205,7 +209,16 @@ impl Divergence {
             self.minimized.faults.len(),
             self.minimized.choices.len(),
             self.minimized,
-        )
+        );
+        if let Some(dump) = &self.recorder_dump {
+            out.push_str("//\n// flight recorder at failure:\n");
+            for line in dump.lines() {
+                out.push_str("//   ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
     }
 }
 
@@ -304,11 +317,17 @@ pub fn explore(scenario: &dyn Explorable, config: &ExploreConfig) -> ExploreRepo
                 let schedule =
                     ExploreSchedule { faults: faults.clone(), choices: prescription.clone() };
                 let minimized = shrink_explored(scenario, &schedule);
+                // One more run of the minimized execution captures the
+                // black box that matches the shipped reproducer.
+                let minimized_driver = ChoiceDriver::new(minimized.choices.clone());
+                let recorder_dump =
+                    scenario.run_exploration(&minimized.faults, &minimized_driver).recorder_dump;
                 report.divergences.push(Divergence {
                     scenario: scenario.name().to_owned(),
                     schedule,
                     minimized,
                     violations,
+                    recorder_dump,
                 });
             }
 

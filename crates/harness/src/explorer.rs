@@ -41,17 +41,23 @@ pub struct FailureReport {
     pub minimized: FaultSchedule,
     /// Violations the original schedule produced.
     pub violations: Vec<Violation>,
+    /// The flight recorder's dump from a run of the *minimized* schedule
+    /// (`None` when the scenario attaches no recorder) — the black box
+    /// that ships with the reproducer.
+    pub recorder_dump: Option<String>,
 }
 
 impl FailureReport {
     /// A copy-pasteable reproducer: seed, minimized schedule and the
-    /// violated oracles, formatted as a Rust test body.
+    /// violated oracles, formatted as a Rust test body. When the scenario
+    /// attaches a flight recorder, its dump from the minimized schedule is
+    /// appended as comment lines.
     pub fn repro(&self) -> String {
         let oracles: Vec<&str> = self.violations.iter().map(|v| v.oracle).collect();
         let seed = self
             .seed
             .map_or_else(|| "probe (fault-free)".to_owned(), |s| format!("{s}"));
-        format!(
+        let mut out = format!(
             "// scenario: {} | seed: {} | violated: {:?}\n\
              // minimal reproducer ({} fault events):\n\
              let schedule = {};\n\
@@ -62,7 +68,16 @@ impl FailureReport {
             oracles,
             self.minimized.len(),
             self.minimized,
-        )
+        );
+        if let Some(dump) = &self.recorder_dump {
+            out.push_str("//\n// flight recorder at failure:\n");
+            for line in dump.lines() {
+                out.push_str("//   ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
     }
 }
 
@@ -103,6 +118,9 @@ fn fingerprint_run(hash: u64, seed: u64, obs: &Observation, violations: usize) -
     for effect in &obs.effects {
         hash = fnv_fold(hash, effect.action.as_bytes());
         hash = fnv_fold(hash, &effect.observed.to_le_bytes());
+    }
+    if let Some(recorder) = obs.recorder_fingerprint {
+        hash = fnv_fold(hash, &recorder.to_le_bytes());
     }
     hash
 }
@@ -148,6 +166,7 @@ pub fn sweep(scenario: &dyn Scenario, config: &SweepConfig) -> SweepReport {
             schedule: FaultSchedule::empty(),
             minimized: FaultSchedule::empty(),
             violations: probe_violations,
+            recorder_dump: probe.recorder_dump.clone(),
         });
     }
 
@@ -169,12 +188,16 @@ pub fn sweep(scenario: &dyn Scenario, config: &SweepConfig) -> SweepReport {
         if !violations.is_empty() {
             let minimized =
                 if config.shrink { shrink(scenario, &sched) } else { sched.clone() };
+            // One extra run of the minimized schedule captures the black
+            // box that matches the reproducer the report ships.
+            let recorder_dump = scenario.run(&minimized).recorder_dump;
             failures.push(FailureReport {
                 scenario: scenario.name().to_owned(),
                 seed: Some(seed),
                 schedule: sched,
                 minimized,
                 violations,
+                recorder_dump,
             });
         }
     }

@@ -18,7 +18,7 @@
 //!   figure-test: 2PC with WAL replay, fig. 9 open nesting, Sagas, the
 //!   fig. 10 workflow over the simulated ORB, BTP atoms, plus an
 //!   intentionally broken fixture the sweep must catch.
-//! * [`oracle`] — ten invariants checked after every run: atomicity,
+//! * [`oracle`] — eleven invariants checked after every run: atomicity,
 //!   exactly-once effect counts, reverse-order compensation completeness,
 //!   WAL-replay equivalence, trace determinism (same seed ⇒ byte-identical
 //!   trace), liveness under bounded transient faults (drops within the
@@ -28,7 +28,11 @@
 //!   refinement (the run's journal replays cleanly through the
 //!   executable reference models), and eventual resolution (once faults
 //!   cease and partitions heal no participant stays in-doubt, and
-//!   heuristics are recorded only for genuinely hazarded histories).
+//!   heuristics are recorded only for genuinely hazarded histories), and
+//!   recorder consistency (the flight recorder's retained window is a
+//!   causally-contiguous suffix of the trace, fingerprints replay
+//!   bit-identically, and critical-path attribution partitions the
+//!   commit span exactly).
 //! * [`model`] — executable reference models transcribed from the paper:
 //!   presumed-abort 2PC, fig. 4 nesting, fig. 5 checked signal sets, §5.1
 //!   saga compensation. Pure `step(state, event)` machines the refinement

@@ -1,7 +1,7 @@
 //! Invariant oracles checked after every simulated run.
 //!
 //! Scenarios report *facts* in an [`Observation`]; the oracles here turn
-//! facts into [`Violation`]s. Ten oracles cover the §3.4 guarantees:
+//! facts into [`Violation`]s. Eleven oracles cover the §3.4 guarantees:
 //!
 //! 1. **atomicity** — participant effects are all-or-nothing with respect
 //!    to the run outcome;
@@ -42,7 +42,15 @@
 //!     their bounded post-heal resolution rounds, and that count must be
 //!     zero. Heuristic outcomes are reported only for genuinely hazarded
 //!     histories — a heuristic on an unhazarded run means the participant
-//!     gave up when interrogation would have answered.
+//!     gave up when interrogation would have answered;
+//! 11. **recorder-consistency** — when the scenario attaches a flight
+//!     recorder, the recorder's black box must agree with the protocol's
+//!     own account: its `trace`-kind events must be exactly the (possibly
+//!     ring-evicted) tail of the [`TraceLog`]'s rendered lines, in the same
+//!     causal order, and the critical-path attribution over the commit span
+//!     must partition the root duration exactly. The recorder's fingerprint
+//!     is additionally compared across the determinism oracle's two runs —
+//!     the black box itself must be bit-identical under replay.
 
 /// Terminal outcome of one simulated run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +156,23 @@ pub struct Observation {
     /// heuristic was the participant's only legal exit (`None` when the
     /// scenario does not report hazard accounting).
     pub hazarded: Option<bool>,
+    /// Flight-recorder events as `(kind label, detail)` pairs, oldest
+    /// retained first (`None` when the scenario attaches no recorder; the
+    /// recorder-consistency oracle binds only when present).
+    pub recorder_events: Option<Vec<(String, String)>>,
+    /// The [`TraceLog`]'s rendered lines, in record order (`None` when the
+    /// scenario has no trace log; with `recorder_events` present this arms
+    /// the recorder-vs-trace causal-order check).
+    pub trace_log_events: Option<Vec<String>>,
+    /// FNV fingerprint over the recorder's retained events; compared across
+    /// the determinism oracle's two runs (`None` without a recorder).
+    pub recorder_fingerprint: Option<u64>,
+    /// The recorder's rendered dump, attached verbatim to failure repros
+    /// (`None` without a recorder; never compared by oracles).
+    pub recorder_dump: Option<String>,
+    /// Whether `SpanTree::critical_path` partitioned the commit span's
+    /// duration exactly (`None` when the scenario computes no attribution).
+    pub critical_path_exact: Option<bool>,
 }
 
 impl Observation {
@@ -180,6 +205,11 @@ impl Observation {
             in_doubt_after_resolution: None,
             heuristics: None,
             hazarded: None,
+            recorder_events: None,
+            trace_log_events: None,
+            recorder_fingerprint: None,
+            recorder_dump: None,
+            critical_path_exact: None,
         }
     }
 }
@@ -211,6 +241,7 @@ pub const ORACLES: &[&str] = &[
     "durability",
     "refinement",
     "eventual-resolution",
+    "recorder-consistency",
 ];
 
 /// Run every single-observation oracle (all but determinism).
@@ -225,6 +256,7 @@ pub fn check_all(obs: &Observation) -> Vec<Violation> {
     check_durability(obs, &mut violations);
     check_refinement(obs, &mut violations);
     check_eventual_resolution(obs, &mut violations);
+    check_recorder(obs, &mut violations);
     violations
 }
 
@@ -445,6 +477,50 @@ fn check_eventual_resolution(obs: &Observation, out: &mut Vec<Violation>) {
     }
 }
 
+fn check_recorder(obs: &Observation, out: &mut Vec<Violation>) {
+    // The oracle binds only when the scenario attaches a flight recorder.
+    let Some(events) = &obs.recorder_events else { return };
+    if let Some(trace_lines) = &obs.trace_log_events {
+        // The recorder mirrors every TraceLog record as a `trace`-kind
+        // event; the ring may have evicted the oldest, so what remains must
+        // be exactly the trace's tail, in the trace's own order.
+        let retained: Vec<&String> =
+            events.iter().filter(|(kind, _)| kind == "trace").map(|(_, d)| d).collect();
+        if retained.len() > trace_lines.len() {
+            out.push(Violation {
+                oracle: "recorder-consistency",
+                detail: format!(
+                    "recorder retained {} trace event(s) but the trace log only \
+                     recorded {} — the black box invented events",
+                    retained.len(),
+                    trace_lines.len()
+                ),
+            });
+        } else {
+            let tail = &trace_lines[trace_lines.len() - retained.len()..];
+            if !retained.iter().zip(tail.iter()).all(|(a, b)| *a == b) {
+                out.push(Violation {
+                    oracle: "recorder-consistency",
+                    detail: format!(
+                        "recorder trace events disagree with the trace log's tail \
+                         (causal order broken):\n--- recorder ---\n{}\n--- trace tail ---\n{}",
+                        retained.iter().map(|s| s.as_str()).collect::<Vec<_>>().join("\n"),
+                        tail.join("\n")
+                    ),
+                });
+            }
+        }
+    }
+    if obs.critical_path_exact == Some(false) {
+        out.push(Violation {
+            oracle: "recorder-consistency",
+            detail: "critical-path attribution does not partition the commit span's \
+                     duration exactly — a phase was double-counted or dropped"
+                .into(),
+        });
+    }
+}
+
 /// The determinism oracle: two runs of the same schedule must agree on
 /// every observable fact, byte for byte in the trace.
 pub fn check_determinism(first: &Observation, second: &Observation) -> Vec<Violation> {
@@ -488,6 +564,17 @@ pub fn check_determinism(first: &Observation, second: &Observation) -> Vec<Viola
                 oracle: "determinism",
                 detail: format!(
                     "same schedule, span-tree fingerprints {a:#018x} vs {b:#018x}"
+                ),
+            });
+        }
+    }
+    if let (Some(a), Some(b)) = (first.recorder_fingerprint, second.recorder_fingerprint) {
+        if a != b {
+            out.push(Violation {
+                oracle: "determinism",
+                detail: format!(
+                    "same schedule, flight-recorder fingerprints {a:#018x} vs {b:#018x} \
+                     — the black box is not bit-identical under replay"
                 ),
             });
         }
@@ -734,6 +821,84 @@ mod tests {
         obs.heuristics = Some(0);
         obs.hazarded = Some(false);
         assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn recorder_oracle_does_not_bind_without_a_recorder() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.trace_log_events = Some(vec!["get_signal(2pc)".into()]);
+        assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn recorder_mirror_matching_the_trace_passes() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.trace_log_events = Some(vec!["a".into(), "b".into(), "c".into()]);
+        obs.recorder_events = Some(vec![
+            ("span-open".into(), "commit:tx-1".into()),
+            ("trace".into(), "a".into()),
+            ("trace".into(), "b".into()),
+            ("protocol".into(), "decision_forced(commit=true)".into()),
+            ("trace".into(), "c".into()),
+        ]);
+        assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn ring_eviction_keeps_only_the_trace_tail() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.trace_log_events = Some(vec!["a".into(), "b".into(), "c".into()]);
+        // Oldest mirror ("a") evicted by the ring: a legal tail.
+        obs.recorder_events =
+            Some(vec![("trace".into(), "b".into()), ("trace".into(), "c".into())]);
+        assert!(check_all(&obs).is_empty());
+        // But a *gap* in the middle breaks causal order.
+        obs.recorder_events =
+            Some(vec![("trace".into(), "a".into()), ("trace".into(), "c".into())]);
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "recorder-consistency");
+        assert!(v[0].detail.contains("causal order"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn recorder_with_invented_events_is_a_violation() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.trace_log_events = Some(vec!["a".into()]);
+        obs.recorder_events =
+            Some(vec![("trace".into(), "a".into()), ("trace".into(), "ghost".into())]);
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "recorder-consistency");
+        assert!(v[0].detail.contains("invented"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn inexact_critical_path_is_a_violation() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.recorder_events = Some(Vec::new());
+        obs.critical_path_exact = Some(true);
+        assert!(check_all(&obs).is_empty());
+        obs.critical_path_exact = Some(false);
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "recorder-consistency");
+    }
+
+    #[test]
+    fn determinism_compares_recorder_fingerprints() {
+        let mut a = Observation::new(RunOutcome::Committed);
+        a.recorder_fingerprint = Some(0x1111);
+        let mut b = a.clone();
+        assert!(check_determinism(&a, &b).is_empty());
+        b.recorder_fingerprint = Some(0x2222);
+        let v = check_determinism(&a, &b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "determinism");
+        assert!(v[0].detail.contains("flight-recorder"));
+        // One-sided recorders do not bind.
+        b.recorder_fingerprint = None;
+        assert!(check_determinism(&a, &b).is_empty());
     }
 
     #[test]

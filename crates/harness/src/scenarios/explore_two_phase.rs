@@ -75,6 +75,13 @@ impl Explorable for ExplorableTwoPhase {
         let failpoints = FailpointSet::new();
         faults.arm_into(&failpoints);
         let journal = ots::ProtocolJournal::new();
+        // The black box the explorer staples to a shrunk divergence.
+        let recorder = telemetry::FlightRecorder::new(
+            "coordinator",
+            telemetry::DEFAULT_RECORDER_CAPACITY,
+        );
+        journal.set_recorder(recorder.clone());
+        failpoints.set_recorder(recorder.clone());
         let factory = TransactionFactory::with_wal(Arc::clone(&wal))
             .with_failpoints(failpoints.clone())
             .with_dispatch(DispatchConfig::serial())
@@ -170,6 +177,15 @@ impl Explorable for ExplorableTwoPhase {
         obs.trace = trace;
         obs.observed_sites = failpoints.observed_sites();
         obs.model_events = Some(model_events);
+        obs.recorder_events = Some(
+            recorder
+                .events()
+                .iter()
+                .map(|e| (e.kind.label().to_owned(), e.detail.clone()))
+                .collect(),
+        );
+        obs.recorder_fingerprint = Some(recorder.fingerprint());
+        obs.recorder_dump = Some(recorder.dump());
         obs
     }
 }
@@ -198,6 +214,12 @@ impl Explorable for BrokenAtomicCommitScenario {
         ];
         let mut events = Vec::new();
         let mut trace = String::new();
+        // Even the planted bug keeps a black box: its dump rides the
+        // minimized divergence, showing the vote order that exposed it.
+        let recorder = telemetry::FlightRecorder::new(
+            "broken-coordinator",
+            telemetry::DEFAULT_RECORDER_CAPACITY,
+        );
 
         // Vote solicitation in sequencer order. The bug: instead of
         // requiring unanimity, the decision tracks whichever vote arrived
@@ -219,10 +241,15 @@ impl Explorable for BrokenAtomicCommitScenario {
                 vote: participant.vote,
             });
             driver.report("prepare", participant.name, participant.vote.is_yes());
+            recorder.record(telemetry::RecordKind::Protocol, || {
+                format!("vote_recorded({}, {:?})", participant.name, participant.vote)
+            });
             let _ = writeln!(trace, "voted: {} {:?}", participant.name, participant.vote);
             last_vote = Some(participant.vote);
         }
         let commit = last_vote == Some(Vote::Commit);
+        recorder
+            .record(telemetry::RecordKind::Protocol, || format!("decision_forced(commit={commit})"));
 
         if commit {
             events.push(Event::DecisionForced { commit: true });
@@ -253,6 +280,15 @@ impl Explorable for BrokenAtomicCommitScenario {
             .collect();
         obs.trace = trace;
         obs.model_events = Some(events);
+        obs.recorder_events = Some(
+            recorder
+                .events()
+                .iter()
+                .map(|e| (e.kind.label().to_owned(), e.detail.clone()))
+                .collect(),
+        );
+        obs.recorder_fingerprint = Some(recorder.fingerprint());
+        obs.recorder_dump = Some(recorder.dump());
         obs
     }
 }

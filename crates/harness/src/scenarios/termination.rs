@@ -107,10 +107,28 @@ fn run_termination(schedule: &FaultSchedule, forgetful: bool) -> Observation {
     let coordinator_wal: Arc<dyn Wal> = Arc::new(MemWal::new());
     let participant_wal: Arc<dyn Wal> = Arc::new(MemWal::new());
 
+    // The participant-side black box (oracle #11): journal entries,
+    // failpoint passages, partition windows and every restart land in one
+    // ring on the run's virtual clock — this is the dump the explorer
+    // staples to a shrunk forgetful-coordinator reproducer.
+    let recorder = telemetry::FlightRecorder::with_time(
+        PARTICIPANT_NODE,
+        telemetry::DEFAULT_RECORDER_CAPACITY,
+        Arc::new(clock.clone()),
+    );
+
     let failpoints = FailpointSet::new();
     schedule.arm_into(&failpoints);
+    failpoints.set_recorder(recorder.clone());
     orb.network().install_script(schedule.to_fault_script());
     schedule.apply_partitions(orb.network());
+    for event in schedule.events() {
+        if let FaultEvent::Partition { node, from_us, until_us } = event {
+            recorder.record(telemetry::RecordKind::PartitionOpen, || {
+                format!("{node} cut off {from_us}us..{until_us}us")
+            });
+        }
+    }
 
     let servant = if forgetful {
         RecoveryCoordinator::forgetful(Arc::clone(&coordinator_wal))
@@ -126,6 +144,7 @@ fn run_termination(schedule: &FaultSchedule, forgetful: bool) -> Observation {
     };
 
     let journal = ProtocolJournal::new();
+    journal.set_recorder(recorder.clone());
     let factory = TransactionFactory::with_wal(Arc::clone(&coordinator_wal))
         .with_failpoints(failpoints.clone())
         .with_dispatch(DispatchConfig::serial())
@@ -196,6 +215,10 @@ fn run_termination(schedule: &FaultSchedule, forgetful: bool) -> Observation {
                 restart_failpoints.arm(site.clone(), *after);
             }
         }
+        restart_failpoints.set_recorder(recorder.clone());
+        recorder.record(telemetry::RecordKind::Restart, || {
+            format!("store+witness rebuilt from wal ({in_doubt_before_restart} in doubt)")
+        });
         let (mut kv_store2, mut res_store2) =
             restart_participant("store", &participant_wal, &restart_failpoints);
         let (mut kv_witness2, mut res_witness2) =
@@ -228,6 +251,9 @@ fn run_termination(schedule: &FaultSchedule, forgetful: bool) -> Observation {
             if crashed_mid_resolution {
                 // Second restart: a crash inside resolution is recovered
                 // from like any other, and this time it stays up.
+                recorder.record(telemetry::RecordKind::Restart, || {
+                    format!("store+witness rebuilt again after round {round} crash")
+                });
                 restart_failpoints.clear();
                 (kv_store2, res_store2) =
                     restart_participant("store", &participant_wal, &restart_failpoints);
@@ -308,6 +334,13 @@ fn run_termination(schedule: &FaultSchedule, forgetful: bool) -> Observation {
     if clock.now() < horizon {
         clock.advance(horizon - clock.now());
     }
+    for event in schedule.events() {
+        if let FaultEvent::Partition { node, until_us, .. } = event {
+            recorder.record(telemetry::RecordKind::PartitionHeal, || {
+                format!("{node} healed (window closed at {until_us}us)")
+            });
+        }
+    }
     let audit_policy = RetryPolicy::new(3);
     for name in ["store", "witness"] {
         let request =
@@ -336,6 +369,15 @@ fn run_termination(schedule: &FaultSchedule, forgetful: bool) -> Observation {
         .map(|s| (*s).to_owned())
         .collect();
     obs.model_events = Some(model_events);
+    obs.recorder_events = Some(
+        recorder
+            .events()
+            .iter()
+            .map(|e| (e.kind.label().to_owned(), e.detail.clone()))
+            .collect(),
+    );
+    obs.recorder_fingerprint = Some(recorder.fingerprint());
+    obs.recorder_dump = Some(recorder.dump());
     obs
 }
 

@@ -69,10 +69,22 @@ fn run_two_phase(schedule: &FaultSchedule, group_commit: bool) -> Observation {
     let failpoints = FailpointSet::new();
     schedule.arm_into(&failpoints);
     let journal = ots::ProtocolJournal::new();
+    // The coordinator's black box (oracle #11): journal entries, failpoint
+    // passages and span open/close all land in one causally-ordered ring,
+    // identically wired for both wal flavours so the byte-identity guard
+    // between them keeps holding. Spans run on a virtual clock pinned at
+    // zero — timestamps stay deterministic without a driven clock.
+    let recorder =
+        telemetry::FlightRecorder::new("coordinator", telemetry::DEFAULT_RECORDER_CAPACITY);
+    let telemetry = telemetry::Telemetry::with_time(Arc::new(orb::SimClock::new()));
+    telemetry.attach_recorder(recorder.clone());
+    journal.set_recorder(recorder.clone());
+    failpoints.set_recorder(recorder.clone());
     let factory = TransactionFactory::with_wal(Arc::clone(&wal))
         .with_failpoints(failpoints.clone())
         .with_dispatch(DispatchConfig::serial())
-        .with_journal(journal.clone());
+        .with_journal(journal.clone())
+        .with_telemetry(telemetry.clone());
     let store = Arc::new(TransactionalKv::new("store"));
     let witness = Arc::new(TransactionalKv::new("witness"));
 
@@ -172,6 +184,16 @@ fn run_two_phase(schedule: &FaultSchedule, group_commit: bool) -> Observation {
     obs.trace = trace;
     obs.observed_sites = failpoints.observed_sites();
     obs.model_events = Some(model_events);
+    obs.recorder_events = Some(
+        recorder
+            .events()
+            .iter()
+            .map(|e| (e.kind.label().to_owned(), e.detail.clone()))
+            .collect(),
+    );
+    obs.recorder_fingerprint = Some(recorder.fingerprint());
+    obs.recorder_dump = Some(recorder.dump());
+    obs.critical_path_exact = telemetry.span_tree().critical_path().map(|path| path.is_exact());
     obs
 }
 

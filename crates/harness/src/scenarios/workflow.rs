@@ -57,6 +57,16 @@ pub(crate) fn run_workflow_with(
     // feeds oracle #7: the tree must stay well-formed on every schedule and
     // its event projection byte-identical to the coordinator trace.
     let telemetry = telemetry::Telemetry::with_time(Arc::new(clock.clone()));
+    // The coordinator's flight recorder (oracle #11): every trace event,
+    // span open/close and failpoint passage lands in the ring on the same
+    // virtual clock, so its fingerprint must be bit-identical across the
+    // determinism oracle's double runs.
+    let recorder = telemetry::FlightRecorder::with_time(
+        "coordinator",
+        telemetry::DEFAULT_RECORDER_CAPACITY,
+        Arc::new(clock.clone()),
+    );
+    telemetry.attach_recorder(recorder.clone());
     let orb = Orb::builder()
         .network(NetworkConfig::lossy(0.0, 0.0, NETWORK_SEED))
         .clock(clock)
@@ -101,6 +111,8 @@ pub(crate) fn run_workflow_with(
     activity.coordinator().set_dispatch_config(DispatchConfig::serial());
     activity.coordinator().set_failpoints(failpoints.clone());
     let trace = TraceLog::new();
+    trace.set_recorder(recorder.clone());
+    failpoints.set_recorder(recorder.clone());
     activity.coordinator().set_trace(trace.clone());
     activity.coordinator().set_telemetry(telemetry.clone());
     activity
@@ -148,6 +160,17 @@ pub(crate) fn run_workflow_with(
     obs.span_wellformed = Some(span_tree.verify());
     obs.span_projection = Some(span_tree.coordinator_projection());
     obs.span_fingerprint = Some(span_tree.fingerprint());
+    obs.trace_log_events = Some(trace.events().iter().map(ToString::to_string).collect());
+    obs.recorder_events = Some(
+        recorder
+            .events()
+            .iter()
+            .map(|e| (e.kind.label().to_owned(), e.detail.clone()))
+            .collect(),
+    );
+    obs.recorder_fingerprint = Some(recorder.fingerprint());
+    obs.recorder_dump = Some(recorder.dump());
+    obs.critical_path_exact = span_tree.critical_path().map(|path| path.is_exact());
     obs.observed_sites = failpoints.observed_sites();
     obs.remote_messages = orb.network().remote_messages();
     // Fault accounting for the liveness oracle: only reported when the

@@ -101,6 +101,12 @@ impl DedupWindow {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Render the window's occupancy for the introspection plane.
+    #[must_use]
+    pub fn introspect(&self) -> String {
+        format!("occupancy={}/{}\n", self.len(), self.capacity)
+    }
 }
 
 /// Wraps any [`Servant`] with a [`DedupWindow`]: redeliveries of a stamped

@@ -35,7 +35,7 @@
 //! [`FailureDetector::on_quarantine`].
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -113,6 +113,7 @@ struct DetectorInner {
     participants: Mutex<HashMap<String, Participant>>,
     hooks: Mutex<Vec<QuarantineHook>>,
     telemetry: Mutex<Option<telemetry::Telemetry>>,
+    recorder: OnceLock<telemetry::FlightRecorder>,
 }
 
 /// The failure detector. Cheap to clone; clones share state, so the ORB,
@@ -153,6 +154,7 @@ impl FailureDetector {
                 participants: Mutex::new(HashMap::new()),
                 hooks: Mutex::new(Vec::new()),
                 telemetry: Mutex::new(None),
+                recorder: OnceLock::new(),
             }),
         }
     }
@@ -163,7 +165,14 @@ impl FailureDetector {
         *self.inner.telemetry.lock() = Some(telemetry);
     }
 
-    fn count_transition(&self, was: HealthStatus, now: HealthStatus) {
+    /// Mirror every status transition into `recorder` (kind `detector`).
+    /// Write-once so the hot path reads it with a single atomic load
+    /// (no lock even when attached-but-disabled); later calls are ignored.
+    pub fn set_recorder(&self, recorder: telemetry::FlightRecorder) {
+        let _ = self.inner.recorder.set(recorder);
+    }
+
+    fn count_transition(&self, who: &str, was: HealthStatus, now: HealthStatus) {
         if was == now {
             return;
         }
@@ -172,6 +181,12 @@ impl FailureDetector {
             telemetry.metrics().incr(&format!(
                 "detector_transitions_total{{from=\"{was}\",to=\"{now}\"}}"
             ));
+        }
+        drop(telemetry);
+        if let Some(recorder) = self.inner.recorder.get() {
+            recorder.record(telemetry::RecordKind::Detector, || {
+                format!("{who}: {was} -> {now}")
+            });
         }
     }
 
@@ -200,7 +215,7 @@ impl FailureDetector {
                 None => return,
             }
         };
-        self.count_transition(was, HealthStatus::Healthy);
+        self.count_transition(who, was, HealthStatus::Healthy);
     }
 
     /// Record a failed interaction (timeout, partition, NACK). Consecutive
@@ -227,7 +242,7 @@ impl FailureDetector {
             }
             (was, entry.status)
         };
-        self.count_transition(was, now);
+        self.count_transition(who, was, now);
         let newly_quarantined = was != HealthStatus::Quarantined && now == HealthStatus::Quarantined;
         if newly_quarantined {
             let hooks: Vec<QuarantineHook> = self.inner.hooks.lock().clone();
@@ -295,6 +310,17 @@ impl FailureDetector {
             .collect();
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all
+    }
+
+    /// Render the detector's standings for the introspection plane, one
+    /// participant per line in name order.
+    #[must_use]
+    pub fn introspect(&self) -> String {
+        let mut out = String::new();
+        for (who, status, failures) in self.known_participants() {
+            out.push_str(&format!("{who}: {status} (consecutive failures {failures})\n"));
+        }
+        out
     }
 }
 

@@ -52,6 +52,7 @@ pub mod dedup;
 pub mod detector;
 pub mod error;
 pub mod interceptor;
+pub mod introspect;
 pub mod message;
 pub mod network;
 pub mod node;
@@ -68,6 +69,7 @@ pub use dedup::{DedupServant, DedupWindow};
 pub use detector::{DetectorConfig, FailureDetector, HealthStatus};
 pub use error::OrbError;
 pub use interceptor::{SpanClientInterceptor, SpanServerInterceptor};
+pub use introspect::{Introspection, INTROSPECTION_INTERFACE};
 pub use message::{Reply, Request};
 pub use network::{FaultScript, NetworkConfig, PartitionWindow, SimulatedNetwork};
 pub use node::{Node, Orb, OrbBuilder};

@@ -622,7 +622,19 @@ impl Coordinator {
                         participant: resource.resource_name().to_owned(),
                     });
                 }
+                // Per-vote child span under `prepare`: the critical-path
+                // walk reads the slowest of these as the slowest-vote
+                // annotation.
+                let vote_span = match (tel, prepare_span.as_ref()) {
+                    (Some((t, _)), Some(parent)) => Some(
+                        t.start_child(parent, &format!("vote:{}", resource.resource_name())),
+                    ),
+                    _ => None,
+                };
                 let answer = resource.prepare(&self.id);
+                if let (Some((t, _)), Some(span)) = (tel, vote_span.as_ref()) {
+                    t.end(span);
+                }
                 if let Some((t, _)) = tel {
                     t.metrics()
                         .observe("twopc_vote_latency_seconds", self.elapsed_since(vote_started));

@@ -14,7 +14,8 @@
 //! registration order (the joined result order — the journal stays
 //! deterministic, but it then reflects collation, not wire order).
 
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -64,10 +65,30 @@ pub enum TwoPcEvent {
     Completed { committed: bool },
 }
 
+impl fmt::Display for TwoPcEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwoPcEvent::PrepareSent { participant } => write!(f, "prepare_sent({participant})"),
+            TwoPcEvent::VoteRecorded { participant, vote } => {
+                write!(f, "vote_recorded({participant}, {vote:?})")
+            }
+            TwoPcEvent::DecisionForced { commit } => write!(f, "decision_forced(commit={commit})"),
+            TwoPcEvent::OutcomeDelivered { participant, commit, ok } => {
+                write!(f, "outcome_delivered({participant}, commit={commit}, ok={ok})")
+            }
+            TwoPcEvent::Forgotten { participant } => write!(f, "forgotten({participant})"),
+            TwoPcEvent::Completed { committed } => write!(f, "completed(committed={committed})"),
+        }
+    }
+}
+
 /// A shared, append-only journal of [`TwoPcEvent`]s. Clones share storage.
 #[derive(Debug, Clone, Default)]
 pub struct ProtocolJournal {
     events: Arc<Mutex<Vec<TwoPcEvent>>>,
+    /// Optional flight-recorder mirror (kind `protocol`): the node's black
+    /// box sees every 2PC lifecycle step in journal order.
+    recorder: Arc<OnceLock<telemetry::FlightRecorder>>,
 }
 
 impl ProtocolJournal {
@@ -77,8 +98,18 @@ impl ProtocolJournal {
         Self::default()
     }
 
+    /// Mirror every future event into `recorder` (kind `protocol`).
+    /// Write-once so the hot path reads it with a single atomic load
+    /// (no lock even when attached-but-disabled); later calls are ignored.
+    pub fn set_recorder(&self, recorder: telemetry::FlightRecorder) {
+        let _ = self.recorder.set(recorder);
+    }
+
     /// Append one event.
     pub fn record(&self, event: TwoPcEvent) {
+        if let Some(recorder) = self.recorder.get() {
+            recorder.record(telemetry::RecordKind::Protocol, || event.to_string());
+        }
         self.events.lock().push(event);
     }
 

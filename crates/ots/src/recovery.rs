@@ -379,6 +379,30 @@ impl RecoverableResource {
         &self.inner
     }
 
+    /// Render the participant's recovery surface for the introspection
+    /// plane: every in-doubt transaction with its coordinator, any
+    /// heuristic decisions taken, and the WAL watermark the prepared
+    /// records sit behind.
+    #[must_use]
+    pub fn introspect(&self) -> String {
+        let in_doubt = self.in_doubt();
+        let heuristics = self.heuristics();
+        let mut out = format!(
+            "resource={} in_doubt={} heuristics={} next_lsn={}\n",
+            self.name,
+            in_doubt.len(),
+            heuristics.len(),
+            self.wal.next_lsn(),
+        );
+        for (tx, coordinator) in in_doubt {
+            out.push_str(&format!("in-doubt {tx} (coordinator {coordinator})\n"));
+        }
+        for (tx, detail) in heuristics {
+            out.push_str(&format!("heuristic {tx}: {detail}\n"));
+        }
+        out
+    }
+
     fn log_resolution(&self, kind: u32, tx: &TxId, committed: bool) -> Result<(), TxError> {
         let mut m = ValueMap::new();
         m.insert("resource".into(), Value::from(self.name.as_str()));

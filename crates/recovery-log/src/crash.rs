@@ -42,7 +42,7 @@
 //! sync-counting crashes and have no `hit` call site to audit.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -60,6 +60,10 @@ pub struct FailpointSet {
     // every site name that has ever passed through `hit` — the
     // discoverable registry of arm-able sites for this set's components.
     observed: Arc<Mutex<BTreeSet<String>>>,
+    // optional flight-recorder mirror: passages land in the node's black
+    // box (kind `failpoint`), fired crashes flagged. Checked via the
+    // recorder's own gate before any formatting.
+    recorder: Arc<OnceLock<telemetry::FlightRecorder>>,
 }
 
 impl FailpointSet {
@@ -99,14 +103,33 @@ impl FailpointSet {
             }
         }
         let mut armed = self.armed.lock();
-        match armed.get_mut(name) {
+        let outcome = match armed.get_mut(name) {
             None => Ok(()),
             Some(0) => Err(LogError::CrashInjected(name.to_owned())),
             Some(n) => {
                 *n -= 1;
                 Ok(())
             }
+        };
+        drop(armed);
+        if let Some(recorder) = self.recorder.get() {
+            let fired = outcome.is_err();
+            recorder.record(telemetry::RecordKind::Failpoint, || {
+                if fired {
+                    format!("{name} FIRED (crash injected)")
+                } else {
+                    format!("{name} passed")
+                }
+            });
         }
+        outcome
+    }
+
+    /// Mirror every future passage into `recorder` (kind `failpoint`).
+    /// Write-once so the hot path reads it with a single atomic load
+    /// (no lock even when attached-but-disabled); later calls are ignored.
+    pub fn set_recorder(&self, recorder: telemetry::FlightRecorder) {
+        let _ = self.recorder.set(recorder);
     }
 
     /// Whether `name` is currently armed.

@@ -151,6 +151,21 @@ impl<W: Wal> GroupCommitWal<W> {
         self.state.lock().unwrap().staged.len()
     }
 
+    /// Render the durability pipeline's watermarks for the introspection
+    /// plane: the durable LSN and the depth of the staged (group-commit)
+    /// batch behind it.
+    #[must_use]
+    pub fn introspect(&self) -> String {
+        let state = self.state.lock().unwrap();
+        format!(
+            "durable_lsn={} staged={} staged_bytes={} next_lsn={}\n",
+            state.durable,
+            state.staged.len(),
+            state.staged_bytes,
+            state.next,
+        )
+    }
+
     /// Simulate a crash-and-restart: discard the staged tail (a real crash
     /// loses the in-memory write buffer), clear any poison, and re-adopt
     /// the sink's surviving state as the durable truth — exactly what

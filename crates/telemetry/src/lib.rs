@@ -26,19 +26,21 @@
 //! plumbing style. There is no process-global state.
 
 mod metrics;
+mod recorder;
 mod sequence;
 mod span;
 mod tree;
 
 pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use recorder::{FlightRecorder, RecordKind, RecordedEvent, DEFAULT_RECORDER_CAPACITY};
 pub use sequence::{render_sequence, MSC_FROM, MSC_MSG, MSC_NOTE, MSC_REPLY, MSC_TO};
 pub use span::{SpanContext, SpanId, SpanRecord, TraceId};
-pub use tree::SpanTree;
+pub use tree::{CriticalPath, PhaseAttribution, SpanTree};
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::ThreadId;
 use std::time::Duration;
 
@@ -81,6 +83,10 @@ struct TelemetryInner {
     /// behalf of a remote caller parents under the propagated context.
     stack: Mutex<HashMap<ThreadId, Vec<SpanContext>>>,
     metrics: MetricsRegistry,
+    /// Optional flight recorder mirroring span open/close into the node's
+    /// black box (DESIGN.md §15). Write-once after construction so the
+    /// span paths read it with a single atomic load, no lock.
+    recorder: OnceLock<FlightRecorder>,
 }
 
 /// The shared recorder handle. Cloning is cheap (one `Arc` bump); every
@@ -122,8 +128,22 @@ impl Telemetry {
                 }),
                 stack: Mutex::new(HashMap::new()),
                 metrics: MetricsRegistry::with_gate(gate),
+                recorder: OnceLock::new(),
             }),
         }
+    }
+
+    /// Mirror span open/close into `recorder` from now on. The recorder's
+    /// own gate still applies, so attaching to a disabled recorder stays
+    /// allocation-free.
+    /// Write-once; later calls are ignored.
+    pub fn attach_recorder(&self, recorder: FlightRecorder) {
+        let _ = self.inner.recorder.set(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<FlightRecorder> {
+        self.inner.recorder.get().cloned()
     }
 
     pub fn is_enabled(&self) -> bool {
@@ -162,6 +182,10 @@ impl Telemetry {
         let idx = store.spans.len();
         store.index.insert(context.span_id, idx);
         store.spans.push(record);
+        drop(store);
+        if let Some(recorder) = self.inner.recorder.get() {
+            recorder.record(RecordKind::SpanOpen, || name.to_string());
+        }
     }
 
     /// Open a root span in a fresh trace.
@@ -260,12 +284,22 @@ impl Telemetry {
             return;
         }
         let now = self.now();
+        let recorder = self.inner.recorder.get().cloned();
+        let mirror = recorder.as_ref().is_some_and(FlightRecorder::is_enabled);
+        let mut closed_name = None;
         let mut store = self.inner.store.lock();
         if let Some(&idx) = store.index.get(&context.span_id) {
             let record = &mut store.spans[idx];
             if record.end.is_none() {
                 record.end = Some(now);
+                if mirror {
+                    closed_name = Some(record.name.clone());
+                }
             }
+        }
+        drop(store);
+        if let (Some(name), Some(recorder)) = (closed_name, recorder) {
+            recorder.record(RecordKind::SpanClose, || name);
         }
     }
 

@@ -81,6 +81,40 @@ impl Histogram {
         Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed))
     }
 
+    /// Interpolated q-quantile (Prometheus `histogram_quantile` rules):
+    /// find the first bucket whose cumulative count reaches `q * count`,
+    /// then interpolate linearly between that bucket's bounds. The lowest
+    /// bucket interpolates from zero; a rank landing in the `+Inf` bucket
+    /// reports the highest finite bound (the estimate saturates there).
+    /// `None` for an empty histogram or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let count = self.count();
+        if count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * count as f64;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if (cumulative as f64) < rank {
+                continue;
+            }
+            let Some(&upper) = BUCKET_BOUNDS.get(i) else {
+                // +Inf bucket: saturate at the largest finite bound.
+                return Some(Duration::from_secs_f64(BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]));
+            };
+            let lower = if i == 0 { 0.0 } else { BUCKET_BOUNDS[i - 1] };
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                return Some(Duration::from_secs_f64(upper));
+            }
+            let below = cumulative - in_bucket;
+            let fraction = ((rank - below as f64) / in_bucket as f64).clamp(0.0, 1.0);
+            return Some(Duration::from_secs_f64(lower + (upper - lower) * fraction));
+        }
+        None
+    }
+
     /// Cumulative bucket counts paired with their `le` bound rendering
     /// (the last entry is `+Inf`).
     pub fn cumulative(&self) -> Vec<(String, u64)> {
@@ -219,6 +253,12 @@ impl MetricsRegistry {
             })
             .map(|(_, c)| c.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// The live histogram behind a series name, if it was ever observed
+    /// (quantile readers in the attribution report hold this handle).
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        self.inner.histograms.lock().get(name).cloned()
     }
 
     /// Count of observations in a histogram series (0 if never touched).
@@ -366,6 +406,58 @@ mod tests {
         m.add("detector_transitions_total{from=\"suspect\",to=\"quarantined\"}", 2);
         m.incr("other_total");
         assert_eq!(m.family_total("detector_transitions_total"), 3);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        let h = Histogram::new();
+        // Four observations, all in the (1e-4, 1e-3] bucket.
+        for _ in 0..4 {
+            h.observe(Duration::from_micros(500));
+        }
+        // Median rank 2 of 4 lands halfway up the bucket: 1e-4 + 0.5·9e-4.
+        let p50 = h.quantile(0.5).expect("non-empty").as_secs_f64();
+        assert!((p50 - 5.5e-4).abs() < 1e-9, "p50 = {p50}");
+        // q=1.0 reaches the bucket's upper bound exactly.
+        let p100 = h.quantile(1.0).expect("non-empty").as_secs_f64();
+        assert!((p100 - 1e-3).abs() < 1e-9, "p100 = {p100}");
+    }
+
+    #[test]
+    fn quantile_edge_buckets() {
+        let h = Histogram::new();
+        // Lowest bucket: interpolation starts from zero.
+        h.observe(Duration::from_nanos(500)); // le 1e-6
+        let p100 = h.quantile(1.0).expect("non-empty").as_secs_f64();
+        assert!((p100 - 1e-6).abs() < 1e-12, "p100 = {p100}");
+        // +Inf bucket: the estimate saturates at the largest finite bound.
+        h.observe(Duration::from_secs(100));
+        let top = h.quantile(1.0).expect("non-empty").as_secs_f64();
+        assert!((top - 10.0).abs() < 1e-9, "top = {top}");
+        // A low quantile still resolves inside the lowest bucket.
+        let p25 = h.quantile(0.25).expect("non-empty").as_secs_f64();
+        assert!(p25 <= 1e-6, "p25 = {p25}");
+    }
+
+    #[test]
+    fn quantile_empty_and_out_of_range() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        h.observe(Duration::from_micros(3));
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert!(h.quantile(0.0).is_some());
+    }
+
+    #[test]
+    fn registry_exposes_live_histogram_handles() {
+        let m = MetricsRegistry::new();
+        assert!(m.histogram("lat").is_none());
+        m.observe("lat", Duration::from_micros(500));
+        let h = m.histogram("lat").expect("observed series");
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(0.5).is_some());
     }
 
     #[test]

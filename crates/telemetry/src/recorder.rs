@@ -1,0 +1,407 @@
+//! Per-node flight recorder: a bounded ring of causally-ordered protocol
+//! events on the virtual clock.
+//!
+//! The span tree answers "what was the causal structure"; the recorder
+//! answers "what did *this node* believe, in order, right before it
+//! failed". Every layer mirrors its journal into the ring — span
+//! open/close from [`crate::Telemetry`], `TraceLog`/`ProtocolJournal`/
+//! `ActivityJournal` entries, failpoint hits, detector transitions,
+//! partition open/heal, restarts — each stamped with a recorder-wide
+//! sequence number and the virtual time it happened.
+//!
+//! Discipline matches the rest of the telemetry plane:
+//!
+//! - **Allocation-free when disabled.** [`FlightRecorder::record`] takes
+//!   the detail as a closure; when the gate is closed the call is a single
+//!   atomic load and the closure never runs — no formatting, no lock.
+//! - **Bounded.** The ring holds at most `capacity` events; recording the
+//!   `capacity + 1`-th evicts the oldest. Eviction is strictly
+//!   oldest-first, so the surviving window is always a causally-contiguous
+//!   suffix.
+//! - **Deterministic.** Sequence numbers and virtual timestamps come from
+//!   the simulation, so [`FlightRecorder::fingerprint`] is bit-identical
+//!   across double runs of a pinned seed — harness oracle #11 checks
+//!   exactly that, and [`FlightRecorder::dump`] is what the explorer
+//!   staples to a shrunk reproducer.
+
+use crate::TimeSource;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default ring capacity: generous enough that no sweep scenario wraps,
+/// small enough that a wrapped node stays bounded.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 256;
+
+/// Taxonomy of recorded events (DESIGN.md §15 table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordKind {
+    /// A telemetry span opened (detail: span name).
+    SpanOpen,
+    /// A telemetry span closed (detail: span name).
+    SpanClose,
+    /// A coordinator `TraceLog` event (detail: the rendered trace line).
+    Trace,
+    /// An OTS `ProtocolJournal` event (2PC lifecycle).
+    Protocol,
+    /// An `ActivityJournal` event (activity begun/completed).
+    Activity,
+    /// A failpoint site was passed (detail: site, and whether it fired).
+    Failpoint,
+    /// A failure-detector state transition.
+    Detector,
+    /// A metric delta worth narrating (e.g. heuristic counters).
+    Metric,
+    /// A partition window opened.
+    PartitionOpen,
+    /// A partition healed.
+    PartitionHeal,
+    /// A participant was killed and rebuilt from its WAL.
+    Restart,
+}
+
+impl RecordKind {
+    /// Stable label used in renderings and fingerprints.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RecordKind::SpanOpen => "span-open",
+            RecordKind::SpanClose => "span-close",
+            RecordKind::Trace => "trace",
+            RecordKind::Protocol => "protocol",
+            RecordKind::Activity => "activity",
+            RecordKind::Failpoint => "failpoint",
+            RecordKind::Detector => "detector",
+            RecordKind::Metric => "metric",
+            RecordKind::PartitionOpen => "partition-open",
+            RecordKind::PartitionHeal => "partition-heal",
+            RecordKind::Restart => "restart",
+        }
+    }
+}
+
+impl fmt::Display for RecordKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One entry of the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Recorder-wide sequence number (never reused; survives eviction, so
+    /// a wrapped dump shows exactly how much history was lost).
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub at: Duration,
+    pub kind: RecordKind,
+    pub detail: String,
+}
+
+impl RecordedEvent {
+    /// The canonical one-line rendering fingerprints and dumps share.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("#{:<4} @{:>10}us {:<14} {}", self.seq, self.at.as_micros(), self.kind, self.detail)
+    }
+}
+
+struct ZeroTime;
+
+impl TimeSource for ZeroTime {
+    fn virtual_now(&self) -> Duration {
+        Duration::ZERO
+    }
+}
+
+struct RecorderInner {
+    enabled: AtomicBool,
+    time: Arc<dyn TimeSource>,
+    node: String,
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<RecordedEvent>>,
+}
+
+/// The shared recorder handle; cloning is one `Arc` bump, all clones feed
+/// one ring (mirroring the `TraceLog`/`Telemetry` handle style).
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("node", &self.inner.node)
+            .field("capacity", &self.inner.capacity)
+            .field("recorded", &self.total_recorded())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// An enabled recorder for `node` with the zero time source.
+    pub fn new(node: &str, capacity: usize) -> FlightRecorder {
+        FlightRecorder::build(node, capacity, true, Arc::new(ZeroTime))
+    }
+
+    /// An enabled recorder reading virtual time from `time` (pass the
+    /// simulation clock so dumps carry real virtual timestamps).
+    pub fn with_time(node: &str, capacity: usize, time: Arc<dyn TimeSource>) -> FlightRecorder {
+        FlightRecorder::build(node, capacity, true, time)
+    }
+
+    /// A recorder whose gate starts closed: every [`FlightRecorder::record`]
+    /// is a single atomic load until [`FlightRecorder::set_enabled`] opens it.
+    pub fn disabled(node: &str, capacity: usize) -> FlightRecorder {
+        FlightRecorder::build(node, capacity, false, Arc::new(ZeroTime))
+    }
+
+    fn build(
+        node: &str,
+        capacity: usize,
+        enabled: bool,
+        time: Arc<dyn TimeSource>,
+    ) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                enabled: AtomicBool::new(enabled),
+                time,
+                node: node.to_string(),
+                capacity: capacity.max(1),
+                seq: AtomicU64::new(0),
+                ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            }),
+        }
+    }
+
+    /// Which node this black box belongs to.
+    pub fn node(&self) -> &str {
+        &self.inner.node
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Acquire)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Release);
+    }
+
+    /// Ring capacity (events retained at most).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.ring.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.ring.lock().is_empty()
+    }
+
+    /// Total events ever recorded, evicted ones included.
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// Record one event. The gate is checked before `detail` runs, so the
+    /// disabled path does no formatting and takes no lock.
+    pub fn record(&self, kind: RecordKind, detail: impl FnOnce() -> String) {
+        if !self.is_enabled() {
+            return;
+        }
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let event =
+            RecordedEvent { seq, at: self.inner.time.virtual_now(), kind, detail: detail() };
+        let mut ring = self.inner.ring.lock();
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Snapshot of the retained window, oldest first.
+    pub fn events(&self) -> Vec<RecordedEvent> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+
+    /// The last `n` retained events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<RecordedEvent> {
+        let ring = self.inner.ring.lock();
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Detail strings of every retained event of `kind`, in causal order —
+    /// what oracle #11 compares against the node's `TraceLog`.
+    pub fn details_of_kind(&self, kind: RecordKind) -> Vec<String> {
+        self.inner
+            .ring
+            .lock()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.detail.clone())
+            .collect()
+    }
+
+    /// FNV-1a over the canonical rendering of the retained window. Since
+    /// sequence numbers and virtual timestamps are simulation-driven, a
+    /// pinned seed must reproduce this bit-identically (oracle #11).
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for event in self.inner.ring.lock().iter() {
+            for byte in event.render().as_bytes() {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= u64::from(b'\n');
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// The black-box dump: header plus the retained window, one event per
+    /// line. Rendered by the harness whenever an oracle fires, a heuristic
+    /// outcome stands, or a participant restarts; attached to shrunk
+    /// repros.
+    pub fn dump(&self) -> String {
+        let ring = self.inner.ring.lock();
+        let total = self.inner.seq.load(Ordering::Relaxed);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight-recorder node={} retained={}/{} (capacity {}) fingerprint={:016x}",
+            self.inner.node,
+            ring.len(),
+            total,
+            self.inner.capacity,
+            {
+                // fingerprint() would deadlock on the held lock; fold inline.
+                let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+                for event in ring.iter() {
+                    for byte in event.render().as_bytes() {
+                        hash ^= u64::from(*byte);
+                        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                    hash ^= u64::from(b'\n');
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                hash
+            }
+        );
+        if let Some(first) = ring.front() {
+            if first.seq > 0 {
+                let _ = writeln!(out, "  ... {} earlier events evicted ...", first.seq);
+            }
+        }
+        for event in ring.iter() {
+            let _ = writeln!(out, "  {}", event.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_sequence_numbers() {
+        let rec = FlightRecorder::new("coordinator", 8);
+        rec.record(RecordKind::Protocol, || "prepare_sent(store)".into());
+        rec.record(RecordKind::Protocol, || "vote_recorded(store, Commit)".into());
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[0].detail, "prepare_sent(store)");
+        assert_eq!(rec.total_recorded(), 2);
+    }
+
+    #[test]
+    fn disabled_gate_skips_the_closure_entirely() {
+        let rec = FlightRecorder::disabled("node", 8);
+        let mut ran = false;
+        rec.record(RecordKind::Trace, || {
+            ran = true;
+            "never".into()
+        });
+        assert!(!ran, "the detail closure must not run behind a closed gate");
+        assert_eq!(rec.len(), 0);
+        assert_eq!(rec.total_recorded(), 0);
+        rec.set_enabled(true);
+        rec.record(RecordKind::Trace, || "now".into());
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first_and_stays_bounded() {
+        let rec = FlightRecorder::new("node", 3);
+        for i in 0..10 {
+            rec.record(RecordKind::Trace, || format!("event-{i}"));
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(rec.total_recorded(), 10);
+        // The survivors are the exact tail, in order, original seqs kept.
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(events[0].detail, "event-7");
+        let dump = rec.dump();
+        assert!(dump.contains("7 earlier events evicted"), "{dump}");
+        assert!(dump.contains("retained=3/10"), "{dump}");
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let build = |detail: &str| {
+            let rec = FlightRecorder::new("node", 8);
+            rec.record(RecordKind::Protocol, || detail.to_string());
+            rec.fingerprint()
+        };
+        assert_eq!(build("a"), build("a"));
+        assert_ne!(build("a"), build("b"));
+    }
+
+    #[test]
+    fn dump_header_fingerprint_matches_the_method() {
+        let rec = FlightRecorder::new("node", 8);
+        rec.record(RecordKind::Failpoint, || "ots.before_decision fired".into());
+        let expected = format!("{:016x}", rec.fingerprint());
+        assert!(rec.dump().contains(&expected));
+    }
+
+    #[test]
+    fn details_of_kind_filters_in_causal_order() {
+        let rec = FlightRecorder::new("node", 8);
+        rec.record(RecordKind::Trace, || "get_signal(Bill)".into());
+        rec.record(RecordKind::Protocol, || "decision_forced(true)".into());
+        rec.record(RecordKind::Trace, || "get_outcome(Bill) = success".into());
+        assert_eq!(
+            rec.details_of_kind(RecordKind::Trace),
+            vec!["get_signal(Bill)".to_string(), "get_outcome(Bill) = success".to_string()]
+        );
+    }
+
+    #[test]
+    fn tail_returns_the_last_n() {
+        let rec = FlightRecorder::new("node", 8);
+        for i in 0..5 {
+            rec.record(RecordKind::Trace, || format!("e{i}"));
+        }
+        let tail = rec.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].detail, "e3");
+        assert_eq!(tail[1].detail, "e4");
+    }
+}

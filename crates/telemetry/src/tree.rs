@@ -9,6 +9,87 @@
 
 use crate::span::{SpanId, SpanRecord, TraceId};
 use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One phase of an attributed critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseAttribution {
+    pub phase: String,
+    pub duration: Duration,
+}
+
+/// End-to-end commit latency attributed to protocol phases.
+///
+/// The phases form an **exact partition** of the root span's interval on
+/// the virtual clock: gaps between consecutive direct children are named
+/// phases too (decision forcing lives in the gap between `prepare` and
+/// `phase2`), and child intervals are clamped to the cursor so overlap
+/// can never double-count. [`CriticalPath::is_exact`] therefore holds by
+/// construction for any well-formed tree — the sweep asserts it across
+/// every seed.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Name of the root span the walk attributed.
+    pub root: String,
+    /// Root span duration (the end-to-end latency being explained).
+    pub total: Duration,
+    /// The exact partition, in virtual-time order.
+    pub phases: Vec<PhaseAttribution>,
+    /// Slowest child of the `prepare` span (participant vote), if any —
+    /// an annotation outside the partition.
+    pub slowest_vote: Option<(String, Duration)>,
+    /// Number of retry-attempt spans anywhere under the root.
+    pub retries: u64,
+    /// Total duration of those retry-attempt spans.
+    pub retry_time: Duration,
+}
+
+impl CriticalPath {
+    /// Whether the phase durations sum exactly to the root duration.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.phases.iter().map(|p| p.duration).sum::<Duration>() == self.total
+    }
+
+    /// JSON rendering for the latency-attribution report.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"root\": \"{}\", \"total_us\": {}, \"exact\": {}, \"phases\": [",
+            self.root.replace('"', "\\\""),
+            self.total.as_micros(),
+            self.is_exact()
+        );
+        for (i, phase) in self.phases.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{sep}{{\"phase\": \"{}\", \"us\": {}}}",
+                phase.phase.replace('"', "\\\""),
+                phase.duration.as_micros()
+            );
+        }
+        out.push(']');
+        if let Some((name, duration)) = &self.slowest_vote {
+            let _ = write!(
+                out,
+                ", \"slowest_vote\": {{\"span\": \"{}\", \"us\": {}}}",
+                name.replace('"', "\\\""),
+                duration.as_micros()
+            );
+        }
+        let _ = write!(
+            out,
+            ", \"retries\": {}, \"retry_us\": {}}}",
+            self.retries,
+            self.retry_time.as_micros()
+        );
+        out
+    }
+}
 
 /// An immutable snapshot of every span a recorder has seen, in
 /// allocation order.
@@ -177,6 +258,102 @@ impl SpanTree {
     pub fn render_sequence(&self) -> String {
         crate::sequence::render_sequence(self)
     }
+
+    /// Attribute the root commit span's duration to protocol phases.
+    ///
+    /// The walk picks the first root named `commit:*` (falling back to
+    /// the first root), orders its direct children by virtual start time,
+    /// and sweeps a cursor across the root interval: time inside a child
+    /// is that child's phase (`prepare` → `solicitation`, `phase2` →
+    /// `phase2-fanout`, anything else keeps its span name), time between
+    /// children is a named gap — before the first child `demarcation`
+    /// (registration/before_completion work), between `prepare` and the
+    /// next child `decision-force` (the forced decision write), after the
+    /// last child `completion`. Child intervals are clamped to the cursor
+    /// and the root end, so the phases partition the root exactly —
+    /// [`CriticalPath::is_exact`] holds for every well-formed tree.
+    ///
+    /// Returns `None` when the tree has no roots.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        let roots = self.roots();
+        let root = roots
+            .iter()
+            .find(|r| r.name.starts_with("commit:"))
+            .or_else(|| roots.first())?;
+        let root_start = root.start;
+        let root_end = root.end.unwrap_or(root.start).max(root.start);
+        let total = root_end - root_start;
+
+        let mut kids = self.children(root.context.span_id);
+        kids.sort_by_key(|k| k.start);
+
+        let phase_name = |span: &SpanRecord| -> String {
+            match span.name.as_str() {
+                "prepare" => "solicitation".to_string(),
+                "phase2" => "phase2-fanout".to_string(),
+                other => other.to_string(),
+            }
+        };
+
+        let mut phases = Vec::new();
+        let mut cursor = root_start;
+        let mut previous: Option<&SpanRecord> = None;
+        for kid in &kids {
+            let open = kid.start.clamp(cursor, root_end);
+            let close = kid.end.unwrap_or(kid.start).clamp(open, root_end);
+            let gap_name = match previous {
+                None => "demarcation".to_string(),
+                Some(prev) if prev.name == "prepare" => "decision-force".to_string(),
+                Some(prev) => format!("after:{}", prev.name),
+            };
+            phases.push(PhaseAttribution { phase: gap_name, duration: open - cursor });
+            phases.push(PhaseAttribution { phase: phase_name(kid), duration: close - open });
+            cursor = close;
+            previous = Some(kid);
+        }
+        phases.push(PhaseAttribution {
+            phase: if previous.is_some() { "completion".to_string() } else { "self".to_string() },
+            duration: root_end - cursor,
+        });
+
+        // Slowest vote: the longest child of the `prepare` span (ties go
+        // to the earliest in allocation order, for determinism).
+        let slowest_vote = kids
+            .iter()
+            .find(|k| k.name == "prepare")
+            .map(|prepare| self.children(prepare.context.span_id))
+            .and_then(|votes| {
+                votes.iter().fold(None::<(String, Duration)>, |best, vote| {
+                    let duration =
+                        vote.end.unwrap_or(vote.start).saturating_sub(vote.start);
+                    match best {
+                        Some((_, d)) if d >= duration => best,
+                        _ => Some((vote.name.clone(), duration)),
+                    }
+                })
+            });
+
+        // Retry accounting: every `attempt:*` span in the root's trace.
+        let mut retries = 0u64;
+        let mut retry_time = Duration::ZERO;
+        for span in &self.spans {
+            if span.context.trace_id == root.context.trace_id
+                && span.name.starts_with("attempt:")
+            {
+                retries += 1;
+                retry_time += span.end.unwrap_or(span.start).saturating_sub(span.start);
+            }
+        }
+
+        Some(CriticalPath {
+            root: root.name.clone(),
+            total,
+            phases,
+            slowest_vote,
+            retries,
+            retry_time,
+        })
+    }
 }
 
 fn canonical(span: &SpanRecord, children: &HashMap<Option<SpanId>, Vec<&SpanRecord>>) -> String {
@@ -281,6 +458,98 @@ mod tests {
             span(2, Some(1), "left", 1, Some(4)),
         ]);
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn critical_path_partitions_the_root_exactly() {
+        // commit: 0..100; prepare 10..40 (votes 10..25, 25..40);
+        // phase2 55..90. Gaps: demarcation 10, decision-force 15,
+        // completion 10.
+        let tree = SpanTree::new(vec![
+            span(1, None, "commit:tx-1", 0, Some(100)),
+            span(2, Some(1), "prepare", 10, Some(40)),
+            span(3, Some(2), "vote:store", 10, Some(20)),
+            span(4, Some(2), "vote:ledger", 25, Some(40)),
+            span(5, Some(1), "phase2", 55, Some(90)),
+        ]);
+        let path = tree.critical_path().expect("has a root");
+        assert_eq!(path.root, "commit:tx-1");
+        assert_eq!(path.total, Duration::from_nanos(100));
+        assert!(path.is_exact(), "{path:?}");
+        let named: Vec<(&str, u64)> =
+            path.phases.iter().map(|p| (p.phase.as_str(), p.duration.as_nanos() as u64)).collect();
+        assert_eq!(
+            named,
+            vec![
+                ("demarcation", 10),
+                ("solicitation", 30),
+                ("decision-force", 15),
+                ("phase2-fanout", 35),
+                ("completion", 10),
+            ]
+        );
+        assert_eq!(
+            path.slowest_vote,
+            Some(("vote:ledger".to_string(), Duration::from_nanos(15)))
+        );
+        assert_eq!(path.retries, 0);
+        let json = path.to_json();
+        assert!(json.contains("\"exact\": true"), "{json}");
+        assert!(json.contains("\"phase\": \"solicitation\""), "{json}");
+    }
+
+    #[test]
+    fn critical_path_clamps_overlapping_children() {
+        // Children overlap (phase2 opens before prepare closes): the
+        // cursor clamp keeps the partition exact, no double counting.
+        let tree = SpanTree::new(vec![
+            span(1, None, "commit:tx-2", 0, Some(50)),
+            span(2, Some(1), "prepare", 0, Some(30)),
+            span(3, Some(1), "phase2", 20, Some(45)),
+        ]);
+        let path = tree.critical_path().expect("has a root");
+        assert!(path.is_exact(), "{path:?}");
+        let sum: Duration = path.phases.iter().map(|p| p.duration).sum();
+        assert_eq!(sum, Duration::from_nanos(50));
+    }
+
+    #[test]
+    fn critical_path_zero_duration_tree_is_exact() {
+        // Scenario trees run on a never-advancing clock: everything is
+        // zero-width and the partition is trivially exact.
+        let tree = SpanTree::new(vec![
+            span(1, None, "commit:tx-3", 0, Some(0)),
+            span(2, Some(1), "prepare", 0, Some(0)),
+            span(3, Some(1), "phase2", 0, Some(0)),
+        ]);
+        let path = tree.critical_path().expect("has a root");
+        assert!(path.is_exact());
+        assert_eq!(path.total, Duration::ZERO);
+    }
+
+    #[test]
+    fn critical_path_counts_retry_attempts() {
+        let tree = SpanTree::new(vec![
+            span(1, None, "commit:tx-4", 0, Some(40)),
+            span(2, Some(1), "prepare", 0, Some(20)),
+            span(3, Some(2), "attempt:prepare", 0, Some(5)),
+            span(4, Some(2), "attempt:prepare", 5, Some(20)),
+        ]);
+        let path = tree.critical_path().expect("has a root");
+        assert_eq!(path.retries, 2);
+        assert_eq!(path.retry_time, Duration::from_nanos(20));
+    }
+
+    #[test]
+    fn critical_path_without_children_or_commit_root() {
+        let tree = SpanTree::new(vec![span(1, None, "activity:billing", 3, Some(9))]);
+        let path = tree.critical_path().expect("falls back to the first root");
+        assert_eq!(path.root, "activity:billing");
+        assert!(path.is_exact());
+        assert_eq!(path.phases.len(), 1);
+        assert_eq!(path.phases[0].phase, "self");
+        assert_eq!(path.phases[0].duration, Duration::from_nanos(6));
+        assert!(SpanTree::new(Vec::new()).critical_path().is_none());
     }
 
     #[test]

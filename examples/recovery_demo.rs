@@ -14,12 +14,18 @@
 
 use std::sync::Arc;
 
+use std::time::Duration;
+
 use activity_service::{
     recover_activities, ActionFactories, ActivityService, BroadcastSignalSet, FnAction, Outcome,
     Signal, SignalSetFactories,
 };
-use orb::{SimClock, Value};
-use ots::{DurableKv, Resource, TransactionFactory};
+use orb::{Introspection, NetworkConfig, Orb, Request, RetryPolicy, SimClock, Value};
+use ots::{
+    recovery::{CoordinatorLocator, RECOVERY_COORDINATOR_INTERFACE},
+    DurableKv, RecoverableResource, RecoveryCoordinator, Resource, ResolutionConfig,
+    TransactionFactory,
+};
 use recovery_log::{FailpointSet, FileWal, Wal};
 
 fn wal_path() -> std::path::PathBuf {
@@ -132,6 +138,83 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = activity.complete()?;
         println!("  completed {:?} with outcome {}", activity.name(), outcome);
     }
+
+    // (e) §15's introspection plane over in-doubt resolution: a *remote*
+    //     participant prepared under this coordinator, the coordinator died
+    //     after forcing its decision, and the restarted participant now
+    //     interrogates it over the wire. Its Introspection servant shows
+    //     the in-doubt set draining — snapshotted before and after the
+    //     resolution pass.
+    println!("\n== remote participant: in-doubt resolution ==");
+    let orb =
+        Orb::builder().network(NetworkConfig::reliable()).clock(SimClock::new()).build();
+    let coord_node = orb.add_node("coordinator")?;
+    let participant_node = orb.add_node("participant")?;
+
+    let ledger = DurableKv::new("ledger", Arc::clone(&wal));
+    let recoverable = Arc::new(RecoverableResource::new(
+        Arc::clone(&ledger) as Arc<dyn Resource>,
+        Arc::clone(&wal),
+        "coordinator",
+    ));
+    let audit_mirror = Arc::new(RecoverableResource::new(
+        Arc::clone(&witness) as Arc<dyn Resource>,
+        Arc::clone(&wal),
+        "coordinator",
+    ));
+    let failpoints = FailpointSet::new();
+    let refund_factory =
+        TransactionFactory::with_wal(Arc::clone(&wal)).with_failpoints(failpoints.clone());
+    let refund = refund_factory.create()?;
+    refund.coordinator().register_resource(Arc::clone(&recoverable) as Arc<dyn Resource>)?;
+    refund.coordinator().register_resource(Arc::clone(&audit_mirror) as Arc<dyn Resource>)?;
+    ledger.store().write(refund.id(), "refund-77", Value::F64(-59.90))?;
+    witness.store().write(refund.id(), "audit-refund-77", Value::from("refund recorded"))?;
+    failpoints.arm("ots.after_decision", 0);
+    let err = refund.terminator().commit().unwrap_err();
+    println!("  crash injected: {err}");
+
+    // The recovery coordinator answers replay_completion from the shared
+    // log; the participant's introspection servant exposes its recovery
+    // surface as a read-only probe.
+    let rc_object = coord_node
+        .activate(RECOVERY_COORDINATOR_INTERFACE, RecoveryCoordinator::new(Arc::clone(&wal)))?;
+    let locate: CoordinatorLocator = {
+        let object = rc_object.clone();
+        Arc::new(move |node: &str| (node == "coordinator").then(|| object.clone()))
+    };
+    let (surface, intro_ref) = Introspection::install(&participant_node)?;
+    {
+        let res = Arc::clone(&recoverable);
+        surface.register("ledger", move || res.introspect());
+        let res = Arc::clone(&audit_mirror);
+        surface.register("audit", move || res.introspect());
+    }
+
+    let before = orb.invoke(&intro_ref, Request::new("snapshot"))?.result;
+    println!("  before resolve_in_doubt:");
+    for line in before.as_str().unwrap_or_default().lines() {
+        println!("  {line}");
+    }
+    let config = ResolutionConfig::new(RetryPolicy::new(3), Duration::from_secs(60));
+    let mut report = recoverable.resolve_in_doubt(&orb, "participant", &locate, &config)?;
+    let audit_report = audit_mirror.resolve_in_doubt(&orb, "participant", &locate, &config)?;
+    report.committed.extend(audit_report.committed);
+    report.rolled_back.extend(audit_report.rolled_back);
+    report.unresolved.extend(audit_report.unresolved);
+    println!(
+        "  resolved: {} committed, {} rolled back, {} still in doubt",
+        report.committed.len(),
+        report.rolled_back.len(),
+        report.unresolved.len()
+    );
+    let after = orb.invoke(&intro_ref, Request::new("snapshot"))?.result;
+    println!("  after resolve_in_doubt:");
+    for line in after.as_str().unwrap_or_default().lines() {
+        println!("  {line}");
+    }
+    assert!(report.fully_resolved());
+    assert_eq!(ledger.store().read_committed("refund-77"), Some(Value::F64(-59.90)));
 
     // Third scan proves stability: nothing left in flight.
     let wal: Arc<dyn Wal> = Arc::new(FileWal::open(&path)?);

@@ -108,6 +108,15 @@ fn the_planted_commit_after_abort_vote_is_caught_and_shrunk_to_one_minimal() {
             assert_eq!(violation.oracle, "refinement", "{violation}");
             assert!(violation.detail.contains("presumed abort"), "{violation}");
         }
+        // Every shrunk reproducer carries the coordinator's black box —
+        // the flight-recorder dump re-captured from the minimized
+        // execution, not the original failing one.
+        let repro = divergence.repro();
+        assert!(
+            repro.contains("flight recorder at failure:")
+                && repro.contains("flight-recorder node=broken-coordinator"),
+            "repro is missing the recorder dump:\n{repro}"
+        );
         // The minimized execution still reproduces, and no single shrink
         // move does: 1-minimal.
         assert!(diverges(&BrokenAtomicCommitScenario, &divergence.minimized));

@@ -1,6 +1,6 @@
 //! Tier-1 partition/restart chaos sweep over the termination-protocol
 //! scenario: 240 seeded schedules whose space includes partition windows
-//! and crash-restart arms, checked against all ten oracles — in
+//! and crash-restart arms, checked against all eleven oracles — in
 //! particular #10 (`eventual-resolution`): once faults cease and
 //! partitions heal, no participant stays in doubt.
 //!
@@ -131,6 +131,14 @@ fn forgetful_coordinator_is_caught_and_shrunk_to_one_event() {
             "unexpected minimal event:\n{repro}"
         );
         assert!(repro.contains("seed") && repro.contains("eventual-resolution"), "{repro}");
+        // The shrunk reproducer ships with the participant's black box:
+        // the flight-recorder dump of the *minimized* run, so the report
+        // shows what the node believed right up to the divergence.
+        assert!(
+            repro.contains("flight recorder at failure:")
+                && repro.contains("flight-recorder node=participant"),
+            "repro is missing the recorder dump:\n{repro}"
+        );
     }
     assert!(
         single_event_repros > 0,
