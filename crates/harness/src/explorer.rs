@@ -45,6 +45,11 @@ pub struct FailureReport {
     /// (`None` when the scenario attaches no recorder) — the black box
     /// that ships with the reproducer.
     pub recorder_dump: Option<String>,
+    /// The merged happens-before DAG of the *minimized* schedule exported
+    /// as Perfetto/Chrome-trace JSON (`None` when the scenario builds no
+    /// causal merge) — load it in `ui.perfetto.dev` to see the failing
+    /// interleaving, one track per node, flow arrows per message.
+    pub causal_trace: Option<String>,
 }
 
 impl FailureReport {
@@ -77,7 +82,26 @@ impl FailureReport {
                 out.push('\n');
             }
         }
+        if let Some(trace) = &self.causal_trace {
+            out.push_str(&format!(
+                "//\n// causal Perfetto trace attached ({} bytes) — write it to a\n\
+                 // .json file and open in ui.perfetto.dev\n",
+                trace.len()
+            ));
+        }
         out
+    }
+
+    /// Write the attached Perfetto trace to
+    /// `{dir}/{scenario}-{seed}.perfetto.json` and return the path, or
+    /// `None` when no causal trace was captured.
+    pub fn write_causal_trace(&self, dir: &std::path::Path) -> Option<std::path::PathBuf> {
+        let trace = self.causal_trace.as_ref()?;
+        let seed = self.seed.map_or_else(|| "probe".to_owned(), |s| format!("{s}"));
+        let path = dir.join(format!("{}-{seed}.perfetto.json", self.scenario));
+        std::fs::create_dir_all(dir).ok()?;
+        std::fs::write(&path, trace).ok()?;
+        Some(path)
     }
 }
 
@@ -121,6 +145,9 @@ fn fingerprint_run(hash: u64, seed: u64, obs: &Observation, violations: usize) -
     }
     if let Some(recorder) = obs.recorder_fingerprint {
         hash = fnv_fold(hash, &recorder.to_le_bytes());
+    }
+    if let Some(causal) = obs.causal_fingerprint {
+        hash = fnv_fold(hash, &causal.to_le_bytes());
     }
     hash
 }
@@ -167,6 +194,7 @@ pub fn sweep(scenario: &dyn Scenario, config: &SweepConfig) -> SweepReport {
             minimized: FaultSchedule::empty(),
             violations: probe_violations,
             recorder_dump: probe.recorder_dump.clone(),
+            causal_trace: probe.causal_perfetto.clone(),
         });
     }
 
@@ -189,16 +217,26 @@ pub fn sweep(scenario: &dyn Scenario, config: &SweepConfig) -> SweepReport {
             let minimized =
                 if config.shrink { shrink(scenario, &sched) } else { sched.clone() };
             // One extra run of the minimized schedule captures the black
-            // box that matches the reproducer the report ships.
-            let recorder_dump = scenario.run(&minimized).recorder_dump;
+            // box and the causal trace that match the reproducer the
+            // report ships.
+            let rerun = scenario.run(&minimized);
             failures.push(FailureReport {
                 scenario: scenario.name().to_owned(),
                 seed: Some(seed),
                 schedule: sched,
                 minimized,
                 violations,
-                recorder_dump,
+                recorder_dump: rerun.recorder_dump,
+                causal_trace: rerun.causal_perfetto,
             });
+        }
+    }
+
+    // When HARNESS_TRACE_DIR is set (CI does this), every failure's causal
+    // Perfetto trace is written out as an artifact next to the repro.
+    if let Ok(dir) = std::env::var("HARNESS_TRACE_DIR") {
+        for failure in &failures {
+            failure.write_causal_trace(std::path::Path::new(&dir));
         }
     }
 

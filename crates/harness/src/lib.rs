@@ -18,7 +18,7 @@
 //!   figure-test: 2PC with WAL replay, fig. 9 open nesting, Sagas, the
 //!   fig. 10 workflow over the simulated ORB, BTP atoms, plus an
 //!   intentionally broken fixture the sweep must catch.
-//! * [`oracle`] — eleven invariants checked after every run: atomicity,
+//! * [`oracle`] — twelve invariants checked after every run: atomicity,
 //!   exactly-once effect counts, reverse-order compensation completeness,
 //!   WAL-replay equivalence, trace determinism (same seed ⇒ byte-identical
 //!   trace), liveness under bounded transient faults (drops within the
@@ -32,7 +32,11 @@
 //!   recorder consistency (the flight recorder's retained window is a
 //!   causally-contiguous suffix of the trace, fingerprints replay
 //!   bit-identically, and critical-path attribution partitions the
-//!   commit span exactly).
+//!   commit span exactly), and causal consistency (the merged
+//!   happens-before DAG over every node's Lamport-stamped log is acyclic,
+//!   receive-after-send on every wire edge, and protocol-ordered — no
+//!   outcome before its decision, no vote after it, no completion before
+//!   phase two landed).
 //! * [`model`] — executable reference models transcribed from the paper:
 //!   presumed-abort 2PC, fig. 4 nesting, fig. 5 checked signal sets, §5.1
 //!   saga compensation. Pure `step(state, event)` machines the refinement

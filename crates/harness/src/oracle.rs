@@ -1,7 +1,7 @@
 //! Invariant oracles checked after every simulated run.
 //!
 //! Scenarios report *facts* in an [`Observation`]; the oracles here turn
-//! facts into [`Violation`]s. Eleven oracles cover the §3.4 guarantees:
+//! facts into [`Violation`]s. Twelve oracles cover the §3.4 guarantees:
 //!
 //! 1. **atomicity** — participant effects are all-or-nothing with respect
 //!    to the run outcome;
@@ -50,7 +50,18 @@
 //!     causal order, and the critical-path attribution over the commit span
 //!     must partition the root duration exactly. The recorder's fingerprint
 //!     is additionally compared across the determinism oracle's two runs —
-//!     the black box itself must be bit-identical under replay.
+//!     the black box itself must be bit-identical under replay;
+//! 12. **causal-consistency** — when the scenario merges its per-node
+//!     flight-recorder logs into a global happens-before DAG
+//!     (`telemetry::CausalMerge`), the merge must verify clean: the DAG is
+//!     acyclic, every message edge's receive stamp exceeds its send stamp
+//!     in both Lamport and virtual-clock order, and the 2PC protocol events
+//!     respect causal order (no outcome delivered before the decision was
+//!     forced, no vote recorded after the decision, no completion before
+//!     the decided outcome reached the participants). The merge fingerprint
+//!     is additionally compared across the determinism oracle's two runs —
+//!     the *global* causal history must be bit-identical under replay, not
+//!     just each node's local log.
 
 /// Terminal outcome of one simulated run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +184,19 @@ pub struct Observation {
     /// Whether `SpanTree::critical_path` partitioned the commit span's
     /// duration exactly (`None` when the scenario computes no attribution).
     pub critical_path_exact: Option<bool>,
+    /// Rendered [`telemetry::CausalViolation`]s from verifying the merged
+    /// happens-before DAG (`None` when the scenario builds no causal
+    /// merge; the causal-consistency oracle binds only when present —
+    /// `Some(vec![])` means the merge verified clean).
+    pub causal_violations: Option<Vec<String>>,
+    /// Fingerprint of the merged causal DAG (events + program-order +
+    /// message edges); compared across the determinism oracle's two runs
+    /// (`None` without a causal merge).
+    pub causal_fingerprint: Option<u64>,
+    /// The merged DAG exported as Perfetto/Chrome-trace JSON, attached
+    /// verbatim to failure repros (`None` without a causal merge; never
+    /// compared by oracles).
+    pub causal_perfetto: Option<String>,
 }
 
 impl Observation {
@@ -210,6 +234,9 @@ impl Observation {
             recorder_fingerprint: None,
             recorder_dump: None,
             critical_path_exact: None,
+            causal_violations: None,
+            causal_fingerprint: None,
+            causal_perfetto: None,
         }
     }
 }
@@ -242,6 +269,7 @@ pub const ORACLES: &[&str] = &[
     "refinement",
     "eventual-resolution",
     "recorder-consistency",
+    "causal-consistency",
 ];
 
 /// Run every single-observation oracle (all but determinism).
@@ -257,6 +285,7 @@ pub fn check_all(obs: &Observation) -> Vec<Violation> {
     check_refinement(obs, &mut violations);
     check_eventual_resolution(obs, &mut violations);
     check_recorder(obs, &mut violations);
+    check_causal(obs, &mut violations);
     violations
 }
 
@@ -521,6 +550,18 @@ fn check_recorder(obs: &Observation, out: &mut Vec<Violation>) {
     }
 }
 
+fn check_causal(obs: &Observation, out: &mut Vec<Violation>) {
+    // The oracle binds only when the scenario merges its recorder logs
+    // into a happens-before DAG and reports the verification result.
+    let Some(violations) = &obs.causal_violations else { return };
+    for violation in violations {
+        out.push(Violation {
+            oracle: "causal-consistency",
+            detail: violation.clone(),
+        });
+    }
+}
+
 /// The determinism oracle: two runs of the same schedule must agree on
 /// every observable fact, byte for byte in the trace.
 pub fn check_determinism(first: &Observation, second: &Observation) -> Vec<Violation> {
@@ -575,6 +616,17 @@ pub fn check_determinism(first: &Observation, second: &Observation) -> Vec<Viola
                 detail: format!(
                     "same schedule, flight-recorder fingerprints {a:#018x} vs {b:#018x} \
                      — the black box is not bit-identical under replay"
+                ),
+            });
+        }
+    }
+    if let (Some(a), Some(b)) = (first.causal_fingerprint, second.causal_fingerprint) {
+        if a != b {
+            out.push(Violation {
+                oracle: "determinism",
+                detail: format!(
+                    "same schedule, causal-merge fingerprints {a:#018x} vs {b:#018x} \
+                     — the global happens-before DAG is not bit-identical under replay"
                 ),
             });
         }
@@ -898,6 +950,42 @@ mod tests {
         assert!(v[0].detail.contains("flight-recorder"));
         // One-sided recorders do not bind.
         b.recorder_fingerprint = None;
+        assert!(check_determinism(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn causal_oracle_does_not_bind_without_a_merge() {
+        let obs = Observation::new(RunOutcome::Committed);
+        assert!(check_all(&obs).is_empty());
+    }
+
+    #[test]
+    fn clean_causal_merge_passes_and_violations_surface() {
+        let mut obs = Observation::new(RunOutcome::Committed);
+        obs.causal_violations = Some(Vec::new());
+        assert!(check_all(&obs).is_empty());
+        obs.causal_violations = Some(vec![
+            "outcome delivered at coord#4 before any decision was forced".into(),
+        ]);
+        let v = check_all(&obs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].oracle, "causal-consistency");
+        assert!(v[0].detail.contains("before any decision"));
+    }
+
+    #[test]
+    fn determinism_compares_causal_fingerprints() {
+        let mut a = Observation::new(RunOutcome::Committed);
+        a.causal_fingerprint = Some(0xAAAA);
+        let mut b = a.clone();
+        assert!(check_determinism(&a, &b).is_empty());
+        b.causal_fingerprint = Some(0xBBBB);
+        let v = check_determinism(&a, &b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "determinism");
+        assert!(v[0].detail.contains("happens-before"));
+        // One-sided merges do not bind.
+        b.causal_fingerprint = None;
         assert!(check_determinism(&a, &b).is_empty());
     }
 

@@ -2,6 +2,7 @@
 
 mod broken;
 mod btp_atom;
+mod causal_fixture;
 mod explore_two_phase;
 mod nested;
 mod saga;
@@ -11,6 +12,7 @@ mod workflow;
 
 pub use broken::BrokenWorkflowScenario;
 pub use btp_atom::BtpAtomScenario;
+pub use causal_fixture::{ReorderedOutcomeScenario, RACE_SITE};
 pub use explore_two_phase::{BrokenAtomicCommitScenario, ExplorableTwoPhase};
 pub use nested::NestedCompensationScenario;
 pub use saga::SagaScenario;

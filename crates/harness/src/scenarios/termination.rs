@@ -116,6 +116,19 @@ fn run_termination(schedule: &FaultSchedule, forgetful: bool) -> Observation {
         telemetry::DEFAULT_RECORDER_CAPACITY,
         Arc::new(clock.clone()),
     );
+    // The coordinator's own ring plus the causality plane (oracle #12):
+    // both recorders' Lamport clocks are adopted by the plane, and the
+    // ORB's Lamport interceptor pair stamps every cross-node invocation,
+    // so the merged happens-before DAG has real send→receive edges.
+    let coord_recorder = telemetry::FlightRecorder::with_time(
+        COORDINATOR_NODE,
+        telemetry::DEFAULT_RECORDER_CAPACITY,
+        Arc::new(clock.clone()),
+    );
+    let plane = telemetry::CausalityPlane::new();
+    plane.register(&recorder);
+    plane.register(&coord_recorder);
+    orb.install_causality(plane.clone());
 
     let failpoints = FailpointSet::new();
     schedule.arm_into(&failpoints);
@@ -378,6 +391,13 @@ fn run_termination(schedule: &FaultSchedule, forgetful: bool) -> Observation {
     );
     obs.recorder_fingerprint = Some(recorder.fingerprint());
     obs.recorder_dump = Some(recorder.dump());
+    // Oracle #12: fold both nodes' logs into the global happens-before
+    // DAG and verify it — acyclic, receive-after-send on every matched
+    // wire edge, protocol order respected across the merge.
+    let dag = plane.merge().build();
+    obs.causal_violations = Some(dag.verify().iter().map(ToString::to_string).collect());
+    obs.causal_fingerprint = Some(dag.fingerprint());
+    obs.causal_perfetto = Some(dag.to_perfetto());
     obs
 }
 

@@ -194,6 +194,14 @@ fn run_two_phase(schedule: &FaultSchedule, group_commit: bool) -> Observation {
     obs.recorder_fingerprint = Some(recorder.fingerprint());
     obs.recorder_dump = Some(recorder.dump());
     obs.critical_path_exact = telemetry.span_tree().critical_path().map(|path| path.is_exact());
+    // Oracle #12: even a single-node run has a causal story — program
+    // order plus the 2PC protocol-order rules over the journal mirror.
+    let mut merge = telemetry::CausalMerge::new();
+    merge.add_recorder(&recorder);
+    let dag = merge.build();
+    obs.causal_violations = Some(dag.verify().iter().map(ToString::to_string).collect());
+    obs.causal_fingerprint = Some(dag.fingerprint());
+    obs.causal_perfetto = Some(dag.to_perfetto());
     obs
 }
 

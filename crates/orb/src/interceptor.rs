@@ -11,7 +11,10 @@
 use crate::error::OrbError;
 use crate::message::{Reply, Request};
 use crate::value::Value;
-use telemetry::{SpanContext, Telemetry, SPAN_CONTEXT_KEY};
+use telemetry::{
+    parse_wire_stamp, wire_stamp, CausalityPlane, RecordKind, SpanContext, Telemetry,
+    LAMPORT_CONTEXT_KEY, SPAN_CONTEXT_KEY,
+};
 
 /// Client-side interception points.
 ///
@@ -190,6 +193,149 @@ impl ServerRequestInterceptor for SpanServerInterceptor {
             self.telemetry.end(&span);
         }
         self.telemetry.exit();
+    }
+}
+
+/// Client half of the §16 causal plane: ticks the source node's Lamport
+/// clock once per send, stamps `"{lamport} {token}"` into the request's
+/// service contexts under [`LAMPORT_CONTEXT_KEY`], and mirrors a
+/// `wire-send` event (carrying the exact on-wire stamp) into the source
+/// node's flight recorder. The token — `{delivery_id}@{lamport}` — is
+/// what [`telemetry::CausalMerge`] matches send→receive pairs by: the
+/// delivery id names the logical call, the send stamp disambiguates
+/// retries so no cross-attempt edges arise. `receive_reply` observes the
+/// reply leg's stamp (receive = max + 1).
+pub struct LamportClientInterceptor {
+    plane: CausalityPlane,
+}
+
+impl LamportClientInterceptor {
+    pub fn new(plane: CausalityPlane) -> Self {
+        LamportClientInterceptor { plane }
+    }
+}
+
+impl ClientRequestInterceptor for LamportClientInterceptor {
+    fn name(&self) -> &str {
+        "telemetry-lamport-client"
+    }
+
+    fn send_request(&self, request: &mut Request) -> Result<(), OrbError> {
+        let (Some(from), Some(to)) = (
+            request.source().map(str::to_owned),
+            request.target().map(str::to_owned),
+        ) else {
+            // Unrouted request (constructed outside the invoke path):
+            // nothing to stamp against.
+            return Ok(());
+        };
+        let lamport = self.plane.clock(&from).tick();
+        let token = format!("{}@{lamport}", request.delivery_id().unwrap_or("-"));
+        request
+            .contexts_mut()
+            .set(LAMPORT_CONTEXT_KEY, Value::Str(wire_stamp(lamport, &token)));
+        if let Some(recorder) = self.plane.recorder(&from) {
+            let operation = request.operation().to_owned();
+            recorder.record_stamped(RecordKind::WireSend, lamport, || {
+                format!("{token} {operation} {from}->{to}")
+            });
+        }
+        Ok(())
+    }
+
+    fn receive_reply(&self, request: &Request, reply: &mut Reply) {
+        let Some(from) = request.source() else { return };
+        let Some((remote, token)) = reply
+            .contexts
+            .get(LAMPORT_CONTEXT_KEY)
+            .and_then(Value::as_str)
+            .and_then(parse_wire_stamp)
+        else {
+            return;
+        };
+        let lamport = self.plane.clock(from).observe(remote);
+        if let Some(recorder) = self.plane.recorder(from) {
+            let token = token.to_owned();
+            let operation = request.operation().to_owned();
+            let to = request.target().unwrap_or("?").to_owned();
+            recorder.record_stamped(RecordKind::WireRecv, lamport, || {
+                format!("{token} reply:{operation} {to}->{from}")
+            });
+        }
+    }
+}
+
+/// Server half of the §16 causal plane. `receive_request` observes the
+/// request's wire stamp on the target node's clock (receive = max + 1)
+/// and mirrors a `wire-recv` carrying the same token, so the merge can
+/// pair it with the client's `wire-send`. `send_reply` ticks the target
+/// node's clock and stamps the reply leg with a fresh token
+/// (`{delivery_id}@{lamport}r`): each redelivered copy stamps its own
+/// reply send, but only the copy whose contexts ride back is matched by
+/// the client's receive — duplicated reply sends stay unmatched, exactly
+/// like replies that never traveled.
+pub struct LamportServerInterceptor {
+    plane: CausalityPlane,
+}
+
+impl LamportServerInterceptor {
+    pub fn new(plane: CausalityPlane) -> Self {
+        LamportServerInterceptor { plane }
+    }
+
+    fn request_stamp(request: &Request) -> Option<(u64, &str)> {
+        request
+            .contexts()
+            .get(LAMPORT_CONTEXT_KEY)
+            .and_then(Value::as_str)
+            .and_then(parse_wire_stamp)
+    }
+}
+
+impl ServerRequestInterceptor for LamportServerInterceptor {
+    fn name(&self) -> &str {
+        "telemetry-lamport-server"
+    }
+
+    fn receive_request(&self, request: &Request) -> Result<(), OrbError> {
+        let Some(to) = request.target() else { return Ok(()) };
+        let Some((remote, token)) = Self::request_stamp(request) else {
+            return Ok(());
+        };
+        let lamport = self.plane.clock(to).observe(remote);
+        if let Some(recorder) = self.plane.recorder(to) {
+            let token = token.to_owned();
+            let operation = request.operation().to_owned();
+            let from = request.source().unwrap_or("?").to_owned();
+            let to = to.to_owned();
+            recorder.record_stamped(RecordKind::WireRecv, lamport, || {
+                format!("{token} {operation} {from}->{to}")
+            });
+        }
+        Ok(())
+    }
+
+    fn send_reply(&self, request: &Request, reply: &mut Reply) {
+        let (Some(from), Some(to)) = (request.source(), request.target()) else {
+            return;
+        };
+        // Only stamp replies to requests that carried a stamp: the causal
+        // plane is end-to-end or not at all.
+        if Self::request_stamp(request).is_none() {
+            return;
+        }
+        let lamport = self.plane.clock(to).tick();
+        let token = format!("{}@{lamport}r", request.delivery_id().unwrap_or("-"));
+        reply
+            .contexts
+            .set(LAMPORT_CONTEXT_KEY, Value::Str(wire_stamp(lamport, &token)));
+        if let Some(recorder) = self.plane.recorder(to) {
+            let operation = request.operation().to_owned();
+            let (from, to) = (from.to_owned(), to.to_owned());
+            recorder.record_stamped(RecordKind::WireSend, lamport, || {
+                format!("{token} reply:{operation} {to}->{from}")
+            });
+        }
     }
 }
 

@@ -68,7 +68,10 @@ pub use context::ServiceContext;
 pub use dedup::{DedupServant, DedupWindow};
 pub use detector::{DetectorConfig, FailureDetector, HealthStatus};
 pub use error::OrbError;
-pub use interceptor::{SpanClientInterceptor, SpanServerInterceptor};
+pub use interceptor::{
+    LamportClientInterceptor, LamportServerInterceptor, SpanClientInterceptor,
+    SpanServerInterceptor,
+};
 pub use introspect::{Introspection, INTROSPECTION_INTERFACE};
 pub use message::{Reply, Request};
 pub use network::{FaultScript, NetworkConfig, PartitionWindow, SimulatedNetwork};

@@ -13,6 +13,11 @@ pub struct Request {
     args: ValueMap,
     contexts: ServiceContext,
     delivery_id: Option<String>,
+    /// Route stamped by the invoke path before client interceptors run:
+    /// source node name and target node name. Interceptors (e.g. the
+    /// Lamport pair) read these to pick the right per-node state.
+    source: Option<String>,
+    target: Option<String>,
 }
 
 impl Request {
@@ -23,6 +28,8 @@ impl Request {
             args: ValueMap::new(),
             contexts: ServiceContext::new(),
             delivery_id: None,
+            source: None,
+            target: None,
         }
     }
 
@@ -51,6 +58,23 @@ impl Request {
     /// The logical delivery id, if stamped.
     pub fn delivery_id(&self) -> Option<&str> {
         self.delivery_id.as_deref()
+    }
+
+    /// Stamp the route (source and target node names). The invoke path
+    /// calls this once, before the client interceptors run.
+    pub fn set_route(&mut self, source: impl Into<String>, target: impl Into<String>) {
+        self.source = Some(source.into());
+        self.target = Some(target.into());
+    }
+
+    /// The source node name, once routed.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// The target node name, once routed.
+    pub fn target(&self) -> Option<&str> {
+        self.target.as_deref()
     }
 
     /// The operation name.

@@ -9,14 +9,14 @@ use parking_lot::RwLock;
 
 use std::time::Duration;
 
-use telemetry::Telemetry;
+use telemetry::{CausalityPlane, Telemetry};
 
 use crate::clock::SimClock;
 use crate::detector::FailureDetector;
 use crate::error::OrbError;
 use crate::interceptor::{
-    ClientRequestInterceptor, ServerRequestInterceptor, SpanClientInterceptor,
-    SpanServerInterceptor,
+    ClientRequestInterceptor, LamportClientInterceptor, LamportServerInterceptor,
+    ServerRequestInterceptor, SpanClientInterceptor, SpanServerInterceptor,
 };
 use crate::message::{Reply, Request};
 use crate::network::{Delivery, NetworkConfig, SimulatedNetwork};
@@ -135,6 +135,7 @@ struct OrbInner {
     delivery_seq: AtomicU64,
     detector: RwLock<Option<FailureDetector>>,
     telemetry: RwLock<Option<Telemetry>>,
+    causality: RwLock<Option<CausalityPlane>>,
 }
 
 impl fmt::Debug for OrbInner {
@@ -221,6 +222,7 @@ impl OrbBuilder {
                 delivery_seq: AtomicU64::new(1),
                 detector: RwLock::new(None),
                 telemetry: RwLock::new(None),
+                causality: RwLock::new(None),
             }),
         };
         if let Some(telemetry) = self.telemetry {
@@ -466,10 +468,40 @@ impl Orb {
     pub fn telemetry(&self) -> Option<Telemetry> {
         self.inner.telemetry.read().clone()
     }
+
+    /// Install the §16 causal plane: registers the
+    /// [`LamportClientInterceptor`]/[`LamportServerInterceptor`] pair so
+    /// every request and reply carries a Lamport stamp in its service
+    /// contexts, and `wire-send`/`wire-recv` events land in the flight
+    /// recorders registered with `plane`. Register each node's recorder
+    /// with the plane *before* traffic flows so wire stamps and local
+    /// [`telemetry::FlightRecorder::record`] ticks share one clock.
+    pub fn install_causality(&self, plane: CausalityPlane) {
+        self.add_client_interceptor(Arc::new(LamportClientInterceptor::new(plane.clone())));
+        self.add_server_interceptor(Arc::new(LamportServerInterceptor::new(plane.clone())));
+        *self.inner.causality.write() = Some(plane);
+    }
+
+    /// The installed causal plane, if any.
+    pub fn causality(&self) -> Option<CausalityPlane> {
+        self.inner.causality.read().clone()
+    }
 }
 
 impl OrbInner {
+    /// Stamp the route and (if absent) a fresh delivery id — once per
+    /// logical call, before client interceptors run, so every request on
+    /// the wire is dedup-addressable and interceptors know both ends.
+    fn prepare_request(&self, from: &str, object: &ObjectRef, request: &mut Request) {
+        if request.delivery_id().is_none() {
+            let seq = self.delivery_seq.fetch_add(1, Ordering::Relaxed);
+            request.set_delivery_id(format!("{from}#{seq}"));
+        }
+        request.set_route(from, object.node());
+    }
+
     fn invoke_oneway(&self, from: &str, object: &ObjectRef, mut request: Request) -> bool {
+        self.prepare_request(from, object, &mut request);
         let client_interceptors: Vec<_> = self.client_interceptors.read().clone();
         for (ran, ci) in client_interceptors.iter().enumerate() {
             if let Err(e) = ci.send_request(&mut request) {
@@ -546,6 +578,7 @@ impl OrbInner {
         object: &ObjectRef,
         mut request: Request,
     ) -> Result<Reply, OrbError> {
+        self.prepare_request(from, object, &mut request);
         // 1. Client interceptors stamp the outgoing request. A veto
         //    partway through still notifies the interceptors that already
         //    ran, so their per-request state unwinds.
@@ -613,10 +646,12 @@ impl OrbInner {
         };
 
         // 4. Dispatch (possibly more than once, when duplicated). The first
-        //    execution's result is what rides back in the reply; duplicate
-        //    executions model redelivery of the same message.
+        //    execution's result — and the reply contexts its server
+        //    interceptors attached — is what rides back in the reply;
+        //    duplicate executions model redelivery of the same message.
         let server_interceptors: Vec<_> = self.server_interceptors.read().clone();
         let mut outcome: Option<Result<crate::value::Value, OrbError>> = None;
+        let mut reply_contexts: Option<crate::context::ServiceContext> = None;
         for _ in 0..copies {
             for si in &server_interceptors {
                 si.receive_request(request)?;
@@ -628,6 +663,7 @@ impl OrbInner {
             }
             if outcome.is_none() {
                 outcome = Some(result);
+                reply_contexts = Some(scratch.contexts);
             }
         }
         let result = outcome.expect("at least one delivery");
@@ -649,6 +685,9 @@ impl OrbInner {
         }
 
         let mut reply = Reply::new(result?);
+        if let Some(contexts) = reply_contexts {
+            reply.contexts = contexts;
+        }
         reply.deliveries = copies;
         Ok(reply)
     }
@@ -1006,6 +1045,86 @@ mod tests {
         let obj = node.activate("C", |_r: &Request| Ok(Value::Null)).unwrap();
         orb.invoke(&obj, Request::new("ping")).unwrap();
         assert_eq!(telemetry.span_count(), 0);
+    }
+
+    #[test]
+    fn causal_plane_stamps_wire_events_end_to_end() {
+        use telemetry::{CausalityPlane, FlightRecorder, RecordKind};
+        let plane = CausalityPlane::new();
+        let rec_a = FlightRecorder::new("a", 64);
+        let rec_b = FlightRecorder::new("b", 64);
+        plane.register(&rec_a);
+        plane.register(&rec_b);
+        let orb = Orb::new();
+        orb.install_causality(plane.clone());
+        assert!(orb.causality().is_some());
+        let a = orb.add_node("a").unwrap();
+        let b = orb.add_node("b").unwrap();
+        let obj = b.activate("C", |_r: &Request| Ok(Value::Null)).unwrap();
+        a.invoke(&obj, Request::new("ping")).unwrap();
+
+        // Four wire events: a sends, b receives, b sends the reply, a
+        // receives it — two matched edges, each advancing the clock.
+        let sends_a = rec_a.details_of_kind(RecordKind::WireSend);
+        let recvs_b = rec_b.details_of_kind(RecordKind::WireRecv);
+        assert_eq!(sends_a.len(), 1, "{sends_a:?}");
+        assert_eq!(recvs_b.len(), 1, "{recvs_b:?}");
+        assert_eq!(sends_a[0], recvs_b[0], "send and recv share token + route detail");
+        assert!(sends_a[0].contains("ping a->b"), "{sends_a:?}");
+
+        let dag = plane.merge().build();
+        assert_eq!(dag.message_edges().len(), 2, "request and reply legs matched");
+        assert!(dag.verify().is_empty(), "{:?}", dag.verify());
+        for &(s, r) in dag.message_edges() {
+            assert!(
+                dag.events()[r].lamport > dag.events()[s].lamport,
+                "receive stamp exceeds send stamp"
+            );
+        }
+    }
+
+    #[test]
+    fn causal_plane_survives_duplication_and_loss() {
+        use telemetry::{CausalityPlane, FlightRecorder, RecordKind};
+        let plane = CausalityPlane::new();
+        let rec = FlightRecorder::new("srv", 64);
+        plane.register(&rec);
+        // Every message duplicated: the servant runs twice per call.
+        let orb = Orb::builder().network(NetworkConfig::lossy(0.0, 1.0, 5)).build();
+        orb.install_causality(plane.clone());
+        let node = orb.add_node("srv").unwrap();
+        let c = counter();
+        let obj = node.activate_arc("Counter", c.clone()).unwrap();
+        let reply = orb.invoke(&obj, Request::new("hit")).unwrap();
+        assert_eq!(reply.deliveries, 2);
+        // Two receives of the one send (same token), two reply sends of
+        // which only the first matched the caller's receive.
+        assert_eq!(rec.details_of_kind(RecordKind::WireRecv).len(), 2);
+        assert_eq!(rec.details_of_kind(RecordKind::WireSend).len(), 2);
+        let dag = plane.merge().build();
+        assert!(dag.verify().is_empty(), "{:?}", dag.verify());
+    }
+
+    #[test]
+    fn every_invoke_carries_a_delivery_id() {
+        use parking_lot::Mutex;
+        let orb = Orb::new();
+        let node = orb.add_node("srv").unwrap();
+        let seen: Arc<Mutex<Vec<Option<String>>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let obj = node
+            .activate("C", move |req: &Request| {
+                seen2.lock().push(req.delivery_id().map(str::to_owned));
+                Ok(Value::Null)
+            })
+            .unwrap();
+        // Plain invoke (no policy) now stamps too: dedup-addressable
+        // everywhere.
+        orb.invoke(&obj, Request::new("x")).unwrap();
+        orb.invoke(&obj, Request::new("x")).unwrap();
+        let seen = seen.lock();
+        assert!(seen[0].as_deref().unwrap().starts_with(EXTERNAL_CALLER));
+        assert_ne!(seen[0], seen[1], "distinct logical calls get distinct ids");
     }
 
     #[test]

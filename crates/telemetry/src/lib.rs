@@ -25,12 +25,17 @@
 //! with explicit handles, mirroring the repo's `set_trace`/`set_detector`
 //! plumbing style. There is no process-global state.
 
+mod causality;
 mod metrics;
 mod recorder;
 mod sequence;
 mod span;
 mod tree;
 
+pub use causality::{
+    check_perfetto_schema, parse_wire_stamp, wire_stamp, CausalDag, CausalMerge, CausalViolation,
+    CausalityPlane, LamportClock, LAMPORT_CONTEXT_KEY,
+};
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use recorder::{FlightRecorder, RecordKind, RecordedEvent, DEFAULT_RECORDER_CAPACITY};
 pub use sequence::{render_sequence, MSC_FROM, MSC_MSG, MSC_NOTE, MSC_REPLY, MSC_TO};

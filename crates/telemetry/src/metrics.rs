@@ -271,7 +271,10 @@ impl MetricsRegistry {
             .unwrap_or(0)
     }
 
-    /// Prometheus text exposition (text/plain; version 0.0.4).
+    /// Prometheus text exposition (text/plain; version 0.0.4). Label
+    /// values are escaped per the exposition format (`\` → `\\`,
+    /// `"` → `\"`, newline → `\n`) — series names store the raw values
+    /// exactly as callers formatted them, so the escaping happens here.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let counters = self.inner.counters.lock();
@@ -282,11 +285,12 @@ impl MetricsRegistry {
                 let _ = writeln!(out, "# TYPE {family} counter");
                 last_family = family.to_string();
             }
-            let _ = writeln!(out, "{name} {}", cell.load(Ordering::Relaxed));
+            let _ = writeln!(out, "{} {}", escape_series_name(name), cell.load(Ordering::Relaxed));
         }
         drop(counters);
         let histograms = self.inner.histograms.lock();
         for (name, hist) in histograms.iter() {
+            let name = escape_series_name(name);
             let _ = writeln!(out, "# TYPE {name} histogram");
             for (le, count) in hist.cumulative() {
                 let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {count}");
@@ -340,6 +344,46 @@ impl Default for MetricsRegistry {
     fn default() -> Self {
         MetricsRegistry::new()
     }
+}
+
+/// Escape the label values of a stored series name for the Prometheus
+/// text exposition format. Values are stored raw (`family{k="v"}` with
+/// `v` verbatim), so a `"` inside a value is literal: it only closes the
+/// value when followed by `,` or the final `}`. Inside values, `\`, `"`
+/// and newline become `\\`, `\"` and `\n`; everything outside values is
+/// structural and passes through untouched.
+fn escape_series_name(name: &str) -> String {
+    let Some(open) = name.find('{') else {
+        return name.to_string();
+    };
+    if !name.ends_with('}') {
+        return name.to_string();
+    }
+    let inner: Vec<char> = name[open + 1..name.len() - 1].chars().collect();
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str(&name[..=open]);
+    let mut in_value = false;
+    for (i, &c) in inner.iter().enumerate() {
+        if !in_value {
+            out.push(c);
+            if c == '"' {
+                in_value = true;
+            }
+            continue;
+        }
+        match c {
+            '"' if matches!(inner.get(i + 1), None | Some(',')) => {
+                out.push('"');
+                in_value = false;
+            }
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('}');
+    out
 }
 
 #[cfg(test)]
@@ -397,6 +441,27 @@ mod tests {
         let text = m.render_prometheus();
         assert!(text.contains("wal_group_size_sum 12"));
         assert!(text.contains("wal_group_size_count 2"));
+    }
+
+    #[test]
+    fn exposition_escapes_label_values() {
+        let m = MetricsRegistry::new();
+        // A label value containing a literal quote, a backslash and a
+        // newline: the exposition format requires \" \\ and \n.
+        m.incr("signals_total{set=\"Bi\"ll\",path=\"a\\b\"}");
+        m.incr("notes_total{msg=\"line1\nline2\"}");
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("signals_total{set=\"Bi\\\"ll\",path=\"a\\\\b\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("notes_total{msg=\"line1\\nline2\"} 1"), "{text}");
+        // Unlabelled series and clean labels pass through untouched.
+        m.incr("plain_total");
+        m.incr("clean_total{k=\"v\"}");
+        let text = m.render_prometheus();
+        assert!(text.contains("plain_total 1"));
+        assert!(text.contains("clean_total{k=\"v\"} 1"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   exactly that, and [`FlightRecorder::dump`] is what the explorer
 //!   staples to a shrunk reproducer.
 
+use crate::causality::LamportClock;
 use crate::TimeSource;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -62,6 +63,10 @@ pub enum RecordKind {
     PartitionHeal,
     /// A participant was killed and rebuilt from its WAL.
     Restart,
+    /// A message left this node (detail: wire token, operation, route).
+    WireSend,
+    /// A message arrived at this node (detail mirrors the send's).
+    WireRecv,
 }
 
 impl RecordKind {
@@ -80,6 +85,8 @@ impl RecordKind {
             RecordKind::PartitionOpen => "partition-open",
             RecordKind::PartitionHeal => "partition-heal",
             RecordKind::Restart => "restart",
+            RecordKind::WireSend => "wire-send",
+            RecordKind::WireRecv => "wire-recv",
         }
     }
 }
@@ -98,6 +105,13 @@ pub struct RecordedEvent {
     pub seq: u64,
     /// Virtual time of the event.
     pub at: Duration,
+    /// Lamport stamp: every local record ticks the node's clock, wire
+    /// receives observe the sender's stamp (§16 stamp discipline), so a
+    /// merged multi-node log is a happens-before DAG.
+    pub lamport: u64,
+    /// The recording node — [`crate::CausalMerge`] folds logs from many
+    /// nodes, so each event carries its origin.
+    pub node: String,
     pub kind: RecordKind,
     pub detail: String,
 }
@@ -106,7 +120,14 @@ impl RecordedEvent {
     /// The canonical one-line rendering fingerprints and dumps share.
     #[must_use]
     pub fn render(&self) -> String {
-        format!("#{:<4} @{:>10}us {:<14} {}", self.seq, self.at.as_micros(), self.kind, self.detail)
+        format!(
+            "#{:<4} @{:>10}us L{:<5} {:<14} {}",
+            self.seq,
+            self.at.as_micros(),
+            self.lamport,
+            self.kind,
+            self.detail
+        )
     }
 }
 
@@ -124,6 +145,11 @@ struct RecorderInner {
     node: String,
     capacity: usize,
     seq: AtomicU64,
+    /// The node's Lamport clock. Plain [`FlightRecorder::record`] ticks
+    /// it; the ORB's wire interceptors tick/observe it directly and
+    /// record the resulting stamp via [`FlightRecorder::record_stamped`],
+    /// so local and wire events share one counter.
+    lamport: LamportClock,
     ring: Mutex<VecDeque<RecordedEvent>>,
 }
 
@@ -175,6 +201,7 @@ impl FlightRecorder {
                 node: node.to_string(),
                 capacity: capacity.max(1),
                 seq: AtomicU64::new(0),
+                lamport: LamportClock::new(),
                 ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
             }),
         }
@@ -183,6 +210,14 @@ impl FlightRecorder {
     /// Which node this black box belongs to.
     pub fn node(&self) -> &str {
         &self.inner.node
+    }
+
+    /// The node's Lamport clock (shared with every clone). Register the
+    /// recorder with a [`crate::CausalityPlane`] and the ORB's wire
+    /// stamps advance this same counter.
+    #[must_use]
+    pub fn lamport_clock(&self) -> LamportClock {
+        self.inner.lamport.clone()
     }
 
     pub fn is_enabled(&self) -> bool {
@@ -212,15 +247,37 @@ impl FlightRecorder {
         self.inner.seq.load(Ordering::Relaxed)
     }
 
-    /// Record one event. The gate is checked before `detail` runs, so the
-    /// disabled path does no formatting and takes no lock.
+    /// Record one event, ticking the node's Lamport clock. The gate is
+    /// checked before `detail` runs, so the disabled path does no
+    /// formatting and takes no lock.
     pub fn record(&self, kind: RecordKind, detail: impl FnOnce() -> String) {
         if !self.is_enabled() {
             return;
         }
+        self.push(kind, self.inner.lamport.tick(), detail());
+    }
+
+    /// Record one event carrying an explicit Lamport stamp — for wire
+    /// events, where the caller already ticked (send) or observed
+    /// (receive) the node's clock and the recorded stamp must equal the
+    /// on-wire value exactly. Does NOT tick the clock.
+    pub fn record_stamped(&self, kind: RecordKind, lamport: u64, detail: impl FnOnce() -> String) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(kind, lamport, detail());
+    }
+
+    fn push(&self, kind: RecordKind, lamport: u64, detail: String) {
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-        let event =
-            RecordedEvent { seq, at: self.inner.time.virtual_now(), kind, detail: detail() };
+        let event = RecordedEvent {
+            seq,
+            at: self.inner.time.virtual_now(),
+            lamport,
+            node: self.inner.node.clone(),
+            kind,
+            detail,
+        };
         let mut ring = self.inner.ring.lock();
         if ring.len() == self.inner.capacity {
             ring.pop_front();
@@ -233,11 +290,20 @@ impl FlightRecorder {
         self.inner.ring.lock().iter().cloned().collect()
     }
 
-    /// The last `n` retained events, oldest first.
+    /// The last `n` retained events, oldest first. `tail(0)` returns an
+    /// empty vector without touching the ring (`Vec::new` does not
+    /// allocate), and `n >= len` clones the whole window into a single
+    /// exactly-sized allocation — no over-allocation, no reallocation.
     pub fn tail(&self, n: usize) -> Vec<RecordedEvent> {
+        if n == 0 {
+            return Vec::new();
+        }
         let ring = self.inner.ring.lock();
-        let skip = ring.len().saturating_sub(n);
-        ring.iter().skip(skip).cloned().collect()
+        let take = ring.len().min(n);
+        let skip = ring.len() - take;
+        let mut out = Vec::with_capacity(take);
+        out.extend(ring.iter().skip(skip).cloned());
+        out
     }
 
     /// Detail strings of every retained event of `kind`, in causal order —
@@ -297,10 +363,20 @@ impl FlightRecorder {
                 hash
             }
         );
-        if let Some(first) = ring.front() {
-            if first.seq > 0 {
+        match ring.front() {
+            Some(first) if first.seq > 0 => {
                 let _ = writeln!(out, "  ... {} earlier events evicted ...", first.seq);
             }
+            // An empty ring dumps a self-describing marker instead of a
+            // bare header (a recorder that never recorded and one whose
+            // whole window was evicted render distinguishably).
+            None if total > 0 => {
+                let _ = writeln!(out, "  ... all {total} events evicted ...");
+            }
+            None => {
+                let _ = writeln!(out, "  (no events retained)");
+            }
+            Some(_) => {}
         }
         for event in ring.iter() {
             let _ = writeln!(out, "  {}", event.render());
@@ -403,5 +479,50 @@ mod tests {
         assert_eq!(tail.len(), 2);
         assert_eq!(tail[0].detail, "e3");
         assert_eq!(tail[1].detail, "e4");
+    }
+
+    #[test]
+    fn tail_zero_and_oversized_edges() {
+        let rec = FlightRecorder::new("node", 8);
+        assert!(rec.tail(0).is_empty(), "tail(0) of an empty ring");
+        assert!(rec.tail(3).is_empty(), "tail(n) of an empty ring");
+        for i in 0..4 {
+            rec.record(RecordKind::Trace, || format!("e{i}"));
+        }
+        assert!(rec.tail(0).is_empty(), "tail(0) of a populated ring");
+        let full = rec.tail(4);
+        assert_eq!(full.len(), 4);
+        assert_eq!(full.capacity(), 4, "n == len: one exactly-sized allocation");
+        let over = rec.tail(100);
+        assert_eq!(over.len(), 4, "n > len clamps to the window");
+        assert_eq!(over.capacity(), 4, "n > len must not over-allocate");
+        assert_eq!(over, rec.events());
+    }
+
+    #[test]
+    fn empty_ring_dump_is_self_describing() {
+        let rec = FlightRecorder::new("node", 2);
+        let dump = rec.dump();
+        assert!(dump.contains("retained=0/0"), "{dump}");
+        assert!(dump.contains("(no events retained)"), "{dump}");
+    }
+
+    #[test]
+    fn record_ticks_lamport_and_record_stamped_does_not() {
+        let rec = FlightRecorder::new("node", 8);
+        rec.record(RecordKind::Trace, || "a".into());
+        rec.record(RecordKind::Trace, || "b".into());
+        let events = rec.events();
+        assert_eq!(events[0].lamport, 1);
+        assert_eq!(events[1].lamport, 2);
+        assert_eq!(events[0].node, "node");
+        // A wire event carries the caller-computed stamp verbatim.
+        let stamp = rec.lamport_clock().observe(41);
+        assert_eq!(stamp, 42);
+        rec.record_stamped(RecordKind::WireRecv, stamp, || "t@41 op peer->node".into());
+        assert_eq!(rec.events()[2].lamport, 42);
+        // The next local tick continues past the observed stamp.
+        rec.record(RecordKind::Trace, || "c".into());
+        assert_eq!(rec.events()[3].lamport, 43);
     }
 }

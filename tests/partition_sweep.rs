@@ -1,6 +1,6 @@
 //! Tier-1 partition/restart chaos sweep over the termination-protocol
 //! scenario: 240 seeded schedules whose space includes partition windows
-//! and crash-restart arms, checked against all eleven oracles — in
+//! and crash-restart arms, checked against all twelve oracles — in
 //! particular #10 (`eventual-resolution`): once faults cease and
 //! partitions heal, no participant stays in doubt.
 //!

@@ -1,6 +1,6 @@
 //! Tier-1 bounded simulation sweep: the deterministic chaos explorer runs
 //! a fixed population of seeded fault schedules against every scenario
-//! adapter and checks the eleven §3.4 invariant oracles after each run.
+//! adapter and checks the twelve §3.4 invariant oracles after each run.
 //!
 //! Two properties are pinned here:
 //!
